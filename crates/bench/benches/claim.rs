@@ -1,0 +1,53 @@
+//! T1 ablation — cost of the claiming heuristic itself: a full solo walk
+//! over `R` partitions (Theorem 5 charges `O(R lg R)` claim work per
+//! loop), and the cost of a single atomic claim.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parloop_core::{run_claim_heuristic, ClaimTable};
+use std::hint::black_box;
+
+fn claim_walk(c: &mut Criterion) {
+    let mut group = c.benchmark_group("claim_heuristic");
+    group.sample_size(50);
+
+    for r in [32usize, 128, 1024] {
+        group.bench_with_input(BenchmarkId::new("solo_walk", r), &r, |b, &r| {
+            b.iter(|| {
+                let table = ClaimTable::new(r);
+                let stats = run_claim_heuristic(&table, black_box(5 % r), |part| {
+                    black_box(part);
+                });
+                black_box(stats)
+            })
+        });
+
+        group.bench_with_input(BenchmarkId::new("contended_walk", r), &r, |b, &r| {
+            // Half the partitions pre-claimed: the walk pays its failed
+            // claims and lsb-skips (the lg R bound of Lemma 4).
+            b.iter(|| {
+                let table = ClaimTable::new(r);
+                for part in (0..r).step_by(2) {
+                    table.try_claim(part);
+                }
+                let stats = run_claim_heuristic(&table, black_box(3 % r), |part| {
+                    black_box(part);
+                });
+                black_box(stats)
+            })
+        });
+    }
+
+    group.bench_function("single_fetch_or", |b| {
+        let table = ClaimTable::new(1024);
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % 1024;
+            black_box(table.try_claim(i))
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, claim_walk);
+criterion_main!(benches);

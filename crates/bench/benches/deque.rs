@@ -1,0 +1,75 @@
+//! A2 ablation — raw Chase–Lev deque operation costs (the substrate every
+//! dynamic scheme pays for): owner push+pop throughput and steal
+//! throughput under contention.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use parloop_runtime::deque::{deque, Steal};
+use std::hint::black_box;
+
+fn push_pop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("deque");
+    group.sample_size(20);
+
+    group.bench_function("push_pop_1k", |b| {
+        let (w, _s) = deque::<u64>();
+        b.iter(|| {
+            for i in 0..1000u64 {
+                w.push(black_box(i));
+            }
+            while let Some(v) = w.pop() {
+                black_box(v);
+            }
+        })
+    });
+
+    group.bench_function("steal_1k", |b| {
+        let (w, s) = deque::<u64>();
+        b.iter(|| {
+            for i in 0..1000u64 {
+                w.push(i);
+            }
+            loop {
+                match s.steal() {
+                    Steal::Success(v) => {
+                        black_box(v);
+                    }
+                    Steal::Empty => break,
+                    Steal::Retry => {}
+                }
+            }
+        })
+    });
+
+    group.bench_function("contended_steal_1k", |b| {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+        let (w, s) = deque::<u64>();
+        let stop = Arc::new(AtomicBool::new(false));
+        let thief_stop = Arc::clone(&stop);
+        let thief = {
+            let s = s.clone();
+            std::thread::spawn(move || {
+                while !thief_stop.load(Ordering::Acquire) {
+                    if let Steal::Success(v) = s.steal() {
+                        black_box(v);
+                    }
+                }
+            })
+        };
+        b.iter(|| {
+            for i in 0..1000u64 {
+                w.push(i);
+            }
+            while let Some(v) = w.pop() {
+                black_box(v);
+            }
+        });
+        stop.store(true, Ordering::Release);
+        thief.join().unwrap();
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, push_pop);
+criterion_main!(benches);

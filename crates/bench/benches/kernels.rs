@@ -1,0 +1,58 @@
+//! End-to-end kernel timings on the threaded runtime: each NAS kernel at
+//! mini size under hybrid vs static vs vanilla, plus the threaded
+//! microbenchmark. These validate that the real scheduler sustains the
+//! real workloads; the paper's scalability *curves* come from the
+//! simulator harnesses (`fig1`/`fig3`), since this host has one core.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parloop_core::Schedule;
+use parloop_micro::{IterativeMicro, MicroParams};
+use parloop_nas::{run_kernel, ClassSize, Kernel};
+use parloop_runtime::ThreadPool;
+
+fn kernels(c: &mut Criterion) {
+    let pool = ThreadPool::new(2);
+    let mut group = c.benchmark_group("nas_kernels");
+    group.sample_size(10);
+
+    for kernel in [Kernel::Ep, Kernel::Is, Kernel::Cg] {
+        for sched in [Schedule::hybrid(), Schedule::omp_static(), Schedule::vanilla()] {
+            group.bench_with_input(
+                BenchmarkId::new(kernel.name(), sched.name()),
+                &sched,
+                |b, &sched| {
+                    b.iter(|| {
+                        let rep = run_kernel(&pool, kernel, ClassSize::Mini, sched);
+                        assert!(rep.verified);
+                        rep
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn micro(c: &mut Criterion) {
+    let pool = ThreadPool::new(2);
+    let mut group = c.benchmark_group("micro_threaded");
+    group.sample_size(10);
+
+    for balanced in [true, false] {
+        let m = IterativeMicro::new(MicroParams::small(balanced));
+        for sched in [Schedule::hybrid(), Schedule::omp_static(), Schedule::vanilla()] {
+            group.bench_with_input(
+                BenchmarkId::new(
+                    if balanced { "balanced" } else { "unbalanced" },
+                    sched.name(),
+                ),
+                &sched,
+                |b, &sched| b.iter(|| m.run_phase(&pool, sched)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, kernels, micro);
+criterion_main!(benches);

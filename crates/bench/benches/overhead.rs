@@ -1,0 +1,84 @@
+//! A1 ablation — scheduling overhead of each scheme on the *threaded*
+//! runtime, and sensitivity to chunk size (the paper's `min(2048, N/8P)`
+//! rule vs fixed grains).
+//!
+//! Bodies are near-empty, so these benches measure almost pure scheduler
+//! cost per loop. Absolute numbers on this oversubscribed 1-core host are
+//! not the paper's, but the *ordering* (static cheapest, work-sharing
+//! with tiny chunks most expensive, hybrid close to static) is the
+//! ablation of interest.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parloop_core::{par_for, Schedule};
+use parloop_runtime::ThreadPool;
+use std::hint::black_box;
+
+fn scheme_overhead(c: &mut Criterion) {
+    let pool = ThreadPool::new(4);
+    let mut group = c.benchmark_group("loop_overhead");
+    group.sample_size(10);
+
+    for n in [1_000usize, 65_536] {
+        for sched in Schedule::roster(n, 4) {
+            group.bench_with_input(
+                BenchmarkId::new(sched.name(), n),
+                &n,
+                |b, &n| {
+                    b.iter(|| {
+                        par_for(&pool, 0..n, sched, |i| {
+                            black_box(i);
+                        })
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn chunk_sensitivity(c: &mut Criterion) {
+    let pool = ThreadPool::new(4);
+    let n = 65_536usize;
+    let mut group = c.benchmark_group("chunk_sensitivity");
+    group.sample_size(10);
+
+    for grain in [1usize, 64, 2048] {
+        group.bench_with_input(
+            BenchmarkId::new("hybrid", grain),
+            &grain,
+            |b, &g| {
+                b.iter(|| {
+                    par_for(&pool, 0..n, Schedule::Hybrid { grain: Some(g), oversub: 1 }, |i| {
+                        black_box(i);
+                    })
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("vanilla", grain),
+            &grain,
+            |b, &g| {
+                b.iter(|| {
+                    par_for(&pool, 0..n, Schedule::DynamicStealing { grain: Some(g) }, |i| {
+                        black_box(i);
+                    })
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("omp_dynamic", grain),
+            &grain,
+            |b, &g| {
+                b.iter(|| {
+                    par_for(&pool, 0..n, Schedule::WorkSharing { chunk: g }, |i| {
+                        black_box(i);
+                    })
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, scheme_overhead, chunk_sensitivity);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! A4 ablation — sensitivity of the scheme ranking to the cost-model
+//! constants.
+//!
+//! The simulator's scheduling overheads (steal, shared-cursor grab, claim)
+//! are model inputs; this harness scales each one up and down 4x and
+//! reports how the hybrid-vs-static-vs-vanilla gap on the unbalanced
+//! microbenchmark responds. The paper's qualitative conclusions should be
+//! robust: the hybrid scheme's advantage does not depend on a particular
+//! calibration point.
+//!
+//! Usage: `cargo run --release -p parloop-bench --bin ablate_costs [--quick]`
+
+use parloop_bench::{quick_flag, r2, Table};
+use parloop_sim::{micro_app, simulate, CostModel, MicroParams, PolicyKind, SimConfig};
+
+fn scaled(base: CostModel, steal_mul: f64, grab_mul: f64, claim_mul: f64) -> CostModel {
+    CostModel {
+        steal_attempt: base.steal_attempt * steal_mul,
+        steal_success: base.steal_success * steal_mul,
+        shared_grab: base.shared_grab * grab_mul,
+        grab_contention: base.grab_contention * grab_mul,
+        claim: base.claim * claim_mul,
+        ..base
+    }
+}
+
+fn main() {
+    let quick = quick_flag();
+    let p = 32;
+    let mut params = MicroParams::new(MicroParams::WORKING_SETS[0].1, false);
+    if quick {
+        params.outer = 4;
+        params.iterations = 256;
+    }
+    let app = micro_app(params);
+
+    println!("A4 ablation: cost-model sensitivity (unbalanced micro, 32 cores)");
+    println!("columns are T32 in Mcycles; lower is better\n");
+
+    let mut t = Table::new(vec!["variant", "hybrid", "omp_static", "vanilla", "hybrid wins?"]);
+    let variants: Vec<(String, CostModel)> = vec![
+        ("baseline".into(), CostModel::xeon()),
+        ("steal x4".into(), scaled(CostModel::xeon(), 4.0, 1.0, 1.0)),
+        ("steal /4".into(), scaled(CostModel::xeon(), 0.25, 1.0, 1.0)),
+        ("grab  x4".into(), scaled(CostModel::xeon(), 1.0, 4.0, 1.0)),
+        ("grab  /4".into(), scaled(CostModel::xeon(), 1.0, 0.25, 1.0)),
+        ("claim x4".into(), scaled(CostModel::xeon(), 1.0, 1.0, 4.0)),
+        ("claim /4".into(), scaled(CostModel::xeon(), 1.0, 1.0, 0.25)),
+    ];
+
+    for (label, cost) in variants {
+        let cfg = SimConfig { cost, ..SimConfig::xeon() };
+        let m = |kind| simulate(&app, kind, p, &cfg).total_cycles / 1e6;
+        let hybrid = m(PolicyKind::Hybrid);
+        let st = m(PolicyKind::Static);
+        let van = m(PolicyKind::Stealing);
+        t.row(vec![
+            label,
+            r2(hybrid),
+            r2(st),
+            r2(van),
+            (if hybrid <= st && hybrid <= van { "yes" } else { "no" }).into(),
+        ]);
+    }
+    t.print();
+}

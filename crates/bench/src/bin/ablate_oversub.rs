@@ -1,0 +1,51 @@
+//! A3 ablation — partition-count oversubscription in the hybrid scheme.
+//!
+//! Theorem 5 analyzes a hybrid loop for general `R`: more partitions than
+//! workers pay `O(R lg R)` claim work and a longer spawn spine, but give
+//! the claim heuristic finer-grained pieces for late-phase balancing while
+//! staying deterministic (so affinity survives). This harness sweeps
+//! `R = next_pow2(P · factor)` for factor ∈ {1, 2, 4, 8} on both
+//! microbenchmarks and reports virtual time + affinity.
+//!
+//! Usage: `cargo run --release -p parloop-bench --bin ablate_oversub [--quick]`
+
+use parloop_bench::{quick_flag, r2, Table};
+use parloop_sim::{micro_app, simulate, MicroParams, PolicyKind, SimConfig};
+
+fn main() {
+    let quick = quick_flag();
+    let cfg = SimConfig::xeon();
+    let p = 32;
+
+    println!("A3 ablation: hybrid partition oversubscription (32 modeled cores)\n");
+
+    for balanced in [true, false] {
+        let mut params = MicroParams::new(MicroParams::WORKING_SETS[0].1, balanced);
+        if quick {
+            params.outer = 4;
+            params.iterations = 256;
+        }
+        let app = micro_app(params);
+
+        println!("== {} workload ==", if balanced { "balanced" } else { "unbalanced" });
+        let mut t = Table::new(vec!["R factor", "T32 (cycles)", "vs factor 1", "affinity"]);
+        let base = simulate(&app, PolicyKind::Hybrid, p, &cfg).total_cycles;
+        for factor in [1u8, 2, 4, 8] {
+            let kind = if factor == 1 {
+                PolicyKind::Hybrid
+            } else {
+                PolicyKind::HybridOversub(factor)
+            };
+            let r = simulate(&app, kind, p, &cfg);
+            t.row(vec![
+                format!("{factor}x"),
+                format!("{:.3e}", r.total_cycles),
+                r2(base / r.total_cycles),
+                format!("{:.1}%", 100.0 * r.mean_affinity(&app)),
+            ]);
+        }
+        t.print();
+        println!();
+    }
+    println!("('vs factor 1' > 1.00 means the oversubscribed variant is faster)");
+}

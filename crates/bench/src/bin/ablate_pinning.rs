@@ -1,0 +1,45 @@
+//! A5 ablation — compact vs scatter thread pinning.
+//!
+//! The paper pins "threads to cores in a compact fashion"; this harness
+//! re-runs the balanced microbenchmark under scatter pinning (round-robin
+//! across sockets) to show why: at small P, compact keeps the whole team
+//! on one L3 and one NUMA node, while scatter pays cross-socket traffic
+//! immediately — but at P = 32 they coincide (all cores in use).
+//!
+//! Usage: `cargo run --release -p parloop-bench --bin ablate_pinning [--quick]`
+
+use parloop_bench::{quick_flag, r2, Table};
+use parloop_sim::{micro_app, simulate, MicroParams, PolicyKind, SimConfig};
+use parloop_topo::PinningPolicy;
+
+fn main() {
+    let quick = quick_flag();
+    let mut params = MicroParams::new(MicroParams::WORKING_SETS[0].1, true);
+    if quick {
+        params.outer = 4;
+        params.iterations = 256;
+    }
+    let app = micro_app(params);
+
+    println!("A5 ablation: compact vs scatter pinning (balanced micro, hybrid scheme)");
+    println!("cells are T_P in Mcycles; lower is better\n");
+
+    let sweep = [2usize, 4, 8, 16, 32];
+    let mut t = Table::new({
+        let mut h = vec!["pinning".to_string()];
+        h.extend(sweep.iter().map(|p| format!("P={p}")));
+        h
+    });
+
+    for (label, pinning) in [("compact", PinningPolicy::Compact), ("scatter", PinningPolicy::Scatter)]
+    {
+        let cfg = SimConfig { pinning, ..SimConfig::xeon() };
+        let mut cells = vec![label.to_string()];
+        for &p in &sweep {
+            let r = simulate(&app, PolicyKind::Hybrid, p, &cfg);
+            cells.push(r2(r.total_cycles / 1e6));
+        }
+        t.row(cells);
+    }
+    t.print();
+}

@@ -1,0 +1,45 @@
+//! Export the Figure 1/3 sweeps as CSV (for plotting with any tool).
+//!
+//! Writes `results/<workload>.csv` with columns
+//! `scheme,workers,cycles,affinity,scalability,speedup`.
+//!
+//! Usage: `cargo run --release -p parloop-bench --bin export_csv [--quick] [outdir]`
+
+use parloop_bench::{quick_flag, scheme_roster, WORKER_SWEEP, WORKER_SWEEP_QUICK};
+use parloop_sim::{micro_app, nas_app_scaled, MicroParams, NasKernel, SimConfig, Sweep};
+
+fn main() -> std::io::Result<()> {
+    let quick = quick_flag();
+    let outdir = std::env::args()
+        .skip(1)
+        .find(|a| !a.starts_with("--"))
+        .unwrap_or_else(|| "results".into());
+    std::fs::create_dir_all(&outdir)?;
+
+    let cfg = SimConfig::xeon();
+    let kinds = scheme_roster();
+    let workers: Vec<usize> =
+        if quick { WORKER_SWEEP_QUICK.to_vec() } else { WORKER_SWEEP.to_vec() };
+
+    let mut apps = Vec::new();
+    for balanced in [true, false] {
+        let mut params = MicroParams::new(MicroParams::WORKING_SETS[0].1, balanced);
+        if quick {
+            params.outer = 4;
+            params.iterations = 256;
+        }
+        apps.push(micro_app(params));
+    }
+    let shrink = if quick { 4 } else { 1 };
+    for kernel in NasKernel::ALL {
+        apps.push(nas_app_scaled(kernel, shrink));
+    }
+
+    for app in &apps {
+        let sweep = Sweep::run(app, &kinds, &workers, &cfg);
+        let path = format!("{outdir}/{}.csv", app.name.replace('/', "_"));
+        std::fs::write(&path, sweep.to_csv())?;
+        println!("wrote {path} (Ts = {:.3e} cycles)", sweep.ts);
+    }
+    Ok(())
+}

@@ -1,0 +1,67 @@
+//! Figure 1 — work efficiency and scalability of the two microbenchmarks
+//! on the modeled 32-core, four-socket machine.
+//!
+//! For each workload (balanced / unbalanced) and working-set size, prints:
+//!
+//! * **work efficiency** `T_s / T_1` per scheme (the paper's first
+//!   column: close to 1.0 everywhere once chunk sizes are adjusted);
+//! * **scalability** `T_1 / T_P` per scheme for P ∈ {1, 2, 4, 8, 16, 32}
+//!   (the paper's line plots).
+//!
+//! Usage: `cargo run --release -p parloop-bench --bin fig1_micro [--quick]`
+
+use parloop_bench::{quick_flag, r2, scheme_roster, Table, WORKER_SWEEP, WORKER_SWEEP_QUICK};
+use parloop_sim::{micro_app, sequential_time, simulate, MicroParams, SimConfig};
+
+fn main() {
+    let quick = quick_flag();
+    let cfg = SimConfig::xeon();
+    let sweep: Vec<usize> = if quick {
+        WORKER_SWEEP_QUICK.to_vec()
+    } else {
+        WORKER_SWEEP.to_vec()
+    };
+    let working_sets: Vec<(&str, usize)> = if quick {
+        vec![MicroParams::WORKING_SETS[0]]
+    } else {
+        MicroParams::WORKING_SETS.to_vec()
+    };
+
+    println!("Figure 1: microbenchmark work efficiency and scalability");
+    println!("(modeled Xeon E5-4620: 4 sockets x 8 cores, compact pinning)\n");
+
+    for balanced in [true, false] {
+        for &(label, ws) in &working_sets {
+            let mut params = MicroParams::new(ws, balanced);
+            if quick {
+                params.outer = 4;
+                params.iterations = 256;
+            }
+            let app = micro_app(params);
+            let ts = sequential_time(&app, &cfg);
+
+            println!(
+                "== {} workload, working set {} ==",
+                if balanced { "balanced" } else { "unbalanced" },
+                label
+            );
+
+            let mut header: Vec<String> = vec!["scheme".into(), "Ts/T1".into()];
+            header.extend(sweep.iter().map(|p| format!("P={p}")));
+            let mut table = Table::new(header);
+
+            for kind in scheme_roster() {
+                let t1 = simulate(&app, kind, 1, &cfg).total_cycles;
+                let mut cells = vec![kind.name().to_string(), r2(ts / t1)];
+                for &p in &sweep {
+                    let tp = simulate(&app, kind, p, &cfg).total_cycles;
+                    cells.push(r2(t1 / tp));
+                }
+                table.row(cells);
+            }
+            table.print();
+            println!();
+        }
+    }
+    println!("rows: Ts/T1 = work efficiency; P=k columns = scalability T1/TP");
+}

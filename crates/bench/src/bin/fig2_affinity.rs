@@ -1,0 +1,58 @@
+//! Figure 2 — loop-affinity retention: the percentage of iterations
+//! executed by the same core in consecutive parallel loops, on 32 modeled
+//! cores, for both microbenchmarks and all three working-set sizes.
+//!
+//! Expected shape (paper's Figure 2): `omp_static` = 100 %; `hybrid`
+//! ≈ 100 % balanced / ≈ two-thirds unbalanced; `vanilla` ≈ 3 %;
+//! `omp_dynamic`/`omp_guided` < 12 %.
+//!
+//! Usage: `cargo run --release -p parloop-bench --bin fig2_affinity [--quick]`
+
+use parloop_bench::{quick_flag, Table};
+use parloop_sim::{micro_app, simulate, MicroParams, PolicyKind, SimConfig};
+
+fn main() {
+    let quick = quick_flag();
+    let cfg = SimConfig::xeon();
+    let p = 32;
+    let schemes = [
+        PolicyKind::Hybrid,
+        PolicyKind::Stealing,
+        PolicyKind::Static,
+        PolicyKind::WorkSharing,
+        PolicyKind::Guided,
+    ];
+    let working_sets: Vec<(&str, usize)> = if quick {
+        vec![MicroParams::WORKING_SETS[0]]
+    } else {
+        MicroParams::WORKING_SETS.to_vec()
+    };
+
+    println!("Figure 2: % iterations executed by the same core in");
+    println!("consecutive parallel loops (32 modeled cores)\n");
+
+    let mut header: Vec<String> = vec!["scheme".into(), "workload".into()];
+    header.extend(working_sets.iter().map(|(l, _)| l.to_string()));
+    let mut table = Table::new(header);
+
+    for balanced in [true, false] {
+        for kind in schemes {
+            let mut cells = vec![
+                kind.name().to_string(),
+                if balanced { "balanced" } else { "unbalanced" }.to_string(),
+            ];
+            for &(_, ws) in &working_sets {
+                let mut params = MicroParams::new(ws, balanced);
+                if quick {
+                    params.outer = 4;
+                    params.iterations = 256;
+                }
+                let app = micro_app(params);
+                let r = simulate(&app, kind, p, &cfg);
+                cells.push(format!("{:.2}%", 100.0 * r.mean_affinity(&app)));
+            }
+            table.row(cells);
+        }
+    }
+    table.print();
+}

@@ -1,0 +1,47 @@
+//! Figure 3 — scalability of the five NAS kernel models on the modeled
+//! 32-core machine: work efficiency `Ts/T1` plus `Ts/TP` per scheme and
+//! worker count (the paper plots `Ts/TP` for the NAS benchmarks).
+//!
+//! Expected shape: no scheme dominates everywhere — hybrid leads on
+//! ft/is/ep-like workloads, OpenMP static leads on mg/cg-like ones with
+//! hybrid second.
+//!
+//! Usage: `cargo run --release -p parloop-bench --bin fig3_nas [--quick]`
+
+use parloop_bench::{quick_flag, r2, scheme_roster, Table, WORKER_SWEEP, WORKER_SWEEP_QUICK};
+use parloop_sim::{nas_model, sequential_time, simulate, NasKernel, SimConfig};
+
+fn main() {
+    let quick = quick_flag();
+    let cfg = SimConfig::xeon();
+    let sweep: Vec<usize> = if quick {
+        WORKER_SWEEP_QUICK.to_vec()
+    } else {
+        WORKER_SWEEP.to_vec()
+    };
+    let shrink = if quick { 4 } else { 1 };
+
+    println!("Figure 3: NAS kernel scalability (Ts/TP) on the modeled machine\n");
+
+    for kernel in NasKernel::ALL {
+        let app = nas_model::nas_app_scaled(kernel, shrink);
+        let ts = sequential_time(&app, &cfg);
+
+        println!("== {} ==", kernel.name());
+        let mut header: Vec<String> = vec!["scheme".into(), "Ts/T1".into()];
+        header.extend(sweep.iter().map(|p| format!("P={p}")));
+        let mut table = Table::new(header);
+
+        for kind in scheme_roster() {
+            let t1 = simulate(&app, kind, 1, &cfg).total_cycles;
+            let mut cells = vec![kind.name().to_string(), r2(ts / t1)];
+            for &p in &sweep {
+                let tp = simulate(&app, kind, p, &cfg).total_cycles;
+                cells.push(r2(ts / tp));
+            }
+            table.row(cells);
+        }
+        table.print();
+        println!();
+    }
+}

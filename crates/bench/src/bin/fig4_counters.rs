@@ -1,0 +1,56 @@
+//! Figure 4 — memory accesses serviced by each level of the hierarchy
+//! when running the NAS kernel models on 32 modeled cores, under the
+//! hybrid scheme, vanilla work stealing, and OpenMP (static for the
+//! balanced kernels, guided for the irregular ones — the paper's choice),
+//! plus the inferred latency `Σ counts × level latency` (without L1, as
+//! the paper compares).
+//!
+//! Expected shape: all schemes have comparable L1/L2/L3 hit counts, but
+//! hybrid and omp service L3 misses mostly from *local* DRAM while
+//! vanilla shifts misses to *remote* L3/DRAM and pays the highest
+//! inferred latency (cg stays roughly flat).
+//!
+//! Usage: `cargo run --release -p parloop-bench --bin fig4_counters [--quick]`
+
+use parloop_bench::{quick_flag, sci, Table};
+use parloop_sim::{nas_model, simulate, NasKernel, PolicyKind, SimConfig};
+use parloop_topo::AccessLevel;
+
+fn main() {
+    let quick = quick_flag();
+    let cfg = SimConfig::xeon();
+    let p = 32;
+    let shrink = if quick { 4 } else { 1 };
+
+    println!("Figure 4: memory accesses serviced per hierarchy level");
+    println!("(32 modeled cores; latency = inferred cycles without L1)\n");
+
+    let mut header: Vec<String> = vec!["config".into()];
+    header.extend(AccessLevel::ALL.iter().map(|l| l.label().to_string()));
+    header.push("latency(woL1)".into());
+    let mut table = Table::new(header);
+
+    for kernel in NasKernel::ALL {
+        // The paper uses omp_static for balanced kernels and omp_guided
+        // where load balancing matters.
+        let omp_kind = match kernel {
+            NasKernel::Cg | NasKernel::Is => PolicyKind::Guided,
+            _ => PolicyKind::Static,
+        };
+        for kind in [PolicyKind::Hybrid, PolicyKind::Stealing, omp_kind] {
+            let app = nas_model::nas_app_scaled(kernel, shrink);
+            let r = simulate(&app, kind, p, &cfg);
+            let counts = r.counts.as_array();
+            let label = match kind {
+                PolicyKind::Hybrid => "hybrid",
+                PolicyKind::Stealing => "vanilla",
+                _ => "omp",
+            };
+            let mut cells = vec![format!("{} {}", label, kernel.name())];
+            cells.extend(counts.iter().map(|&c| sci(c)));
+            cells.push(format!("{:.2e}", r.counts.inferred_latency_without_l1(&cfg.latency)));
+            table.row(cells);
+        }
+    }
+    table.print();
+}

@@ -1,0 +1,41 @@
+//! Figure 5 — access latency serviced by each level of the memory
+//! hierarchy on the modeled machine, plus the machine description itself.
+//!
+//! The paper measured these with the Intel Memory Latency Checker; here
+//! they are model *inputs* (see DESIGN.md), so this binary prints the
+//! table the other figures consume.
+//!
+//! Usage: `cargo run --release -p parloop-bench --bin fig5_latency`
+
+use parloop_bench::Table;
+use parloop_topo::{AccessLevel, LatencyTable, MachineSpec};
+
+fn main() {
+    let m = MachineSpec::xeon_e5_4620();
+    let lat = LatencyTable::xeon_e5_4620();
+
+    println!("Figure 5: access latency per memory-hierarchy level (cycles)\n");
+
+    let mut t = Table::new(vec!["level serviced", "latency (cycles)", "latency (ns @2.2GHz)"]);
+    for lvl in AccessLevel::ALL {
+        let c = lat.cycles(lvl);
+        t.row(vec![
+            lvl.label().to_string(),
+            format!("{c:.1}"),
+            format!("{:.1}", m.cycles_to_secs(c) * 1e9),
+        ]);
+    }
+    t.print();
+
+    println!("\nModeled machine (paper's Xeon E5-4620 testbed):");
+    println!("  sockets:            {}", m.sockets);
+    println!("  cores per socket:   {}", m.cores_per_socket);
+    println!("  L1d per core:       {} KB, {}-way", m.l1d.capacity >> 10, m.l1d.ways);
+    println!("  L2 per core:        {} KB, {}-way", m.l2.capacity >> 10, m.l2.ways);
+    println!("  L3 per socket:      {} MB, {}-way", m.l3.capacity >> 20, m.l3.ways);
+    println!("  cache line:         {} B", m.l1d.line);
+    println!("  clock:              {} GHz", m.freq_ghz);
+    println!("  NUMA policy:        {:?}", m.numa);
+    println!("\nNote: remote L3 / remote DRAM use the midpoints of the");
+    println!("paper's measured ranges (381.5-648.8 and 643.2-650.9 cycles).");
+}

@@ -1,0 +1,151 @@
+//! Generate a single self-contained Markdown report of the whole
+//! reproduction: every figure's table (quick-scale by default), the
+//! machine description, and the acceptance checks — useful as a one-shot
+//! artifact for reviewers.
+//!
+//! Usage: `cargo run --release -p parloop-bench --bin make_report [--full] [path]`
+//! (default output `results/report.md`).
+
+use std::fmt::Write as _;
+
+use parloop_bench::{scheme_roster, WORKER_SWEEP, WORKER_SWEEP_QUICK};
+use parloop_sim::{
+    micro_app, nas_app_scaled, MicroParams, NasKernel, SimConfig, Sweep,
+};
+use parloop_topo::{AccessLevel, LatencyTable, MachineSpec};
+
+fn md_sweep_table(out: &mut String, sweep: &Sweep, metric: &str) {
+    let _ = write!(out, "| scheme | Ts/T1 |");
+    for p in &sweep.workers {
+        let _ = write!(out, " P={p} |");
+    }
+    let _ = writeln!(out);
+    let _ = write!(out, "|---|---|");
+    for _ in &sweep.workers {
+        let _ = write!(out, "---|");
+    }
+    let _ = writeln!(out);
+    for (k, kind) in sweep.kinds.iter().enumerate() {
+        let _ = write!(out, "| {} | {:.2} |", kind.name(), sweep.work_efficiency(k));
+        for p_ix in 0..sweep.workers.len() {
+            let v = match metric {
+                "scalability" => sweep.scalability(k, p_ix),
+                _ => sweep.speedup(k, p_ix),
+            };
+            let _ = write!(out, " {v:.2} |");
+        }
+        let _ = writeln!(out);
+    }
+    let _ = writeln!(out);
+}
+
+fn main() -> std::io::Result<()> {
+    let full = std::env::args().any(|a| a == "--full");
+    let path = std::env::args()
+        .skip(1)
+        .find(|a| !a.starts_with("--"))
+        .unwrap_or_else(|| "results/report.md".into());
+    if let Some(dir) = std::path::Path::new(&path).parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+
+    let cfg = SimConfig::xeon();
+    let kinds = scheme_roster();
+    let workers: Vec<usize> =
+        if full { WORKER_SWEEP.to_vec() } else { WORKER_SWEEP_QUICK.to_vec() };
+    let shrink = if full { 1 } else { 4 };
+
+    let mut out = String::new();
+    let _ = writeln!(out, "# parloop reproduction report\n");
+    let _ = writeln!(
+        out,
+        "Scale: {} (regenerate with `--full` for the paper-scale sweep; \
+         recorded full-scale outputs live in EXPERIMENTS.md).\n",
+        if full { "full" } else { "quick" }
+    );
+
+    // Machine (Figure 5).
+    let m = MachineSpec::xeon_e5_4620();
+    let lat = LatencyTable::xeon_e5_4620();
+    let _ = writeln!(out, "## Modeled machine (paper's testbed, Figure 5)\n");
+    let _ = writeln!(
+        out,
+        "{} sockets x {} cores @ {} GHz; L1d {} KB, L2 {} KB per core; L3 {} MB per socket.\n",
+        m.sockets,
+        m.cores_per_socket,
+        m.freq_ghz,
+        m.l1d.capacity >> 10,
+        m.l2.capacity >> 10,
+        m.l3.capacity >> 20
+    );
+    let _ = writeln!(out, "| level | latency (cycles) |");
+    let _ = writeln!(out, "|---|---|");
+    for lvl in AccessLevel::ALL {
+        let _ = writeln!(out, "| {} | {:.1} |", lvl.label(), lat.cycles(lvl));
+    }
+    let _ = writeln!(out);
+
+    // Figure 1 (micro) + Figure 2 (affinity).
+    for balanced in [true, false] {
+        let mut params = MicroParams::new(MicroParams::WORKING_SETS[0].1, balanced);
+        if !full {
+            params.outer = 4;
+            params.iterations = 256;
+        }
+        let app = micro_app(params);
+        let sweep = Sweep::run(&app, &kinds, &workers, &cfg);
+        let label = if balanced { "balanced" } else { "unbalanced" };
+        let _ = writeln!(out, "## Figure 1 — {label} microbenchmark (T1/TP)\n");
+        md_sweep_table(&mut out, &sweep, "scalability");
+
+        let _ = writeln!(out, "### Figure 2 — affinity at P = 32 ({label})\n");
+        let _ = writeln!(out, "| scheme | affinity |");
+        let _ = writeln!(out, "|---|---|");
+        let p32 = sweep.workers.iter().position(|&p| p == 32);
+        if let Some(p_ix) = p32 {
+            for (k, kind) in sweep.kinds.iter().enumerate() {
+                let _ = writeln!(
+                    out,
+                    "| {} | {:.2}% |",
+                    kind.name(),
+                    100.0 * sweep.cells[k][p_ix].affinity
+                );
+            }
+        }
+        let _ = writeln!(out);
+    }
+
+    // Figure 3 (NAS models).
+    let _ = writeln!(out, "## Figure 3 — NAS kernel models (Ts/TP)\n");
+    for kernel in NasKernel::ALL {
+        let app = nas_app_scaled(kernel, shrink);
+        let sweep = Sweep::run(&app, &kinds, &workers, &cfg);
+        let _ = writeln!(out, "### {}\n", kernel.name());
+        md_sweep_table(&mut out, &sweep, "speedup");
+        let best = sweep.winner_at(sweep.workers.len() - 1);
+        let _ = writeln!(
+            out,
+            "Winner at P = {}: **{}**.\n",
+            sweep.workers.last().unwrap(),
+            best.name()
+        );
+    }
+
+    // Acceptance summary.
+    let _ = writeln!(out, "## Acceptance checks (paper's qualitative claims)\n");
+    let checks = [
+        "hybrid ~= omp_static on balanced loops, both ahead of dynamic schemes cross-socket",
+        "all non-static schemes beat omp_static on the unbalanced workload; hybrid competitive with the best",
+        "hybrid retains ~100% (balanced) / ~2/3 (unbalanced) loop affinity; dynamic schemes single digits",
+        "hybrid first or second on every NAS kernel model",
+        "vanilla pays the most remote-L3/DRAM traffic and the highest inferred latency",
+    ];
+    for c in checks {
+        let _ = writeln!(out, "- {c}");
+    }
+    let _ = writeln!(out, "\nSee `tests/sim_figures.rs` for these as executable assertions.");
+
+    std::fs::write(&path, &out)?;
+    println!("wrote {path} ({} bytes)", out.len());
+    Ok(())
+}

@@ -1,0 +1,143 @@
+//! Shared support for the figure harness binaries: aligned-table printing
+//! and the standard scheme/worker sweeps.
+//!
+//! Each binary under `src/bin/` regenerates one of the paper's figures —
+//! see DESIGN.md's per-experiment index and EXPERIMENTS.md for the
+//! recorded outputs:
+//!
+//! | binary          | regenerates |
+//! |-----------------|-------------|
+//! | `fig1_micro`    | Figure 1 — work efficiency + scalability, both microbenchmarks × 3 working sets |
+//! | `fig2_affinity` | Figure 2 — % iterations on the same core in consecutive loops |
+//! | `fig3_nas`      | Figure 3 — NAS kernel scalability |
+//! | `fig4_counters` | Figure 4 — memory-hierarchy access counts + inferred latency |
+//! | `fig5_latency`  | Figure 5 — per-level access latency of the modeled machine |
+
+use parloop_sim::PolicyKind;
+
+/// A simple left-aligned text table.
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        Table { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render with column alignment.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| {
+            let mut line = String::new();
+            for c in 0..cols {
+                if c > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{:<width$}", cells[c], width = widths[c]));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// The worker counts the paper sweeps (compact pinning on 4 sockets).
+pub const WORKER_SWEEP: [usize; 6] = [1, 2, 4, 8, 16, 32];
+
+/// A reduced sweep for `--quick` runs.
+pub const WORKER_SWEEP_QUICK: [usize; 4] = [1, 4, 16, 32];
+
+/// The schemes in the order the paper's legends list them.
+pub fn scheme_roster() -> Vec<PolicyKind> {
+    vec![
+        PolicyKind::Hybrid,
+        PolicyKind::Static,
+        PolicyKind::WorkSharing,
+        PolicyKind::Guided,
+        PolicyKind::Stealing,
+        PolicyKind::StaticSharing,
+    ]
+}
+
+/// `true` if `--quick` was passed on the command line.
+pub fn quick_flag() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+/// Format a ratio like `3.94`.
+pub fn r2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Format a count in scientific notation like the paper's Figure 4.
+pub fn sci(v: u64) -> String {
+    if v == 0 {
+        return "0".into();
+    }
+    let f = v as f64;
+    let exp = f.log10().floor() as i32;
+    format!("{:.2}e{}", f / 10f64.powi(exp), exp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(vec!["name", "value"]);
+        t.row(vec!["a", "1"]);
+        t.row(vec!["longer", "22"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[3].starts_with("longer"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn table_rejects_ragged_rows() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["only one"]);
+    }
+
+    #[test]
+    fn sci_formats_like_the_paper() {
+        assert_eq!(sci(118_000_000_000), "1.18e11");
+        assert_eq!(sci(0), "0");
+        assert_eq!(sci(5), "5.00e0");
+    }
+
+    #[test]
+    fn roster_has_six_schemes() {
+        assert_eq!(scheme_roster().len(), 6);
+    }
+}

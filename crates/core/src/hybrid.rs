@@ -1,0 +1,339 @@
+//! The hybrid loop scheduler (Section III of the paper).
+//!
+//! A hybrid loop starts as static partitioning — `R = 2^k ≥ P` partitions,
+//! partition `w` earmarked for worker `w` — and degrades gracefully into
+//! dynamic partitioning:
+//!
+//! 1. The initiating worker creates the shared partition table `A`
+//!    ([`ClaimTable`]) and pushes a **`DoHybridLoop` frame** (an *adopter
+//!    job*) onto its own deque, then runs `DoHybridLoop` itself.
+//! 2. An idle worker that steals the frame follows the paper's steal
+//!    protocol: if its designated partition `r = w ⊕ 0 = w` is still
+//!    unclaimed, it re-instantiates the frame under its own worker id
+//!    (claiming partitions starting from `w`), re-publishing one more
+//!    frame so later thieves can join (bounded by `P` total, matching the
+//!    analysis's "at most P protocol steals"); if `r` is already claimed,
+//!    the thief simply returns to ordinary randomized work stealing —
+//!    where it can still steal *chunks* of claimed partitions, because
+//!    each partition body runs as a stealable divide-and-conquer loop.
+//! 3. `DoHybridLoop` walks the semi-deterministic claim sequence
+//!    ([`ClaimWalker`]); every successfully claimed partition executes via
+//!    [`ws_for`] and then decrements the loop's completion latch.
+//!
+//! Theorem 3 (every partition executes exactly once) carries over
+//! directly: claims are `fetch_or` on `A`, and only a winning claim
+//! executes a partition. Termination of the latch (count `R`) follows from
+//! Lemma 2 — the initiator always *attempts* a claim in the top-level
+//! group, which guarantees every partition is eventually claimed by one of
+//! the workers running the heuristic.
+
+use std::any::Any;
+use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use parloop_runtime::{CountLatch, Latch, WorkerToken};
+
+use crate::claim::{partitions_oversubscribed, ClaimTable, ClaimWalker};
+use crate::range::block_bounds;
+use crate::stealing::ws_for;
+use crate::util::SendPtr;
+
+/// Observability counters from one hybrid loop execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HybridStats {
+    /// Number of partitions `R`.
+    pub partitions: usize,
+    /// Workers that joined via the `DoHybridLoop` steal protocol
+    /// (excluding the initiator).
+    pub adoptions: usize,
+    /// Total unsuccessful claims across all participating workers
+    /// (Theorem 5 charges `O(R lg R)` work for these).
+    pub failed_claims: usize,
+}
+
+struct HybridState {
+    table: ClaimTable,
+    latch: CountLatch,
+    range_start: usize,
+    n: usize,
+    r_parts: usize,
+    grain: usize,
+    body: SendPtr<dyn Fn(usize) + Sync>,
+    /// Adopter frames spawned so far (the initial frame plus re-publishes).
+    frames: AtomicUsize,
+    /// Workers that actually adopted the loop via the steal protocol.
+    adoptions: AtomicUsize,
+    max_frames: usize,
+    failed_claims: AtomicUsize,
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+    poisoned: AtomicBool,
+}
+
+/// Execute `body` over `range` with the hybrid scheme. Must be called on a
+/// pool worker (`token`). Returns scheduling counters.
+pub(crate) fn hybrid_for(
+    token: WorkerToken,
+    range: Range<usize>,
+    grain: usize,
+    body: &(dyn Fn(usize) + Sync),
+) -> HybridStats {
+    hybrid_for_oversub(token, range, grain, 1, body)
+}
+
+/// [`hybrid_for`] with `R = next_pow2(P · oversub)` partitions — the
+/// paper's general-`R` setting (Theorem 5).
+pub(crate) fn hybrid_for_oversub(
+    token: WorkerToken,
+    range: Range<usize>,
+    grain: usize,
+    oversub: usize,
+    body: &(dyn Fn(usize) + Sync),
+) -> HybridStats {
+    let n = range.len();
+    let p = token.num_workers();
+    let r_parts = partitions_oversubscribed(p, oversub);
+
+    // SAFETY: erase the body's lifetime. Sound because this function blocks
+    // on `state.latch` (all `R` partitions executed) before returning, and
+    // `execute_partition` is the only deref site — guarded so that no deref
+    // can happen after the last partition completes.
+    let body_static: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(body) };
+
+    let state = Arc::new(HybridState {
+        table: ClaimTable::new(r_parts),
+        latch: token.count_latch(r_parts),
+        range_start: range.start,
+        n,
+        r_parts,
+        grain,
+        body: SendPtr::new(body_static),
+        frames: AtomicUsize::new(0),
+        adoptions: AtomicUsize::new(0),
+        max_frames: p,
+        failed_claims: AtomicUsize::new(0),
+        panic: Mutex::new(None),
+        poisoned: AtomicBool::new(false),
+    });
+
+    // Publish the DoHybridLoop frame for thieves, then run it ourselves.
+    publish_frame(&token, &state);
+    do_hybrid_loop(&token, &state);
+    token.wait_until(&state.latch);
+
+    let maybe_panic = state.panic.lock().take();
+    if let Some(payload) = maybe_panic {
+        resume_unwind(payload);
+    }
+
+    HybridStats {
+        partitions: r_parts,
+        adoptions: state.adoptions.load(Ordering::Acquire),
+        failed_claims: state.failed_claims.load(Ordering::Acquire),
+    }
+}
+
+/// Push one adopter frame onto the current worker's deque, if the protocol
+/// budget (`P` frames per loop) allows.
+fn publish_frame(token: &WorkerToken, state: &Arc<HybridState>) {
+    if state.frames.fetch_add(1, Ordering::AcqRel) >= state.max_frames {
+        return;
+    }
+    let st = Arc::clone(state);
+    token.spawn_local(move || {
+        let token = WorkerToken::current().expect("adopter frames execute on pool workers");
+        adopt_frame(token, st);
+    });
+}
+
+/// The `DoHybridLoop` steal-protocol entry point, run by whichever worker
+/// pops or steals an adopter frame.
+fn adopt_frame(token: WorkerToken, state: Arc<HybridState>) {
+    if state.table.all_claimed() {
+        return; // loop already fully claimed; nothing to adopt
+    }
+    let w = token.index();
+    debug_assert!(w < state.r_parts, "worker id exceeds partition count");
+    if state.table.is_claimed(w) {
+        // Designated starting partition taken: fall back to ordinary
+        // randomized work stealing (the worker can still steal chunks of
+        // claimed partitions' inner loops).
+        return;
+    }
+    state.adoptions.fetch_add(1, Ordering::AcqRel);
+    // Re-instantiate the frame so later thieves can also join.
+    publish_frame(&token, &state);
+    do_hybrid_loop(&token, &state);
+}
+
+/// Algorithm 3: the claim walk plus partition execution.
+fn do_hybrid_loop(token: &WorkerToken, state: &Arc<HybridState>) {
+    let w = token.index();
+    let mut walker = ClaimWalker::new(w, state.r_parts);
+    while let Some(candidate) = walker.candidate() {
+        let won = state.table.try_claim(candidate);
+        if let Some(part) = walker.record(won) {
+            execute_partition(state, part);
+            state.latch.set();
+        }
+    }
+    state.failed_claims.fetch_add(walker.stats().failed, Ordering::AcqRel);
+}
+
+/// Run the iterations of partition `part` as a stealable inner loop.
+fn execute_partition(state: &Arc<HybridState>, part: usize) {
+    if state.poisoned.load(Ordering::Acquire) {
+        // A sibling partition panicked: skip the body but keep the claim
+        // walk and latch accounting alive so the loop still terminates.
+        return;
+    }
+    let rel = block_bounds(state.n, state.r_parts, part);
+    let range = (state.range_start + rel.start)..(state.range_start + rel.end);
+    // SAFETY: the initiator blocks on `latch` until all `R` partitions have
+    // executed; every deref of `body` happens before its partition's
+    // `latch.set()`, hence before `hybrid_for` returns.
+    let body = unsafe { state.body.get() };
+    if let Err(payload) = catch_unwind(AssertUnwindSafe(|| ws_for(range, state.grain, body))) {
+        state.panic.lock().get_or_insert(payload);
+        state.poisoned.store(true, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parloop_runtime::ThreadPool;
+    use std::sync::atomic::AtomicUsize;
+
+    fn run_hybrid(pool: &ThreadPool, n: usize, grain: usize, body: &(dyn Fn(usize) + Sync)) -> HybridStats {
+        pool.install(|| {
+            let token = WorkerToken::current().unwrap();
+            hybrid_for(token, 0..n, grain, body)
+        })
+    }
+
+    #[test]
+    fn every_iteration_exactly_once() {
+        for p in [1usize, 2, 3, 4, 7] {
+            let pool = ThreadPool::new(p);
+            let n = 5000;
+            let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+            let stats = run_hybrid(&pool, n, 64, &|i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(
+                hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                "P={p}: some iteration not executed exactly once"
+            );
+            assert_eq!(stats.partitions, p.next_power_of_two());
+        }
+    }
+
+    #[test]
+    fn empty_loop() {
+        let pool = ThreadPool::new(4);
+        let stats = run_hybrid(&pool, 0, 16, &|_| panic!("no iterations"));
+        assert_eq!(stats.partitions, 4);
+    }
+
+    #[test]
+    fn fewer_iterations_than_partitions() {
+        let pool = ThreadPool::new(8);
+        let hits: Vec<AtomicUsize> = (0..3).map(|_| AtomicUsize::new(0)).collect();
+        run_hybrid(&pool, 3, 4, &|i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn single_worker_pool() {
+        let pool = ThreadPool::new(1);
+        let sum = AtomicUsize::new(0);
+        let stats = run_hybrid(&pool, 1000, 32, &|i| {
+            sum.fetch_add(i, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), (0..1000).sum::<usize>());
+        assert_eq!(stats.partitions, 1);
+    }
+
+    #[test]
+    fn nested_hybrid_loops() {
+        let pool = ThreadPool::new(4);
+        let total = AtomicUsize::new(0);
+        pool.install(|| {
+            let token = WorkerToken::current().unwrap();
+            hybrid_for(token, 0..8, 1, &|_| {
+                let inner_token = WorkerToken::current().unwrap();
+                hybrid_for(inner_token, 0..10, 2, &|_| {
+                    total.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 80);
+    }
+
+    #[test]
+    fn panic_in_body_propagates_and_pool_survives() {
+        let pool = ThreadPool::new(4);
+        let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            run_hybrid(&pool, 100, 4, &|i| {
+                if i == 37 {
+                    panic!("iteration 37 dies");
+                }
+            });
+        }));
+        assert!(r.is_err());
+        // Pool and hybrid machinery still usable.
+        let sum = AtomicUsize::new(0);
+        run_hybrid(&pool, 10, 2, &|i| {
+            sum.fetch_add(i, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 45);
+    }
+
+    #[test]
+    fn repeated_loops_reuse_pool() {
+        let pool = ThreadPool::new(3);
+        for _ in 0..50 {
+            let count = AtomicUsize::new(0);
+            run_hybrid(&pool, 256, 8, &|_| {
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(count.load(Ordering::Relaxed), 256);
+        }
+    }
+
+    #[test]
+    fn oversubscribed_partitions_cover_exactly_once() {
+        let pool = ThreadPool::new(3);
+        for oversub in [1usize, 2, 4, 8] {
+            let n = 3000;
+            let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+            let stats = pool.install(|| {
+                let token = WorkerToken::current().unwrap();
+                hybrid_for_oversub(token, 0..n, 16, oversub, &|i| {
+                    hits[i].fetch_add(1, Ordering::Relaxed);
+                })
+            });
+            assert!(
+                hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                "oversub={oversub}"
+            );
+            assert_eq!(stats.partitions, (3 * oversub).next_power_of_two());
+        }
+    }
+
+    #[test]
+    fn stats_adoptions_bounded_by_p() {
+        let pool = ThreadPool::new(4);
+        for _ in 0..10 {
+            let stats = run_hybrid(&pool, 4096, 16, &|i| {
+                std::hint::black_box(i);
+            });
+            assert!(stats.adoptions <= 4, "adoptions {} > P", stats.adoptions);
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Iteration-space partitioning arithmetic.
+
+use std::ops::Range;
+
+/// Bounds of block `idx` when `0..n` is divided into `parts` near-equal
+/// contiguous blocks (first `n % parts` blocks get one extra iteration).
+///
+/// Every index in `0..n` belongs to exactly one block; blocks are empty
+/// when `parts > n`.
+pub fn block_bounds(n: usize, parts: usize, idx: usize) -> Range<usize> {
+    assert!(parts > 0 && idx < parts);
+    let base = n / parts;
+    let extra = n % parts;
+    let lo = idx * base + idx.min(extra);
+    let hi = lo + base + usize::from(idx < extra);
+    lo..hi
+}
+
+/// Which block an iteration belongs to (inverse of [`block_bounds`]).
+pub fn block_of(n: usize, parts: usize, i: usize) -> usize {
+    assert!(i < n);
+    let base = n / parts;
+    let extra = n % parts;
+    let boundary = extra * (base + 1);
+    if i < boundary {
+        i / (base + 1)
+    } else {
+        extra + (i - boundary) / base.max(1)
+    }
+}
+
+/// The Cilk default chunk size for a dynamically-scheduled loop:
+/// `min(2048, N / (8 P))`, at least 1.
+pub fn default_grain(n: usize, p: usize) -> usize {
+    (n / (8 * p.max(1))).clamp(1, 2048)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blocks_partition_the_range() {
+        for n in [0usize, 1, 7, 64, 100, 1023] {
+            for parts in [1usize, 2, 3, 5, 8, 32] {
+                let mut covered = 0;
+                let mut expect_lo = 0;
+                for idx in 0..parts {
+                    let r = block_bounds(n, parts, idx);
+                    assert_eq!(r.start, expect_lo, "gap before block {idx} (n={n}, parts={parts})");
+                    expect_lo = r.end;
+                    covered += r.len();
+                }
+                assert_eq!(covered, n);
+                assert_eq!(expect_lo, n);
+            }
+        }
+    }
+
+    #[test]
+    fn blocks_are_balanced() {
+        for n in [10usize, 100, 1000] {
+            for parts in [3usize, 7, 8] {
+                let sizes: Vec<_> = (0..parts).map(|i| block_bounds(n, parts, i).len()).collect();
+                let min = sizes.iter().min().unwrap();
+                let max = sizes.iter().max().unwrap();
+                assert!(max - min <= 1, "unbalanced blocks: {sizes:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn block_of_inverts_bounds() {
+        for n in [1usize, 13, 64, 100] {
+            for parts in [1usize, 2, 3, 8] {
+                for i in 0..n {
+                    let b = block_of(n, parts, i);
+                    let r = block_bounds(n, parts, b);
+                    assert!(r.contains(&i), "i={i} not in its block {b}={r:?} (n={n}, parts={parts})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn default_grain_matches_cilk_rule() {
+        assert_eq!(default_grain(16_384, 1), 2048);
+        assert_eq!(default_grain(16_384, 4), 512);
+        assert_eq!(default_grain(1 << 24, 4), 2048); // capped at 2048
+        assert_eq!(default_grain(10, 8), 1); // floors at 1
+        assert_eq!(default_grain(0, 4), 1);
+    }
+}

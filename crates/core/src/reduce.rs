@@ -1,0 +1,161 @@
+//! Parallel reductions over any [`Schedule`].
+//!
+//! Values are combined into per-worker, cache-line-padded accumulators (no
+//! cross-worker contention), then folded sequentially. Floating-point
+//! reductions therefore depend on the schedule and on stealing for their
+//! *summation order* — compare results across schedulers with a tolerance,
+//! never exactly.
+
+use std::ops::Range;
+
+use crossbeam::utils::CachePadded;
+use parking_lot::Mutex;
+use parloop_runtime::{current_worker_index, ThreadPool};
+
+use crate::schedule::{par_for, Schedule};
+
+/// Generic reduction: fold `map(i)` over `range` with `combine`, starting
+/// from `identity` in each worker-local accumulator.
+///
+/// `identity` must be a true identity of `combine` (`combine(identity, x)
+/// == x`): it seeds every worker-local accumulator *and* the final fold,
+/// so a non-identity seed would be counted once per worker.
+///
+/// ```
+/// use parloop_core::{par_sum_u64, Schedule};
+/// use parloop_runtime::ThreadPool;
+///
+/// let pool = ThreadPool::new(2);
+/// let dot = par_sum_u64(&pool, 0..100, Schedule::hybrid(), |i| (i * i) as u64);
+/// assert_eq!(dot, (0..100u64).map(|i| i * i).sum());
+/// ```
+pub fn par_reduce<T, M, C>(
+    pool: &ThreadPool,
+    range: Range<usize>,
+    sched: Schedule,
+    identity: T,
+    map: M,
+    combine: C,
+) -> T
+where
+    T: Send + Clone,
+    M: Fn(usize) -> T + Sync,
+    C: Fn(T, T) -> T + Sync,
+{
+    let slots: Vec<CachePadded<Mutex<Option<T>>>> = (0..pool.num_workers())
+        .map(|_| CachePadded::new(Mutex::new(Some(identity.clone()))))
+        .collect();
+
+    par_for(pool, range, sched, |i| {
+        let w = current_worker_index().expect("loop bodies run on pool workers");
+        // Uncontended in practice: only worker `w` locks slot `w`; the
+        // mutex exists to keep the accumulator API safe for any `T: Send`.
+        let mut slot = slots[w].lock();
+        let cur = slot.take().expect("accumulator present during the loop");
+        *slot = Some(combine(cur, map(i)));
+    });
+
+    let mut acc = identity;
+    for slot in slots {
+        let v = slot.into_inner().into_inner().expect("accumulator present after the loop");
+        acc = combine(acc, v);
+    }
+    acc
+}
+
+/// `Σ map(i)` as `f64`.
+pub fn par_sum_f64<M>(pool: &ThreadPool, range: Range<usize>, sched: Schedule, map: M) -> f64
+where
+    M: Fn(usize) -> f64 + Sync,
+{
+    par_reduce(pool, range, sched, 0.0, map, |a, b| a + b)
+}
+
+/// `Σ map(i)` as `u64` (exact, order-independent).
+pub fn par_sum_u64<M>(pool: &ThreadPool, range: Range<usize>, sched: Schedule, map: M) -> u64
+where
+    M: Fn(usize) -> u64 + Sync,
+{
+    par_reduce(pool, range, sched, 0u64, map, |a, b| a + b)
+}
+
+/// `max over i of map(i)` (`None` for empty ranges).
+pub fn par_max_f64<M>(
+    pool: &ThreadPool,
+    range: Range<usize>,
+    sched: Schedule,
+    map: M,
+) -> Option<f64>
+where
+    M: Fn(usize) -> f64 + Sync,
+{
+    if range.is_empty() {
+        return None;
+    }
+    Some(par_reduce(pool, range, sched, f64::NEG_INFINITY, map, f64::max))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_u64_is_exact_under_every_schedule() {
+        let pool = ThreadPool::new(3);
+        let n = 10_000usize;
+        let expect: u64 = (0..n as u64).sum();
+        for sched in Schedule::roster(n, 3) {
+            assert_eq!(
+                par_sum_u64(&pool, 0..n, sched, |i| i as u64),
+                expect,
+                "{}",
+                sched.name()
+            );
+        }
+    }
+
+    #[test]
+    fn sum_f64_matches_to_rounding() {
+        let pool = ThreadPool::new(4);
+        let n = 5000;
+        let expect: f64 = (0..n).map(|i| 1.0 / (1.0 + i as f64)).sum();
+        for sched in Schedule::roster(n, 4) {
+            let got = par_sum_f64(&pool, 0..n, sched, |i| 1.0 / (1.0 + i as f64));
+            assert!(((got - expect) / expect).abs() < 1e-12, "{}", sched.name());
+        }
+    }
+
+    #[test]
+    fn max_finds_the_peak() {
+        let pool = ThreadPool::new(2);
+        let got = par_max_f64(&pool, 0..1000, Schedule::hybrid(), |i| {
+            -((i as f64 - 700.0) * (i as f64 - 700.0))
+        });
+        assert_eq!(got, Some(0.0));
+    }
+
+    #[test]
+    fn max_of_empty_range_is_none() {
+        let pool = ThreadPool::new(2);
+        assert_eq!(par_max_f64(&pool, 9..9, Schedule::vanilla(), |_| 1.0), None);
+    }
+
+    #[test]
+    fn generic_reduce_with_vec_monoid() {
+        // Non-numeric monoid: concatenating sorted index sets.
+        let pool = ThreadPool::new(3);
+        let mut got = par_reduce(
+            &pool,
+            0..100,
+            Schedule::hybrid(),
+            Vec::new(),
+            |i| vec![i],
+            |mut a, mut b| {
+                a.append(&mut b);
+                a
+            },
+        );
+        got.sort_unstable();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,333 @@
+//! The unified scheduling API: pick a [`Schedule`], call [`par_for`].
+
+use std::ops::Range;
+
+use parloop_runtime::{current_worker_index, ThreadPool, WorkerToken};
+
+use crate::affinity::AffinityProbe;
+use crate::hybrid::{hybrid_for, hybrid_for_oversub, HybridStats};
+use crate::range::default_grain;
+use crate::sharing::{sharing_for, static_sharing_for, SharingPolicy};
+use crate::static_part::static_for;
+use crate::stealing::ws_for;
+
+/// A loop-scheduling policy — one per platform/scheme the paper compares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Schedule {
+    /// OpenMP `schedule(static)`: `P` fixed blocks, block `w` on worker `w`.
+    Static,
+    /// OpenMP `schedule(static, chunk)`: fixed chunks dealt round-robin —
+    /// deterministic (affinity-retaining) but interleaved, which spreads
+    /// monotonic imbalance.
+    StaticCyclic { chunk: usize },
+    /// FastFlow static: fixed blocks claimed through a shared counter.
+    StaticSharing,
+    /// Cilk `cilk_for` ("vanilla"): divide-and-conquer with work stealing.
+    /// `grain = None` uses the Cilk default `min(2048, N/8P)`.
+    DynamicStealing { grain: Option<usize> },
+    /// OpenMP `schedule(dynamic, chunk)` / FastFlow dynamic: fixed chunks
+    /// from a shared cursor.
+    WorkSharing { chunk: usize },
+    /// OpenMP `schedule(guided, min_chunk)`: decreasing chunks
+    /// `max(remaining/P, min_chunk)` from a shared cursor.
+    Guided { min_chunk: usize },
+    /// The paper's hybrid scheme: static earmarking + XOR claim heuristic +
+    /// work stealing. `grain = None` uses the Cilk default for the inner
+    /// per-partition loops; `oversub` multiplies the partition count
+    /// (`R = next_pow2(P · oversub)` — Theorem 5's general `R`; the
+    /// paper's default is 1).
+    Hybrid { grain: Option<usize>, oversub: usize },
+}
+
+impl Schedule {
+    /// The paper's `omp_static` configuration.
+    pub fn omp_static() -> Self {
+        Schedule::Static
+    }
+
+    /// OpenMP `schedule(static, chunk)` (cyclic distribution).
+    pub fn omp_static_chunked(chunk: usize) -> Self {
+        Schedule::StaticCyclic { chunk }
+    }
+
+    /// The paper's `omp_dynamic` configuration with an adjusted chunk
+    /// (`min(2048, N/8P)` is applied by the caller; pass it here).
+    pub fn omp_dynamic(chunk: usize) -> Self {
+        Schedule::WorkSharing { chunk }
+    }
+
+    /// The paper's `omp_guided` configuration.
+    pub fn omp_guided() -> Self {
+        Schedule::Guided { min_chunk: 1 }
+    }
+
+    /// FastFlow with static partitioning.
+    pub fn ff_static() -> Self {
+        Schedule::StaticSharing
+    }
+
+    /// FastFlow with dynamic partitioning and an adjusted chunk.
+    pub fn ff_dynamic(chunk: usize) -> Self {
+        Schedule::WorkSharing { chunk }
+    }
+
+    /// The paper's `vanilla` configuration (Cilk Plus work stealing).
+    pub fn vanilla() -> Self {
+        Schedule::DynamicStealing { grain: None }
+    }
+
+    /// The paper's `hybrid` configuration (`R = next_pow2(P)`).
+    pub fn hybrid() -> Self {
+        Schedule::Hybrid { grain: None, oversub: 1 }
+    }
+
+    /// The hybrid scheme with `R = next_pow2(P · factor)` partitions —
+    /// finer static pieces for better late-phase balancing at `O(R lg R)`
+    /// claim cost (the A3 ablation).
+    pub fn hybrid_oversub(factor: usize) -> Self {
+        Schedule::Hybrid { grain: None, oversub: factor.max(1) }
+    }
+
+    /// Short name used in tables and plots.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Schedule::Static => "omp_static",
+            Schedule::StaticCyclic { .. } => "omp_static_c",
+            Schedule::StaticSharing => "ff_static",
+            Schedule::DynamicStealing { .. } => "vanilla",
+            Schedule::WorkSharing { .. } => "omp_dynamic",
+            Schedule::Guided { .. } => "omp_guided",
+            Schedule::Hybrid { .. } => "hybrid",
+        }
+    }
+
+    /// The roster of schemes the paper's microbenchmark figures compare,
+    /// with the paper's chunk-size adjustment (`min(2048, N/8P)`) applied
+    /// to the chunked schemes.
+    pub fn roster(n: usize, p: usize) -> Vec<Schedule> {
+        let chunk = default_grain(n, p);
+        vec![
+            Schedule::hybrid(),
+            Schedule::omp_static(),
+            Schedule::omp_dynamic(chunk),
+            Schedule::omp_guided(),
+            Schedule::vanilla(),
+            Schedule::ff_static(),
+        ]
+    }
+}
+
+impl std::str::FromStr for Schedule {
+    type Err = String;
+
+    /// Parse a scheme by its paper name (`hybrid`, `omp_static`,
+    /// `omp_dynamic`, `omp_guided`, `vanilla`, `ff_static`,
+    /// `omp_static_c`); chunked schemes get sensible defaults
+    /// (override with the typed constructors).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "hybrid" => Ok(Schedule::hybrid()),
+            "omp_static" | "static" => Ok(Schedule::omp_static()),
+            "omp_dynamic" | "dynamic" => Ok(Schedule::omp_dynamic(64)),
+            "omp_guided" | "guided" => Ok(Schedule::omp_guided()),
+            "vanilla" | "cilk" => Ok(Schedule::vanilla()),
+            "ff_static" | "ff" => Ok(Schedule::ff_static()),
+            "omp_static_c" | "static_cyclic" => Ok(Schedule::omp_static_chunked(64)),
+            other => Err(format!(
+                "unknown schedule '{other}' (expected one of: hybrid, omp_static,                  omp_dynamic, omp_guided, vanilla, ff_static, omp_static_c)"
+            )),
+        }
+    }
+}
+
+/// Execute `body(i)` for each `i` in `range` under `sched` on `pool`,
+/// blocking until the loop completes. Panics in `body` are re-thrown.
+///
+/// ```
+/// use parloop_core::{par_for, Schedule};
+/// use parloop_runtime::ThreadPool;
+/// use std::sync::atomic::{AtomicU64, Ordering};
+///
+/// let pool = ThreadPool::new(4);
+/// let sum = AtomicU64::new(0);
+/// par_for(&pool, 0..1000, Schedule::hybrid(), |i| {
+///     sum.fetch_add(i as u64, Ordering::Relaxed);
+/// });
+/// assert_eq!(sum.load(Ordering::Relaxed), 499_500);
+/// ```
+pub fn par_for<F>(pool: &ThreadPool, range: Range<usize>, sched: Schedule, body: F)
+where
+    F: Fn(usize) + Sync,
+{
+    let n = range.len();
+    let p = pool.num_workers();
+    match sched {
+        Schedule::Static => static_for(pool, range, &body),
+        Schedule::StaticCyclic { chunk } => {
+            crate::static_part::static_cyclic_for(pool, range, chunk, &body)
+        }
+        Schedule::StaticSharing => static_sharing_for(pool, range, &body),
+        Schedule::WorkSharing { chunk } => {
+            sharing_for(pool, range, SharingPolicy::Fixed(chunk), &body)
+        }
+        Schedule::Guided { min_chunk } => {
+            sharing_for(pool, range, SharingPolicy::Guided { min_chunk }, &body)
+        }
+        Schedule::DynamicStealing { grain } => {
+            let grain = grain.unwrap_or_else(|| default_grain(n, p));
+            pool.install(|| ws_for(range, grain, &body));
+        }
+        Schedule::Hybrid { grain, oversub } => {
+            let grain = grain.unwrap_or_else(|| default_grain(n, p));
+            pool.install(|| {
+                let token = WorkerToken::current().expect("install puts us on a worker");
+                hybrid_for_oversub(token, range, grain, oversub, &body);
+            });
+        }
+    }
+}
+
+/// Like [`par_for`], but records which worker executed each iteration into
+/// `probe` (used for the Figure 2 affinity experiments).
+pub fn par_for_tracked<F>(
+    pool: &ThreadPool,
+    range: Range<usize>,
+    sched: Schedule,
+    probe: &AffinityProbe,
+    body: F,
+) where
+    F: Fn(usize) + Sync,
+{
+    par_for(pool, range, sched, |i| {
+        if let Some(w) = current_worker_index() {
+            probe.record(i, w);
+        }
+        body(i);
+    });
+}
+
+/// Run a hybrid loop and return its scheduling counters (tests, benches).
+pub fn hybrid_for_with_stats<F>(
+    pool: &ThreadPool,
+    range: Range<usize>,
+    grain: Option<usize>,
+    body: F,
+) -> HybridStats
+where
+    F: Fn(usize) + Sync,
+{
+    let n = range.len();
+    let p = pool.num_workers();
+    let grain = grain.unwrap_or_else(|| default_grain(n, p));
+    pool.install(|| {
+        let token = WorkerToken::current().expect("install puts us on a worker");
+        hybrid_for(token, range, grain, &body)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn all_schedules(n: usize, p: usize) -> Vec<Schedule> {
+        Schedule::roster(n, p)
+    }
+
+    #[test]
+    fn every_schedule_covers_exactly_once() {
+        let n = 2000;
+        for p in [1usize, 2, 4] {
+            let pool = ThreadPool::new(p);
+            for sched in all_schedules(n, p) {
+                let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+                par_for(&pool, 0..n, sched, |i| {
+                    hits[i].fetch_add(1, Ordering::Relaxed);
+                });
+                for (i, h) in hits.iter().enumerate() {
+                    assert_eq!(
+                        h.load(Ordering::Relaxed),
+                        1,
+                        "{} P={p}: iteration {i}",
+                        sched.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn schedules_compute_identical_reductions() {
+        let n = 1234;
+        let pool = ThreadPool::new(3);
+        let expect: usize = (0..n).map(|i| i * i).sum();
+        for sched in all_schedules(n, 3) {
+            let sum = AtomicUsize::new(0);
+            par_for(&pool, 0..n, sched, |i| {
+                sum.fetch_add(i * i, Ordering::Relaxed);
+            });
+            assert_eq!(sum.load(Ordering::Relaxed), expect, "{}", sched.name());
+        }
+    }
+
+    #[test]
+    fn tracked_records_owners() {
+        let pool = ThreadPool::new(2);
+        let probe = AffinityProbe::new(0..100);
+        par_for_tracked(&pool, 0..100, Schedule::hybrid(), &probe, |_| {});
+        let snap = probe.snapshot();
+        assert!(snap.iter().all(|&w| w != crate::affinity::UNRECORDED));
+        assert!(snap.iter().all(|&w| (w as usize) < 2));
+    }
+
+    #[test]
+    fn static_tracked_matches_static_owner() {
+        let pool = ThreadPool::new(4);
+        let n = 64;
+        let probe = AffinityProbe::new(0..n);
+        par_for_tracked(&pool, 0..n, Schedule::Static, &probe, |_| {});
+        for i in 0..n {
+            assert_eq!(probe.owner(i), Some(crate::static_part::static_owner(n, 4, i)));
+        }
+    }
+
+    #[test]
+    fn hybrid_stats_reported() {
+        let pool = ThreadPool::new(4);
+        let s = hybrid_for_with_stats(&pool, 0..1000, None, |_| {});
+        assert_eq!(s.partitions, 4);
+        assert!(s.adoptions <= 4);
+    }
+
+    #[test]
+    fn parse_round_trips_names() {
+        for sched in Schedule::roster(1000, 4) {
+            let parsed: Schedule = sched.name().parse().unwrap();
+            assert_eq!(parsed.name(), sched.name());
+        }
+        assert!("nonsense".parse::<Schedule>().is_err());
+        assert_eq!("static_cyclic".parse::<Schedule>().unwrap().name(), "omp_static_c");
+    }
+
+    #[test]
+    fn cyclic_static_covers_and_is_deterministic() {
+        let pool = ThreadPool::new(4);
+        let n = 500;
+        let sched = Schedule::omp_static_chunked(16);
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        par_for(&pool, 0..n, sched, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(Schedule::hybrid().name(), "hybrid");
+        assert_eq!(Schedule::vanilla().name(), "vanilla");
+        assert_eq!(Schedule::omp_static().name(), "omp_static");
+        assert_eq!(Schedule::omp_dynamic(8).name(), "omp_dynamic");
+        assert_eq!(Schedule::omp_guided().name(), "omp_guided");
+        assert_eq!(Schedule::ff_static().name(), "ff_static");
+    }
+}

@@ -1,0 +1,168 @@
+//! Static partitioning — the `omp_static` baseline.
+//!
+//! The iteration space is divided into `P` near-equal blocks, block `w`
+//! executed by worker `w`, always. The mapping is a pure function of
+//! `(N, P, w)`, so consecutive loops over the same index space place each
+//! iteration on the same worker — 100 % loop affinity by construction —
+//! at the price of zero load balancing: the slowest block gates the loop.
+
+use std::ops::Range;
+
+use parloop_runtime::ThreadPool;
+
+use crate::range::block_bounds;
+
+/// Execute `body` over `range` with OpenMP-style static partitioning.
+pub(crate) fn static_for(pool: &ThreadPool, range: Range<usize>, body: &(dyn Fn(usize) + Sync)) {
+    if range.is_empty() {
+        return;
+    }
+    let n = range.len();
+    let start = range.start;
+    let team = pool.num_workers();
+    pool.broadcast_all(|w| {
+        for i in block_bounds(n, team, w) {
+            body(start + i);
+        }
+    });
+}
+
+/// The worker that statically owns iteration `i` of a loop of `n`
+/// iterations on `p` workers (exposed for affinity analysis and tests).
+pub fn static_owner(n: usize, p: usize, i: usize) -> usize {
+    crate::range::block_of(n, p, i)
+}
+
+/// OpenMP `schedule(static, chunk)`: chunks are dealt *round-robin* to
+/// workers (chunk `c` to worker `c mod P`). Still fully deterministic —
+/// so it retains loop affinity like [`static_for`] — but interleaving
+/// spreads monotonic imbalance across the team.
+pub(crate) fn static_cyclic_for(
+    pool: &ThreadPool,
+    range: Range<usize>,
+    chunk: usize,
+    body: &(dyn Fn(usize) + Sync),
+) {
+    if range.is_empty() {
+        return;
+    }
+    let chunk = chunk.max(1);
+    let n = range.len();
+    let start = range.start;
+    let team = pool.num_workers();
+    let chunks = n.div_ceil(chunk);
+    pool.broadcast_all(|w| {
+        let mut c = w;
+        while c < chunks {
+            let lo = c * chunk;
+            let hi = (lo + chunk).min(n);
+            for i in lo..hi {
+                body(start + i);
+            }
+            c += team;
+        }
+    });
+}
+
+/// The worker owning iteration `i` under cyclic static scheduling.
+pub fn static_cyclic_owner(p: usize, chunk: usize, i: usize) -> usize {
+    (i / chunk.max(1)) % p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parloop_runtime::current_worker_index;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn covers_exactly_once() {
+        let pool = ThreadPool::new(4);
+        let n = 103;
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        static_for(&pool, 0..n, &|i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn iteration_lands_on_its_static_owner() {
+        let pool = ThreadPool::new(4);
+        let n = 64;
+        let owners: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(usize::MAX)).collect();
+        static_for(&pool, 0..n, &|i| {
+            owners[i].store(current_worker_index().unwrap(), Ordering::Relaxed);
+        });
+        for i in 0..n {
+            assert_eq!(owners[i].load(Ordering::Relaxed), static_owner(n, 4, i), "iteration {i}");
+        }
+    }
+
+    #[test]
+    fn deterministic_across_repeats() {
+        // The defining property: repeated loops map iterations identically.
+        let pool = ThreadPool::new(3);
+        let n = 50;
+        let mut maps = Vec::new();
+        for _ in 0..3 {
+            let owners: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+            static_for(&pool, 0..n, &|i| {
+                owners[i].store(current_worker_index().unwrap() + 1, Ordering::Relaxed);
+            });
+            maps.push(owners.iter().map(|o| o.load(Ordering::Relaxed)).collect::<Vec<_>>());
+        }
+        assert_eq!(maps[0], maps[1]);
+        assert_eq!(maps[1], maps[2]);
+    }
+
+    #[test]
+    fn cyclic_covers_exactly_once() {
+        let pool = ThreadPool::new(3);
+        let n = 101;
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        static_cyclic_for(&pool, 0..n, 7, &|i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn cyclic_iterations_land_on_round_robin_owner() {
+        let pool = ThreadPool::new(4);
+        let n = 64;
+        let chunk = 4;
+        let owners: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(usize::MAX)).collect();
+        static_cyclic_for(&pool, 0..n, chunk, &|i| {
+            owners[i].store(current_worker_index().unwrap(), Ordering::Relaxed);
+        });
+        for i in 0..n {
+            assert_eq!(
+                owners[i].load(Ordering::Relaxed),
+                static_cyclic_owner(4, chunk, i),
+                "iteration {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn cyclic_chunk_zero_treated_as_one() {
+        let pool = ThreadPool::new(2);
+        let count = AtomicUsize::new(0);
+        static_cyclic_for(&pool, 0..10, 0, &|_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn offset_range() {
+        let pool = ThreadPool::new(2);
+        let sum = AtomicUsize::new(0);
+        static_for(&pool, 100..110, &|i| {
+            assert!((100..110).contains(&i));
+            sum.fetch_add(i, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), (100..110).sum::<usize>());
+    }
+}

@@ -1,0 +1,77 @@
+//! Dynamic partitioning with work stealing — the `cilk_for` baseline
+//! ("vanilla" in the paper's plots) and the inner loop of every claimed
+//! hybrid partition.
+//!
+//! A loop is compiled to divide-and-conquer binary spawning: recursively
+//! `join` the two halves of the range until a chunk of at most `grain`
+//! iterations remains, which runs sequentially. With the Cilk default
+//! grain `min(2048, N/8P)` this yields span `Θ(lg N) + max_i T_∞(i)`.
+
+use std::ops::Range;
+
+use parloop_runtime::join;
+
+/// Execute `body(i)` for every `i` in `range` with binary splitting;
+/// sub-ranges above `grain` iterations are stealable.
+///
+/// Must run on a pool worker for actual parallelism; off-pool it degrades
+/// to a sequential loop (serial elision).
+pub fn ws_for(range: Range<usize>, grain: usize, body: &(dyn Fn(usize) + Sync)) {
+    let grain = grain.max(1);
+    if range.len() <= grain {
+        for i in range {
+            body(i);
+        }
+        return;
+    }
+    let mid = range.start + range.len() / 2;
+    let (lo, hi) = (range.start..mid, mid..range.end);
+    join(|| ws_for(lo, grain, body), || ws_for(hi, grain, body));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parloop_runtime::ThreadPool;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn covers_every_iteration_exactly_once() {
+        let pool = ThreadPool::new(4);
+        let n = 10_000;
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        pool.install(|| {
+            ws_for(0..n, 64, &|i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn empty_range_is_noop() {
+        let pool = ThreadPool::new(2);
+        pool.install(|| ws_for(5..5, 8, &|_| panic!("no iterations expected")));
+    }
+
+    #[test]
+    fn grain_zero_treated_as_one() {
+        let pool = ThreadPool::new(2);
+        let count = AtomicUsize::new(0);
+        pool.install(|| {
+            ws_for(0..17, 0, &|_| {
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 17);
+    }
+
+    #[test]
+    fn works_off_pool_sequentially() {
+        let count = AtomicUsize::new(0);
+        ws_for(0..100, 10, &|_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 100);
+    }
+}

@@ -1,0 +1,33 @@
+//! Small unsafe utilities shared by the loop executors.
+
+/// A raw-pointer wrapper asserting cross-thread transferability.
+///
+/// Used to hand borrows of the loop body (and other caller-stack state) to
+/// heap jobs whose completion is awaited before the borrow expires. Always
+/// access through [`SendPtr::get`] inside `move` closures so the whole
+/// (Send) struct is captured rather than the raw field (edition-2021
+/// precise capture would otherwise capture the non-Send pointer).
+pub(crate) struct SendPtr<T: ?Sized>(*const T);
+
+unsafe impl<T: ?Sized> Send for SendPtr<T> {}
+unsafe impl<T: ?Sized> Sync for SendPtr<T> {}
+
+impl<T: ?Sized> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T: ?Sized> Copy for SendPtr<T> {}
+
+impl<T: ?Sized> SendPtr<T> {
+    pub(crate) fn new(r: &T) -> Self {
+        SendPtr(r as *const T)
+    }
+
+    /// # Safety
+    /// The pointee must outlive every dereference; callers uphold this by
+    /// blocking on a latch that the last user of the pointer sets.
+    pub(crate) unsafe fn get<'a>(self) -> &'a T {
+        &*self.0
+    }
+}

@@ -1,0 +1,231 @@
+//! The paper's iterative microbenchmarks on the *threaded* runtime.
+//!
+//! Section V: "Each microbenchmark consists of an outer sequential loop
+//! with an inner parallel loop, where each parallel loop iteration
+//! operates on an array in strides of 13 modulo the size of the array
+//! (which prevents the prefetcher from prefetching) … Each parallel
+//! iteration in the balanced accesses the same amount of data, whereas the
+//! parallel iterations in unbalanced access variable amounts. The arrays
+//! accessed by different parallel iterations do not overlap in memory."
+//!
+//! On this 1-core host the timing curves come from `parloop-sim`; this
+//! crate exists so the *real* scheduler runs the real workload — for
+//! correctness tests, affinity measurements (Figure 2's metric on live
+//! threads), and host-local Criterion overhead benches.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use parloop_core::{par_for, par_for_tracked, AffinityProbe, ConsecutiveAffinity, Schedule};
+use parloop_runtime::ThreadPool;
+
+/// Parameters of a threaded microbenchmark instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MicroParams {
+    /// Total array size in bytes (8-byte elements).
+    pub working_set: usize,
+    /// Parallel iterations per inner loop.
+    pub iterations: usize,
+    /// Passes each iteration makes over its block.
+    pub passes: u32,
+    /// `true` for equal blocks, `false` for a 7:1 linear ramp.
+    pub balanced: bool,
+}
+
+impl MicroParams {
+    /// A small instance suitable for tests on modest hosts.
+    pub fn small(balanced: bool) -> Self {
+        MicroParams { working_set: 1 << 20, iterations: 128, passes: 1, balanced }
+    }
+}
+
+/// Split `total` elements into `n` ramped blocks (`ramp` = max/min size).
+fn ramped_blocks(total: usize, n: usize, ramp: f64) -> Vec<(usize, usize)> {
+    assert!(n > 0 && ramp >= 1.0);
+    let weights: Vec<f64> = (0..n)
+        .map(|i| if n == 1 { 1.0 } else { 1.0 + (ramp - 1.0) * i as f64 / (n - 1) as f64 })
+        .collect();
+    let wsum: f64 = weights.iter().sum();
+    let mut blocks = Vec::with_capacity(n);
+    let mut start = 0usize;
+    for (i, w) in weights.iter().enumerate() {
+        let len = if i == n - 1 {
+            total - start
+        } else {
+            ((total as f64) * w / wsum).round() as usize
+        };
+        blocks.push((start, len));
+        start += len;
+    }
+    debug_assert_eq!(start, total);
+    blocks
+}
+
+/// One microbenchmark instance: a shared array divided into disjoint
+/// per-iteration blocks.
+pub struct IterativeMicro {
+    data: Vec<AtomicU64>,
+    blocks: Vec<(usize, usize)>,
+    passes: u32,
+}
+
+impl IterativeMicro {
+    pub fn new(params: MicroParams) -> Self {
+        let total_elems = params.working_set / 8;
+        let ramp = if params.balanced { 1.0 } else { 7.0 };
+        IterativeMicro {
+            data: (0..total_elems).map(|_| AtomicU64::new(0)).collect(),
+            blocks: ramped_blocks(total_elems, params.iterations, ramp),
+            passes: params.passes,
+        }
+    }
+
+    /// Number of parallel iterations per inner loop.
+    pub fn iterations(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// The paper's kernel for one parallel iteration: stride-13 walk over
+    /// the iteration's private block, read-modify-write per element.
+    #[inline]
+    pub fn iteration_body(&self, i: usize) {
+        let (start, len) = self.blocks[i];
+        if len == 0 {
+            return;
+        }
+        for _ in 0..self.passes {
+            let mut idx = 0usize;
+            for _ in 0..len {
+                idx = (idx + 13) % len;
+                self.data[start + idx].fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Run one inner parallel loop under `sched`.
+    pub fn run_phase(&self, pool: &ThreadPool, sched: Schedule) {
+        par_for(pool, 0..self.iterations(), sched, |i| self.iteration_body(i));
+    }
+
+    /// Run `outer` phases, returning wall-clock time.
+    pub fn run_phases(&self, pool: &ThreadPool, sched: Schedule, outer: usize) -> Duration {
+        let t0 = Instant::now();
+        for _ in 0..outer {
+            self.run_phase(pool, sched);
+        }
+        t0.elapsed()
+    }
+
+    /// Run `outer` phases recording per-iteration worker placement;
+    /// returns the consecutive-loop affinity fractions.
+    pub fn run_phases_tracked(
+        &self,
+        pool: &ThreadPool,
+        sched: Schedule,
+        outer: usize,
+    ) -> ConsecutiveAffinity {
+        let probe = AffinityProbe::new(0..self.iterations());
+        let mut affinity = ConsecutiveAffinity::new();
+        for _ in 0..outer {
+            probe.reset();
+            par_for_tracked(pool, 0..self.iterations(), sched, &probe, |i| {
+                self.iteration_body(i)
+            });
+            affinity.observe(probe.snapshot());
+        }
+        affinity
+    }
+
+    /// Sum of all elements — equals `phases × passes × elements` when every
+    /// iteration ran exactly once per phase.
+    pub fn checksum(&self) -> u64 {
+        self.data.iter().map(|v| v.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Total elements in the array.
+    pub fn elements(&self) -> usize {
+        self.data.len()
+    }
+}
+
+/// Run the sequential version (no parallel constructs) for `outer` phases —
+/// the `T_s` baseline of the paper's work-efficiency column.
+pub fn run_sequential(micro: &IterativeMicro, outer: usize) -> Duration {
+    let t0 = Instant::now();
+    for _ in 0..outer {
+        for i in 0..micro.iterations() {
+            micro.iteration_body(i);
+        }
+    }
+    t0.elapsed()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ramped_blocks_cover_everything() {
+        for (total, n, ramp) in [(1000, 7, 1.0), (1000, 7, 7.0), (128, 128, 3.0)] {
+            let blocks = ramped_blocks(total, n, ramp);
+            let mut expect = 0;
+            for &(s, l) in &blocks {
+                assert_eq!(s, expect);
+                expect += l;
+            }
+            assert_eq!(expect, total);
+        }
+    }
+
+    #[test]
+    fn checksum_counts_every_element_touch() {
+        let m = IterativeMicro::new(MicroParams {
+            working_set: 64 << 10,
+            iterations: 16,
+            passes: 2,
+            balanced: true,
+        });
+        let pool = ThreadPool::new(2);
+        m.run_phase(&pool, Schedule::hybrid());
+        // The stride-13 walk makes exactly `len` touches per pass.
+        assert_eq!(m.checksum(), (m.elements() as u64) * 2);
+    }
+
+    #[test]
+    fn all_schedules_agree_on_checksum() {
+        let pool = ThreadPool::new(3);
+        for balanced in [true, false] {
+            let params =
+                MicroParams { working_set: 128 << 10, iterations: 32, passes: 1, balanced };
+            let expect = {
+                let m = IterativeMicro::new(params);
+                run_sequential(&m, 2);
+                m.checksum()
+            };
+            for sched in Schedule::roster(32, 3) {
+                let m = IterativeMicro::new(params);
+                m.run_phases(&pool, sched, 2);
+                assert_eq!(m.checksum(), expect, "{} balanced={balanced}", sched.name());
+            }
+        }
+    }
+
+    #[test]
+    fn static_affinity_is_one_on_live_threads() {
+        let pool = ThreadPool::new(4);
+        let m = IterativeMicro::new(MicroParams::small(true));
+        let aff = m.run_phases_tracked(&pool, Schedule::omp_static(), 4);
+        for &f in aff.fractions() {
+            assert!((f - 1.0).abs() < 1e-12, "static affinity {f}");
+        }
+    }
+
+    #[test]
+    fn tracked_run_still_correct() {
+        let pool = ThreadPool::new(4);
+        let m = IterativeMicro::new(MicroParams::small(false));
+        let aff = m.run_phases_tracked(&pool, Schedule::hybrid(), 3);
+        assert_eq!(aff.fractions().len(), 2);
+        assert_eq!(m.checksum(), m.elements() as u64 * 3);
+    }
+}

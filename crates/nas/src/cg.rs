@@ -1,0 +1,352 @@
+//! CG — conjugate gradient with a sparse, symmetric positive-definite
+//! matrix.
+//!
+//! Structure follows NPB CG: an outer loop of `niter` steps, each running
+//! 25 CG iterations to approximately solve `A z = x`, then computing
+//! `ζ = shift + 1 / (x·z)` and renormalizing `x ← z/‖z‖`. The parallel
+//! loops are the sparse mat-vec (rows have irregular lengths — CG's mild
+//! load imbalance) and the vector reductions/updates.
+//!
+//! **Substitution note (documented in DESIGN.md):** NPB's `makea` matrix
+//! generator is replaced by a synthetic generator producing a random
+//! sparse symmetric diagonally-dominant (hence SPD) matrix with the same
+//! knobs (`n`, nonzeros per row). The paper's scheduling results depend on
+//! the loop structure and irregularity, not on `makea`'s exact spectrum.
+
+use parloop_core::{par_for, Schedule};
+use parloop_runtime::ThreadPool;
+
+use crate::randdp::{randlc, A as LCG_A, SEED};
+use crate::util::{par_sum, UnsafeSlice};
+
+/// How off-diagonal nonzeros are distributed across rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RowProfile {
+    /// Every row targets the same `nonzer` off-diagonals.
+    Uniform,
+    /// Row densities vary ~5x (geometric-flavored, like NPB `makea`'s
+    /// uneven rows) — the source of CG's mild load imbalance.
+    Geometric,
+}
+
+/// CG problem parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CgParams {
+    /// Matrix dimension.
+    pub n: usize,
+    /// Target off-diagonal nonzeros per row (before symmetrization).
+    pub nonzer: usize,
+    /// Outer iterations.
+    pub niter: usize,
+    /// Inner CG iterations per outer step (NPB uses 25).
+    pub cg_iters: usize,
+    /// Eigenvalue shift added to ζ.
+    pub shift: f64,
+    /// Row-density profile.
+    pub rows: RowProfile,
+}
+
+impl CgParams {
+    /// NAS class-S-shaped instance (n = 1400, nonzer = 7, 15 outer steps).
+    pub fn class_s() -> Self {
+        CgParams {
+            n: 1400,
+            nonzer: 7,
+            niter: 15,
+            cg_iters: 25,
+            shift: 10.0,
+            rows: RowProfile::Geometric,
+        }
+    }
+
+    /// A miniature instance for fast tests.
+    pub fn mini() -> Self {
+        CgParams { n: 256, nonzer: 5, niter: 4, cg_iters: 15, shift: 10.0, rows: RowProfile::Uniform }
+    }
+
+    /// The same instance with the given row profile.
+    pub fn with_rows(mut self, rows: RowProfile) -> Self {
+        self.rows = rows;
+        self
+    }
+}
+
+/// Compressed-sparse-row matrix.
+#[derive(Debug, Clone)]
+pub struct SparseMatrix {
+    pub n: usize,
+    pub row_ptr: Vec<usize>,
+    pub col: Vec<usize>,
+    pub val: Vec<f64>,
+}
+
+impl SparseMatrix {
+    /// Number of stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.val.len()
+    }
+
+    /// `y[i] = Σ_j A[i,j]·x[j]` for one row.
+    #[inline]
+    pub fn row_dot(&self, i: usize, x: &[f64]) -> f64 {
+        let mut s = 0.0;
+        for k in self.row_ptr[i]..self.row_ptr[i + 1] {
+            s += self.val[k] * x[self.col[k]];
+        }
+        s
+    }
+}
+
+/// Build a random sparse symmetric diagonally-dominant matrix.
+#[allow(clippy::needless_range_loop)] // rows[i] and rows[j] both mutate
+pub fn make_matrix(params: CgParams) -> SparseMatrix {
+    let n = params.n;
+    let mut x = SEED;
+    // Collect symmetric off-diagonal triplets into per-row maps.
+    let mut rows: Vec<std::collections::BTreeMap<usize, f64>> =
+        (0..n).map(|_| std::collections::BTreeMap::new()).collect();
+    for i in 0..n {
+        let row_nonzer = match params.rows {
+            RowProfile::Uniform => params.nonzer,
+            RowProfile::Geometric => {
+                // Densities spanning ~[nonzer/2, 5·nonzer/2], skewed low.
+                let u = randlc(&mut x, LCG_A);
+                let scale = 0.5 + 2.0 * u * u;
+                ((params.nonzer as f64 * scale).round() as usize).max(1)
+            }
+        };
+        for _ in 0..row_nonzer {
+            let j = (randlc(&mut x, LCG_A) * n as f64) as usize % n;
+            if j == i {
+                continue;
+            }
+            let v = 2.0 * randlc(&mut x, LCG_A) - 1.0; // in (-1, 1)
+            // Indexed access on purpose: both rows[i] and rows[j] mutate.
+            *rows[i].entry(j).or_insert(0.0) += v;
+            *rows[j].entry(i).or_insert(0.0) += v;
+        }
+    }
+    // Diagonal dominance: d_i = 1 + Σ_j |a_ij| ensures SPD.
+    let mut row_ptr = Vec::with_capacity(n + 1);
+    let mut col = Vec::new();
+    let mut val = Vec::new();
+    row_ptr.push(0);
+    for i in 0..n {
+        let dominance: f64 = 1.0 + rows[i].values().map(|v| v.abs()).sum::<f64>();
+        let mut inserted_diag = false;
+        for (&j, &v) in rows[i].iter() {
+            if j > i && !inserted_diag {
+                col.push(i);
+                val.push(dominance);
+                inserted_diag = true;
+            }
+            col.push(j);
+            val.push(v);
+        }
+        if !inserted_diag {
+            col.push(i);
+            val.push(dominance);
+        }
+        row_ptr.push(col.len());
+    }
+    SparseMatrix { n, row_ptr, col, val }
+}
+
+/// One CG solve `A z ≈ x` (`cg_iters` steps); returns `(z, ‖r‖)`.
+fn conj_grad(
+    pool: &ThreadPool,
+    a: &SparseMatrix,
+    x: &[f64],
+    cg_iters: usize,
+    sched: Schedule,
+) -> (Vec<f64>, f64) {
+    let n = a.n;
+    let mut z = vec![0.0; n];
+    let mut r = x.to_vec();
+    let mut p = x.to_vec();
+    let mut q = vec![0.0; n];
+    let mut rho = par_sum(pool, 0..n, sched, |i| r[i] * r[i]);
+
+    for _ in 0..cg_iters {
+        {
+            let qs = UnsafeSlice::new(&mut q);
+            let p_ref = &p;
+            par_for(pool, 0..n, sched, |i| unsafe {
+                qs.write(i, a.row_dot(i, p_ref));
+            });
+        }
+        let pq = par_sum(pool, 0..n, sched, |i| p[i] * q[i]);
+        let alpha = rho / pq;
+        {
+            let zs = UnsafeSlice::new(&mut z);
+            let rs = UnsafeSlice::new(&mut r);
+            let (p_ref, q_ref) = (&p, &q);
+            par_for(pool, 0..n, sched, |i| unsafe {
+                zs.write(i, zs.read(i) + alpha * p_ref[i]);
+                rs.write(i, rs.read(i) - alpha * q_ref[i]);
+            });
+        }
+        let rho_new = par_sum(pool, 0..n, sched, |i| r[i] * r[i]);
+        let beta = rho_new / rho;
+        rho = rho_new;
+        {
+            let ps = UnsafeSlice::new(&mut p);
+            let r_ref = &r;
+            par_for(pool, 0..n, sched, |i| unsafe {
+                ps.write(i, r_ref[i] + beta * ps.read(i));
+            });
+        }
+    }
+
+    // Residual norm ‖x − A z‖.
+    let z_ref = &z;
+    let rnorm = par_sum(pool, 0..n, sched, |i| {
+        let d = x[i] - a.row_dot(i, z_ref);
+        d * d
+    })
+    .sqrt();
+    (z, rnorm)
+}
+
+/// CG benchmark output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CgResult {
+    /// Final ζ estimate.
+    pub zeta: f64,
+    /// Residual norm of the last solve.
+    pub rnorm: f64,
+}
+
+/// Run the full CG benchmark under `sched`.
+pub fn cg(pool: &ThreadPool, a: &SparseMatrix, params: CgParams, sched: Schedule) -> CgResult {
+    let n = a.n;
+    let mut x = vec![1.0; n];
+    let mut zeta = 0.0;
+    let mut rnorm = 0.0;
+    for _ in 0..params.niter {
+        let (z, rn) = conj_grad(pool, a, &x, params.cg_iters, sched);
+        rnorm = rn;
+        let xz = par_sum(pool, 0..n, sched, |i| x[i] * z[i]);
+        zeta = params.shift + 1.0 / xz;
+        let znorm = par_sum(pool, 0..n, sched, |i| z[i] * z[i]).sqrt();
+        let zs = UnsafeSlice::new(&mut x);
+        let z_ref = &z;
+        par_for(pool, 0..n, sched, |i| unsafe {
+            zs.write(i, z_ref[i] / znorm);
+        });
+    }
+    CgResult { zeta, rnorm }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_is_symmetric() {
+        let a = make_matrix(CgParams::mini());
+        // Collect (i,j,v) and check transpose presence.
+        let mut map = std::collections::HashMap::new();
+        for i in 0..a.n {
+            for k in a.row_ptr[i]..a.row_ptr[i + 1] {
+                map.insert((i, a.col[k]), a.val[k]);
+            }
+        }
+        for (&(i, j), &v) in &map {
+            let vt = map.get(&(j, i)).copied().unwrap_or(0.0);
+            assert!((v - vt).abs() < 1e-12, "A[{i},{j}]={v} but A[{j},{i}]={vt}");
+        }
+    }
+
+    #[test]
+    fn matrix_is_positive_definite_on_samples() {
+        let a = make_matrix(CgParams::mini());
+        let mut x = 42.0_f64;
+        for _ in 0..5 {
+            let v: Vec<f64> =
+                (0..a.n).map(|_| 2.0 * randlc(&mut x, LCG_A) - 1.0).collect();
+            let vav: f64 = (0..a.n).map(|i| v[i] * a.row_dot(i, &v)).sum();
+            assert!(vav > 0.0, "v·Av = {vav} not positive");
+        }
+    }
+
+    #[test]
+    fn cg_converges() {
+        let pool = ThreadPool::new(2);
+        let params = CgParams::mini();
+        let a = make_matrix(params);
+        let r = cg(&pool, &a, params, Schedule::hybrid());
+        // Diagonally dominant matrices are well-conditioned: the residual
+        // after 15 CG steps must be tiny relative to ‖x‖ = sqrt(n) = 16.
+        assert!(r.rnorm < 1e-5, "rnorm {}", r.rnorm);
+        assert!(r.zeta > params.shift, "zeta {} not above shift", r.zeta);
+        assert!(r.zeta.is_finite());
+    }
+
+    #[test]
+    fn all_schedules_agree_on_zeta() {
+        let pool = ThreadPool::new(3);
+        let params = CgParams::mini();
+        let a = make_matrix(params);
+        let reference = cg(&pool, &a, params, Schedule::omp_static());
+        for sched in Schedule::roster(params.n, 3) {
+            let r = cg(&pool, &a, params, sched);
+            let rel = ((r.zeta - reference.zeta) / reference.zeta).abs();
+            assert!(rel < 1e-10, "{}: zeta {} vs {}", sched.name(), r.zeta, reference.zeta);
+        }
+    }
+
+    #[test]
+    fn geometric_rows_are_irregular_but_still_spd() {
+        let params = CgParams::mini().with_rows(RowProfile::Geometric);
+        let a = make_matrix(params);
+        // Row lengths must actually vary.
+        let lens: Vec<usize> =
+            (0..a.n).map(|i| a.row_ptr[i + 1] - a.row_ptr[i]).collect();
+        let min = lens.iter().min().unwrap();
+        let max = lens.iter().max().unwrap();
+        assert!(max > &(min + 3), "rows too uniform: min {min} max {max}");
+        // Still SPD (diagonal dominance holds regardless of profile).
+        let mut x = 7.0_f64;
+        let v: Vec<f64> = (0..a.n).map(|_| 2.0 * randlc(&mut x, LCG_A) - 1.0).collect();
+        let vav: f64 = (0..a.n).map(|i| v[i] * a.row_dot(i, &v)).sum();
+        assert!(vav > 0.0);
+    }
+
+    #[test]
+    fn geometric_cg_still_converges_under_all_schedules() {
+        let pool = ThreadPool::new(3);
+        let params = CgParams::mini().with_rows(RowProfile::Geometric);
+        let a = make_matrix(params);
+        let reference = cg(&pool, &a, params, Schedule::omp_static());
+        for sched in [Schedule::hybrid(), Schedule::vanilla()] {
+            let r = cg(&pool, &a, params, sched);
+            assert!(((r.zeta - reference.zeta) / reference.zeta).abs() < 1e-10);
+            assert!(r.rnorm < 1e-5);
+        }
+    }
+
+    #[test]
+    fn row_dot_matches_dense_product() {
+        let a = make_matrix(CgParams {
+            n: 32,
+            nonzer: 3,
+            niter: 1,
+            cg_iters: 1,
+            shift: 0.0,
+            rows: RowProfile::Uniform,
+        });
+        let x: Vec<f64> = (0..32).map(|i| i as f64 * 0.5).collect();
+        // Densify.
+        let mut dense = vec![vec![0.0; 32]; 32];
+        for i in 0..32 {
+            for k in a.row_ptr[i]..a.row_ptr[i + 1] {
+                dense[i][a.col[k]] += a.val[k];
+            }
+        }
+        for i in 0..32 {
+            let want: f64 = (0..32).map(|j| dense[i][j] * x[j]).sum();
+            assert!((a.row_dot(i, &x) - want).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! EP — the NAS "embarrassingly parallel" kernel.
+//!
+//! Generates `2^m` pairs of uniform deviates, maps each accepted pair
+//! through the Marsaglia polar method to a pair of Gaussian deviates,
+//! and tallies the sums `sx`, `sy` plus the annulus counts `q[0..10]`
+//! (pairs binned by `max(|X|, |Y|)`).
+//!
+//! The parallel loop runs over *blocks* of `2^nk_log` pairs; each block
+//! seeds its generator independently via the LCG jump-ahead, so any
+//! scheduler may execute blocks in any order and on any worker without
+//! changing the result (up to floating-point summation order of the
+//! block partials).
+
+use parloop_core::Schedule;
+use parloop_runtime::ThreadPool;
+
+use crate::randdp::{power_mod, randlc, A, SEED};
+use crate::util::par_sum;
+
+/// EP problem size: `2^m` pairs processed in blocks of `2^nk_log`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpParams {
+    pub m: u32,
+    pub nk_log: u32,
+}
+
+impl EpParams {
+    /// NAS class S (2^24 pairs).
+    pub fn class_s() -> Self {
+        EpParams { m: 24, nk_log: 16 }
+    }
+
+    /// A miniature size for fast tests (2^18 pairs in 256 blocks).
+    pub fn mini() -> Self {
+        EpParams { m: 18, nk_log: 10 }
+    }
+
+    /// Number of parallel blocks.
+    pub fn blocks(&self) -> usize {
+        assert!(self.m >= self.nk_log);
+        1usize << (self.m - self.nk_log)
+    }
+
+    /// Pairs per block.
+    pub fn pairs_per_block(&self) -> usize {
+        1usize << self.nk_log
+    }
+}
+
+/// EP result: Gaussian sums and annulus counts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpResult {
+    pub sx: f64,
+    pub sy: f64,
+    pub q: [u64; 10],
+    /// Accepted pairs (= Σ q).
+    pub accepted: u64,
+}
+
+/// Per-block tally, merged across the parallel loop.
+fn block_tally(params: EpParams, block: usize) -> (f64, f64, [u64; 10]) {
+    let pairs = params.pairs_per_block();
+    // Jump the seed past the 2·pairs deviates of all preceding blocks.
+    let jump = power_mod(A, (block as u64) * 2 * pairs as u64);
+    let mut x = SEED;
+    randlc(&mut x, jump);
+
+    let (mut sx, mut sy) = (0.0_f64, 0.0_f64);
+    let mut q = [0u64; 10];
+    for _ in 0..pairs {
+        let u1 = 2.0 * randlc(&mut x, A) - 1.0;
+        let u2 = 2.0 * randlc(&mut x, A) - 1.0;
+        let t = u1 * u1 + u2 * u2;
+        if t <= 1.0 && t > 0.0 {
+            let f = (-2.0 * t.ln() / t).sqrt();
+            let gx = u1 * f;
+            let gy = u2 * f;
+            sx += gx;
+            sy += gy;
+            let bin = gx.abs().max(gy.abs()) as usize;
+            q[bin.min(9)] += 1;
+        }
+    }
+    (sx, sy, q)
+}
+
+/// Run EP with the parallel block loop scheduled by `sched`.
+pub fn ep(pool: &ThreadPool, params: EpParams, sched: Schedule) -> EpResult {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    let blocks = params.blocks();
+    let q_tot: Vec<AtomicU64> = (0..10).map(|_| AtomicU64::new(0)).collect();
+    let q_ref = &q_tot;
+
+    // sx and sy come from two reduction passes sharing nothing; EP's cost
+    // is dominated by deviate generation, so we fold the tally into one
+    // pass and reduce sx, capturing sy and q via atomics.
+    let sy_bits = AtomicU64::new(0.0_f64.to_bits());
+    let sy_ref = &sy_bits;
+
+    let sx = par_sum(pool, 0..blocks, sched, |b| {
+        let (bsx, bsy, bq) = block_tally(params, b);
+        for (slot, &c) in q_ref.iter().zip(&bq) {
+            slot.fetch_add(c, Ordering::Relaxed);
+        }
+        // Atomic f64 add via CAS (low contention: once per block).
+        let mut cur = sy_ref.load(Ordering::Relaxed);
+        loop {
+            let new = (f64::from_bits(cur) + bsy).to_bits();
+            match sy_ref.compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => break,
+                Err(c) => cur = c,
+            }
+        }
+        bsx
+    });
+
+    let mut q = [0u64; 10];
+    for (dst, src) in q.iter_mut().zip(&q_tot) {
+        *dst = src.load(std::sync::atomic::Ordering::Relaxed);
+    }
+    EpResult { sx, sy: f64::from_bits(sy_bits.load(std::sync::atomic::Ordering::Relaxed)), q, accepted: q.iter().sum() }
+}
+
+/// Sequential reference (block order, deterministic summation).
+pub fn ep_sequential(params: EpParams) -> EpResult {
+    let (mut sx, mut sy) = (0.0, 0.0);
+    let mut q = [0u64; 10];
+    for b in 0..params.blocks() {
+        let (bsx, bsy, bq) = block_tally(params, b);
+        sx += bsx;
+        sy += bsy;
+        for (dst, c) in q.iter_mut().zip(&bq) {
+            *dst += c;
+        }
+    }
+    EpResult { sx, sy, q, accepted: q.iter().sum() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acceptance_rate_near_pi_over_4() {
+        let params = EpParams::mini();
+        let r = ep_sequential(params);
+        let total = (params.blocks() * params.pairs_per_block()) as f64;
+        let rate = r.accepted as f64 / total;
+        assert!((rate - std::f64::consts::FRAC_PI_4).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn gaussian_sums_are_small_relative_to_count() {
+        // Mean of a standard Gaussian is 0; |sum| ≈ O(sqrt(count)).
+        let r = ep_sequential(EpParams::mini());
+        let bound = 20.0 * (r.accepted as f64).sqrt();
+        assert!(r.sx.abs() < bound, "sx {}", r.sx);
+        assert!(r.sy.abs() < bound, "sy {}", r.sy);
+    }
+
+    #[test]
+    fn annulus_counts_decay() {
+        let r = ep_sequential(EpParams::mini());
+        // Nearly all mass is within |X| < 4.
+        let head: u64 = r.q[..4].iter().sum();
+        assert!(head as f64 / r.accepted as f64 > 0.999);
+        assert!(r.q[0] > r.q[1] && r.q[1] > r.q[2]);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_under_every_schedule() {
+        let pool = ThreadPool::new(3);
+        let params = EpParams::mini();
+        let reference = ep_sequential(params);
+        for sched in Schedule::roster(params.blocks(), 3) {
+            let r = ep(&pool, params, sched);
+            assert_eq!(r.q, reference.q, "{}: annulus counts differ", sched.name());
+            assert!(
+                (r.sx - reference.sx).abs() < 1e-9,
+                "{}: sx {} vs {}",
+                sched.name(),
+                r.sx,
+                reference.sx
+            );
+            assert!(
+                (r.sy - reference.sy).abs() < 1e-9,
+                "{}: sy {} vs {}",
+                sched.name(),
+                r.sy,
+                reference.sy
+            );
+        }
+    }
+
+    #[test]
+    fn blocks_are_independent_of_partitioning() {
+        // Same total pairs, different block size => same tallies.
+        let a = ep_sequential(EpParams { m: 16, nk_log: 8 });
+        let b = ep_sequential(EpParams { m: 16, nk_log: 10 });
+        assert_eq!(a.q, b.q);
+        assert!((a.sx - b.sx).abs() < 1e-9);
+        assert!((a.sy - b.sy).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,144 @@
+//! The NAS double-precision linear congruential generator (`randdp`).
+//!
+//! `x_{k+1} = a · x_k mod 2^46` with `a = 5^13`, computed exactly in
+//! double precision by splitting operands into 23-bit halves (the NPB
+//! reference scheme). The generator supports O(log n) jump-ahead via
+//! [`power_mod`], which is what lets EP's pair blocks be generated
+//! independently in parallel.
+
+/// 2^-23 and friends.
+const R23: f64 = 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5
+    * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5;
+const T23: f64 = 8_388_608.0; // 2^23
+const R46: f64 = R23 * R23;
+const T46: f64 = T23 * T23;
+
+/// The NPB multiplier `a = 5^13`.
+pub const A: f64 = 1_220_703_125.0;
+
+/// Default NPB seed.
+pub const SEED: f64 = 271_828_183.0;
+
+/// Advance `x` one LCG step with multiplier `a`; returns the uniform
+/// deviate `x · 2^-46` in `(0, 1)`.
+pub fn randlc(x: &mut f64, a: f64) -> f64 {
+    // Break a and x into 23-bit halves: a = 2^23·a1 + a2, x = 2^23·x1 + x2.
+    let t1 = R23 * a;
+    let a1 = t1.trunc();
+    let a2 = a - T23 * a1;
+
+    let t1 = R23 * *x;
+    let x1 = t1.trunc();
+    let x2 = *x - T23 * x1;
+
+    // t1 = a1·x2 + a2·x1 (mod 2^23); then z = t1 (mod 2^23);
+    // t3 = 2^23·z + a2·x2 (mod 2^46).
+    let t1 = a1 * x2 + a2 * x1;
+    let t2 = (R23 * t1).trunc();
+    let z = t1 - T23 * t2;
+    let t3 = T23 * z + a2 * x2;
+    let t4 = (R46 * t3).trunc();
+    *x = t3 - T46 * t4;
+
+    R46 * *x
+}
+
+/// Fill `out` with uniform deviates, advancing `x` by `out.len()` steps.
+pub fn vranlc(x: &mut f64, a: f64, out: &mut [f64]) {
+    for slot in out {
+        *slot = randlc(x, a);
+    }
+}
+
+/// Compute `a^n mod 2^46` in the LCG's arithmetic (square-and-multiply) —
+/// the jump-ahead multiplier for skipping `n` steps at once.
+pub fn power_mod(a: f64, mut n: u64) -> f64 {
+    let mut result = 1.0_f64;
+    let mut base = a;
+    while n > 0 {
+        if n & 1 == 1 {
+            // result = result * base mod 2^46: randlc(x, a) sets x = a·x.
+            let mut x = result;
+            randlc(&mut x, base);
+            result = x;
+        }
+        let mut sq = base;
+        randlc(&mut sq, base);
+        base = sq;
+        n >>= 1;
+    }
+    result
+}
+
+/// Seed the generator as if `steps` values had already been drawn from
+/// `seed` with multiplier [`A`].
+pub fn seed_after(seed: f64, steps: u64) -> f64 {
+    let mult = power_mod(A, steps);
+    let mut x = seed;
+    randlc(&mut x, mult);
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deviates_in_unit_interval() {
+        let mut x = SEED;
+        for _ in 0..10_000 {
+            let r = randlc(&mut x, A);
+            assert!(r > 0.0 && r < 1.0, "deviate {r} out of range");
+        }
+    }
+
+    #[test]
+    fn state_stays_integral_and_bounded() {
+        let mut x = SEED;
+        for _ in 0..1000 {
+            randlc(&mut x, A);
+            assert_eq!(x, x.trunc(), "state must remain an integer");
+            assert!(x < T46, "state {x} exceeds 2^46");
+            assert!(x >= 0.0);
+        }
+    }
+
+    #[test]
+    fn jump_ahead_matches_stepping() {
+        for steps in [1u64, 2, 7, 100, 12345] {
+            let mut x = SEED;
+            for _ in 0..steps {
+                randlc(&mut x, A);
+            }
+            let jumped = seed_after(SEED, steps);
+            assert_eq!(x, jumped, "jump-ahead of {steps} diverged");
+        }
+    }
+
+    #[test]
+    fn vranlc_equals_repeated_randlc() {
+        let mut x1 = SEED;
+        let mut buf = vec![0.0; 100];
+        vranlc(&mut x1, A, &mut buf);
+        let mut x2 = SEED;
+        for (i, &v) in buf.iter().enumerate() {
+            let r = randlc(&mut x2, A);
+            assert_eq!(r, v, "index {i}");
+        }
+        assert_eq!(x1, x2);
+    }
+
+    #[test]
+    fn power_mod_identity_and_one_step() {
+        assert_eq!(power_mod(A, 0), 1.0);
+        assert_eq!(power_mod(A, 1), A);
+    }
+
+    #[test]
+    fn mean_is_about_half() {
+        let mut x = SEED;
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| randlc(&mut x, A)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+}

@@ -1,0 +1,208 @@
+//! Latches: one-shot (or counted) completion signals.
+//!
+//! A latch is how a waiting task learns that work it forked has finished.
+//! Latches that may be awaited by *pool workers* carry a handle to the
+//! pool's sleep machinery so that `set` can wake a parked waiter; the
+//! [`LockLatch`] variant is for external (non-worker) threads and blocks on
+//! a private mutex/condvar instead.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::sleep::Sleep;
+
+/// Something that can be signalled complete.
+pub trait Latch {
+    /// Signal (one step of) completion. May be called from any thread.
+    fn set(&self);
+}
+
+/// Something whose completion can be polled.
+pub trait Probe {
+    /// True once the latch is fully set.
+    fn probe(&self) -> bool;
+}
+
+/// A one-shot boolean latch awaited by spinning/stealing workers.
+pub struct SpinLatch {
+    done: AtomicBool,
+    sleep: Option<Arc<Sleep>>,
+}
+
+impl SpinLatch {
+    /// A latch whose `set` wakes sleepers of the pool owning `sleep`.
+    pub(crate) fn with_sleep(sleep: Arc<Sleep>) -> Self {
+        SpinLatch { done: AtomicBool::new(false), sleep: Some(sleep) }
+    }
+
+    /// A detached latch (tests, or waiters that never park).
+    pub fn detached() -> Self {
+        SpinLatch { done: AtomicBool::new(false), sleep: None }
+    }
+}
+
+impl Latch for SpinLatch {
+    #[inline]
+    fn set(&self) {
+        self.done.store(true, Ordering::Release);
+        if let Some(s) = &self.sleep {
+            s.notify_all();
+        }
+    }
+}
+
+impl Probe for SpinLatch {
+    #[inline]
+    fn probe(&self) -> bool {
+        self.done.load(Ordering::Acquire)
+    }
+}
+
+/// A counting latch: `set` decrements, the latch is done at zero.
+///
+/// Used for loop partitions (the hybrid loop counts its `R` partitions),
+/// scopes (one count per spawned task) and team regions (one per worker).
+pub struct CountLatch {
+    count: AtomicUsize,
+    sleep: Option<Arc<Sleep>>,
+}
+
+impl CountLatch {
+    pub(crate) fn with_sleep(count: usize, sleep: Arc<Sleep>) -> Self {
+        CountLatch { count: AtomicUsize::new(count), sleep: Some(sleep) }
+    }
+
+    /// A detached counting latch (tests, or non-parking waiters).
+    pub fn detached(count: usize) -> Self {
+        CountLatch { count: AtomicUsize::new(count), sleep: None }
+    }
+
+    /// Add `n` more expected completions. Must not be called after the
+    /// count has already reached zero.
+    pub fn increment(&self, n: usize) {
+        let prev = self.count.fetch_add(n, Ordering::AcqRel);
+        debug_assert!(prev != 0 || n == 0, "revived a finished CountLatch");
+    }
+
+    /// Current remaining count (diagnostics; racy under concurrency).
+    pub fn remaining(&self) -> usize {
+        self.count.load(Ordering::Acquire)
+    }
+}
+
+impl Latch for CountLatch {
+    #[inline]
+    fn set(&self) {
+        let prev = self.count.fetch_sub(1, Ordering::AcqRel);
+        debug_assert!(prev > 0, "CountLatch underflow");
+        if prev == 1 {
+            if let Some(s) = &self.sleep {
+                s.notify_all();
+            }
+        }
+    }
+}
+
+impl Probe for CountLatch {
+    #[inline]
+    fn probe(&self) -> bool {
+        self.count.load(Ordering::Acquire) == 0
+    }
+}
+
+/// A blocking latch for external threads (`ThreadPool::install` callers).
+pub struct LockLatch {
+    done: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl LockLatch {
+    pub fn new() -> Self {
+        LockLatch { done: Mutex::new(false), cv: Condvar::new() }
+    }
+
+    /// Block the calling thread until `set` is called.
+    pub fn wait(&self) {
+        let mut done = self.done.lock();
+        while !*done {
+            self.cv.wait(&mut done);
+        }
+    }
+}
+
+impl Default for LockLatch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Latch for LockLatch {
+    fn set(&self) {
+        let mut done = self.done.lock();
+        *done = true;
+        self.cv.notify_all();
+    }
+}
+
+impl Probe for LockLatch {
+    fn probe(&self) -> bool {
+        *self.done.lock()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spin_latch_set_probe() {
+        let l = SpinLatch::detached();
+        assert!(!l.probe());
+        l.set();
+        assert!(l.probe());
+    }
+
+    #[test]
+    fn count_latch_counts_down() {
+        let l = CountLatch::detached(3);
+        assert!(!l.probe());
+        l.set();
+        l.set();
+        assert!(!l.probe());
+        assert_eq!(l.remaining(), 1);
+        l.set();
+        assert!(l.probe());
+    }
+
+    #[test]
+    fn count_latch_increment() {
+        let l = CountLatch::detached(1);
+        l.increment(2);
+        l.set();
+        l.set();
+        assert!(!l.probe());
+        l.set();
+        assert!(l.probe());
+    }
+
+    #[test]
+    fn lock_latch_cross_thread() {
+        let l = std::sync::Arc::new(LockLatch::new());
+        let l2 = std::sync::Arc::clone(&l);
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            l2.set();
+        });
+        l.wait();
+        assert!(l.probe());
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn zero_count_latch_is_immediately_done() {
+        let l = CountLatch::detached(0);
+        assert!(l.probe());
+    }
+}

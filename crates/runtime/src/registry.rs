@@ -1,0 +1,772 @@
+//! The pool registry: worker threads, work discovery, injection, mailboxes.
+//!
+//! Work discovery order for a worker, mirroring Cilk's work-first policy:
+//!
+//! 1. its own deque (bottom, LIFO — depth-first on its own spawn tree);
+//! 2. its mailbox (team-region jobs addressed to *this specific worker*,
+//!    used by the OpenMP-style baseline schedulers);
+//! 3. the global injection queue (external `install` calls);
+//! 4. randomized stealing from other workers' deques (top, FIFO —
+//!    breadth-first on victims' spawn trees).
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::ptr;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::deque::{self, Steal, Stealer};
+use crate::job::{HeapJob, JobRef, StackJob};
+use crate::latch::{CountLatch, Latch, LockLatch, Probe, SpinLatch};
+use crate::rng::XorShift64Star;
+use crate::sleep::Sleep;
+use crate::unwind;
+
+/// A raw-pointer wrapper that asserts cross-thread transferability.
+///
+/// Used to smuggle borrows of stack data into heap jobs whose completion is
+/// awaited before the borrow expires (team broadcasts, hybrid-loop frames).
+pub(crate) struct SendPtr<T: ?Sized>(*const T);
+unsafe impl<T: ?Sized> Send for SendPtr<T> {}
+unsafe impl<T: ?Sized> Sync for SendPtr<T> {}
+impl<T: ?Sized> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T: ?Sized> Copy for SendPtr<T> {}
+
+impl<T: ?Sized> SendPtr<T> {
+    pub(crate) fn new(r: &T) -> Self {
+        SendPtr(r as *const T)
+    }
+
+    /// # Safety
+    /// The pointee must still be alive (the creating task must be blocked
+    /// on a latch this job eventually sets).
+    ///
+    /// Note: always call through this method inside `move` closures — it
+    /// forces the whole (Send) struct to be captured rather than the raw
+    /// pointer field (edition-2021 precise capture).
+    pub(crate) unsafe fn get<'a>(self) -> &'a T {
+        &*self.0
+    }
+}
+
+struct Mailbox {
+    queue: Mutex<VecDeque<JobRef>>,
+    len: AtomicUsize,
+}
+
+impl Mailbox {
+    fn new() -> Self {
+        Mailbox { queue: Mutex::new(VecDeque::new()), len: AtomicUsize::new(0) }
+    }
+
+    fn post(&self, job: JobRef) {
+        self.queue.lock().push_back(job);
+        self.len.fetch_add(1, Ordering::SeqCst);
+    }
+
+    fn take(&self) -> Option<JobRef> {
+        if self.len.load(Ordering::SeqCst) == 0 {
+            return None;
+        }
+        let job = self.queue.lock().pop_front();
+        if job.is_some() {
+            self.len.fetch_sub(1, Ordering::SeqCst);
+        }
+        job
+    }
+}
+
+/// Monotonic counters describing scheduler activity (observability for
+/// the overhead ablations; all `Relaxed` — approximate under concurrency).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Jobs executed across all workers (frames, team bodies, injections).
+    pub jobs_executed: u64,
+    /// Successful steals.
+    pub steals: u64,
+    /// Steal sweeps that found nothing.
+    pub failed_steal_sweeps: u64,
+    /// Jobs injected from external threads.
+    pub injected: u64,
+}
+
+#[derive(Default)]
+struct StatCounters {
+    jobs_executed: AtomicU64,
+    steals: AtomicU64,
+    failed_steal_sweeps: AtomicU64,
+    injected: AtomicU64,
+}
+
+pub(crate) struct Registry {
+    stealers: Vec<Stealer<JobRef>>,
+    mailboxes: Vec<Mailbox>,
+    injected: Mutex<VecDeque<JobRef>>,
+    injected_len: AtomicUsize,
+    pub(crate) sleep: Arc<Sleep>,
+    terminate: AtomicBool,
+    stats: StatCounters,
+    n: usize,
+}
+
+impl Registry {
+    pub(crate) fn num_workers(&self) -> usize {
+        self.n
+    }
+
+    pub(crate) fn inject(&self, job: JobRef) {
+        self.injected.lock().push_back(job);
+        self.injected_len.fetch_add(1, Ordering::SeqCst);
+        self.stats.injected.fetch_add(1, Ordering::Relaxed);
+        self.sleep.notify_all();
+    }
+
+    fn take_injected(&self) -> Option<JobRef> {
+        if self.injected_len.load(Ordering::SeqCst) == 0 {
+            return None;
+        }
+        let job = self.injected.lock().pop_front();
+        if job.is_some() {
+            self.injected_len.fetch_sub(1, Ordering::SeqCst);
+        }
+        job
+    }
+
+    fn post_mailbox(&self, worker: usize, job: JobRef) {
+        self.mailboxes[worker].post(job);
+        self.sleep.notify_all();
+    }
+
+    /// Is there any work a currently-idle worker could acquire?
+    fn has_visible_work(&self, me: usize) -> bool {
+        if self.injected_len.load(Ordering::SeqCst) > 0 {
+            return true;
+        }
+        if self.mailboxes[me].len.load(Ordering::SeqCst) > 0 {
+            return true;
+        }
+        self.stealers.iter().any(|s| !s.is_empty())
+    }
+}
+
+thread_local! {
+    static WORKER: Cell<*const WorkerThread> = const { Cell::new(ptr::null()) };
+}
+
+pub(crate) struct WorkerThread {
+    registry: Arc<Registry>,
+    index: usize,
+    deque: deque::Worker<JobRef>,
+    rng: XorShift64Star,
+}
+
+impl WorkerThread {
+    /// The worker executing the current thread, if any.
+    ///
+    /// # Safety
+    /// The returned reference is valid for the duration of the current job
+    /// execution (the worker outlives every job it runs).
+    pub(crate) unsafe fn current<'a>() -> Option<&'a WorkerThread> {
+        let p = WORKER.with(|c| c.get());
+        if p.is_null() {
+            None
+        } else {
+            Some(&*p)
+        }
+    }
+
+    pub(crate) fn index(&self) -> usize {
+        self.index
+    }
+
+    pub(crate) fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    pub(crate) fn push(&self, job: JobRef) {
+        self.deque.push(job);
+        self.registry.sleep.notify_all();
+    }
+
+    pub(crate) fn pop(&self) -> Option<JobRef> {
+        self.deque.pop()
+    }
+
+    /// One full randomized sweep over all other workers' deques.
+    fn steal(&self) -> Option<JobRef> {
+        let n = self.registry.n;
+        if n <= 1 {
+            return None;
+        }
+        let start = self.rng.next_below(n);
+        for k in 0..n {
+            let victim = (start + k) % n;
+            if victim == self.index {
+                continue;
+            }
+            loop {
+                match self.registry.stealers[victim].steal() {
+                    Steal::Success(job) => {
+                        self.registry.stats.steals.fetch_add(1, Ordering::Relaxed);
+                        return Some(job);
+                    }
+                    Steal::Empty => break,
+                    Steal::Retry => std::hint::spin_loop(),
+                }
+            }
+        }
+        self.registry.stats.failed_steal_sweeps.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    fn find_work(&self) -> Option<JobRef> {
+        let job = self
+            .pop()
+            .or_else(|| self.registry.mailboxes[self.index].take())
+            .or_else(|| self.registry.take_injected())
+            .or_else(|| self.steal());
+        if job.is_some() {
+            self.registry.stats.jobs_executed.fetch_add(1, Ordering::Relaxed);
+        }
+        job
+    }
+
+    /// Execute jobs until `latch` completes, preferring own work, then
+    /// mailbox/injected/stolen work; parks when the whole pool looks idle.
+    pub(crate) fn wait_until<L: Probe>(&self, latch: &L) {
+        let mut idle: u32 = 0;
+        while !latch.probe() {
+            if let Some(job) = self.find_work() {
+                unsafe { job.execute() };
+                idle = 0;
+                continue;
+            }
+            idle += 1;
+            if idle < 4 {
+                std::hint::spin_loop();
+            } else {
+                // On oversubscribed hosts, yielding quickly is essential.
+                std::thread::yield_now();
+                if idle >= 16 {
+                    let reg = &self.registry;
+                    reg.sleep.sleep(|| latch.probe() || reg.has_visible_work(self.index));
+                }
+            }
+        }
+    }
+
+    fn main_loop(&self) {
+        let reg = Arc::clone(&self.registry);
+        loop {
+            if reg.terminate.load(Ordering::Acquire) {
+                break;
+            }
+            if let Some(job) = self.find_work() {
+                unsafe { job.execute() };
+            } else {
+                std::thread::yield_now();
+                reg.sleep.sleep(|| {
+                    reg.terminate.load(Ordering::Acquire) || reg.has_visible_work(self.index)
+                });
+            }
+        }
+        // Drain leftovers so heap jobs (e.g. spent hybrid-loop adopter
+        // frames) are reclaimed rather than leaked. By the shutdown
+        // invariant every StackJob has already completed, so anything left
+        // here is a self-contained heap job that is safe to run.
+        while let Some(job) = self.pop() {
+            unsafe { job.execute() };
+        }
+        while let Some(job) = self.registry.mailboxes[self.index].take() {
+            unsafe { job.execute() };
+        }
+    }
+}
+
+/// Configuration for building a [`ThreadPool`].
+pub struct ThreadPoolBuilder {
+    num_workers: usize,
+    thread_name_prefix: String,
+    stack_size: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        ThreadPoolBuilder {
+            num_workers: 4,
+            thread_name_prefix: "parloop-worker".into(),
+            stack_size: None,
+        }
+    }
+
+    /// Number of worker threads `P`. Worker ids are `0..P`.
+    pub fn num_workers(mut self, n: usize) -> Self {
+        assert!(n > 0, "a pool needs at least one worker");
+        self.num_workers = n;
+        self
+    }
+
+    /// Prefix for OS thread names (`<prefix>-<index>`).
+    pub fn thread_name_prefix(mut self, p: impl Into<String>) -> Self {
+        self.thread_name_prefix = p.into();
+        self
+    }
+
+    /// Stack size per worker thread (deep divide-and-conquer recursion
+    /// with tiny grains can need more than the OS default).
+    pub fn stack_size(mut self, bytes: usize) -> Self {
+        self.stack_size = Some(bytes);
+        self
+    }
+
+    pub fn build(self) -> ThreadPool {
+        let n = self.num_workers;
+        let mut workers = Vec::with_capacity(n);
+        let mut stealers = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (w, s) = deque::deque::<JobRef>();
+            workers.push(w);
+            stealers.push(s);
+        }
+        let registry = Arc::new(Registry {
+            stealers,
+            mailboxes: (0..n).map(|_| Mailbox::new()).collect(),
+            injected: Mutex::new(VecDeque::new()),
+            injected_len: AtomicUsize::new(0),
+            sleep: Arc::new(Sleep::new()),
+            terminate: AtomicBool::new(false),
+            stats: StatCounters::default(),
+            n,
+        });
+
+        let mut handles = Vec::with_capacity(n);
+        for (index, wdeque) in workers.into_iter().enumerate() {
+            let registry = Arc::clone(&registry);
+            let name = format!("{}-{}", self.thread_name_prefix, index);
+            let mut builder = std::thread::Builder::new().name(name);
+            if let Some(bytes) = self.stack_size {
+                builder = builder.stack_size(bytes);
+            }
+            let handle = builder
+                .spawn(move || {
+                    let wt = WorkerThread {
+                        registry,
+                        index,
+                        deque: wdeque,
+                        rng: XorShift64Star::new(index as u64),
+                    };
+                    WORKER.with(|c| c.set(&wt as *const WorkerThread));
+                    wt.main_loop();
+                    WORKER.with(|c| c.set(ptr::null()));
+                })
+                .expect("failed to spawn pool worker");
+            handles.push(handle);
+        }
+
+        ThreadPool { registry, handles }
+    }
+}
+
+impl Default for ThreadPoolBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A fixed-size pool of work-stealing workers.
+///
+/// Dropping the pool shuts the workers down (after draining leftover jobs).
+pub struct ThreadPool {
+    registry: Arc<Registry>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Build a pool with `n` workers and default settings.
+    pub fn new(n: usize) -> Self {
+        ThreadPoolBuilder::new().num_workers(n).build()
+    }
+
+    /// Number of workers `P`.
+    pub fn num_workers(&self) -> usize {
+        self.registry.num_workers()
+    }
+
+    /// Snapshot of the pool's scheduler counters.
+    pub fn stats(&self) -> PoolStats {
+        let s = &self.registry.stats;
+        PoolStats {
+            jobs_executed: s.jobs_executed.load(Ordering::Relaxed),
+            steals: s.steals.load(Ordering::Relaxed),
+            failed_steal_sweeps: s.failed_steal_sweeps.load(Ordering::Relaxed),
+            injected: s.injected.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Spawn a detached job on the pool. It runs at some point before the
+    /// pool shuts down; there is no completion handle (use
+    /// [`scope`](crate::scope) for structured spawning).
+    pub fn spawn_detached(&self, f: impl FnOnce() + Send + 'static) {
+        let job = HeapJob::new(f);
+        unsafe {
+            match WorkerThread::current() {
+                Some(wt) if Arc::ptr_eq(wt.registry(), &self.registry) => {
+                    wt.push(job.into_job_ref())
+                }
+                _ => self.registry.inject(job.into_job_ref()),
+            }
+        }
+    }
+
+    /// Run `op` on the pool, blocking until it completes and returning its
+    /// result. If the calling thread is already a worker of this pool, `op`
+    /// runs inline.
+    pub fn install<R, F>(&self, op: F) -> R
+    where
+        R: Send,
+        F: FnOnce() -> R + Send,
+    {
+        unsafe {
+            if let Some(wt) = WorkerThread::current() {
+                if Arc::ptr_eq(wt.registry(), &self.registry) {
+                    return op();
+                }
+            }
+        }
+        let job = StackJob::new(op, LockLatch::new());
+        let jref = unsafe { job.as_job_ref() };
+        self.registry.inject(jref);
+        job.latch.wait();
+        unsafe { job.into_result() }
+    }
+
+    /// Run `body(worker_index)` exactly once on **every** worker of the
+    /// team, blocking until all have finished — the analogue of entering an
+    /// OpenMP parallel region. Panics in any body are re-thrown here.
+    ///
+    /// Workers busy with other jobs run their team body when they next look
+    /// for work, modeling the paper's observation that "cores can arrive at
+    /// the loops at different times".
+    pub fn broadcast_all<F>(&self, body: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        self.install(|| {
+            let wt = unsafe { WorkerThread::current().expect("installed on a worker") };
+            let reg = wt.registry();
+            let n = reg.num_workers();
+            let latch = CountLatch::with_sleep(n.saturating_sub(1), Arc::clone(&reg.sleep));
+            let panic_slot: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+
+            let body_ptr: SendPtr<dyn Fn(usize) + Sync> =
+                SendPtr::new(&body as &(dyn Fn(usize) + Sync));
+            let latch_ptr: SendPtr<CountLatch> = SendPtr::new(&latch);
+            let panic_ptr: SendPtr<Mutex<Option<Box<dyn std::any::Any + Send>>>> =
+                SendPtr::new(&panic_slot);
+
+            for w in 0..n {
+                if w == wt.index() {
+                    continue;
+                }
+                let job = HeapJob::new(move || {
+                    // SAFETY: the broadcasting task waits on `latch` before
+                    // returning, so these borrows outlive this job.
+                    let body = unsafe { body_ptr.get() };
+                    let latch = unsafe { latch_ptr.get() };
+                    let panics = unsafe { panic_ptr.get() };
+                    if let Err(p) = unwind::halt_unwinding(|| body(w)) {
+                        panics.lock().get_or_insert(p);
+                    }
+                    latch.set();
+                });
+                reg.post_mailbox(w, job.into_job_ref());
+            }
+
+            // The broadcaster is part of the team.
+            let own = unwind::halt_unwinding(|| body(wt.index()));
+            wt.wait_until(&latch);
+
+            if let Err(p) = own {
+                unwind::resume_unwinding(p);
+            }
+            let team_panic = panic_slot.lock().take();
+            if let Some(p) = team_panic {
+                unwind::resume_unwinding(p);
+            }
+        })
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.registry.terminate.store(true, Ordering::Release);
+        for h in self.handles.drain(..) {
+            // Workers sleep with a bounded timeout, so a few notifications
+            // suffice; the timeout is the backstop.
+            self.registry.sleep.notify_all();
+            h.join().expect("pool worker panicked outside a job");
+        }
+        // Any detached jobs still sitting in the injection queue run here,
+        // on the dropping thread, so their allocations are reclaimed and
+        // their effects still happen-before the pool disappears.
+        while let Some(job) = self.registry.take_injected() {
+            unsafe { job.execute() };
+        }
+    }
+}
+
+/// Index of the current pool worker, if the calling thread is one.
+pub fn current_worker_index() -> Option<usize> {
+    unsafe { WorkerThread::current().map(|w| w.index()) }
+}
+
+/// A non-`Send` capability proving the current thread is a pool worker.
+///
+/// `parloop-core` uses this to implement the hybrid loop: pushing adopter
+/// frames onto the *current worker's own deque* and waiting on latches
+/// while continuing to steal.
+#[derive(Clone, Copy)]
+pub struct WorkerToken {
+    _not_send: PhantomData<*mut ()>,
+}
+
+impl WorkerToken {
+    /// Obtain a token if the current thread is a pool worker.
+    pub fn current() -> Option<WorkerToken> {
+        unsafe { WorkerThread::current().map(|_| WorkerToken { _not_send: PhantomData }) }
+    }
+
+    #[inline]
+    fn worker(&self) -> &WorkerThread {
+        unsafe { WorkerThread::current().expect("WorkerToken used off its worker thread") }
+    }
+
+    /// This worker's id `w` in `0..P`.
+    pub fn index(&self) -> usize {
+        self.worker().index()
+    }
+
+    /// Team size `P`.
+    pub fn num_workers(&self) -> usize {
+        self.worker().registry().num_workers()
+    }
+
+    /// Push a fire-and-forget job onto this worker's own deque, where it is
+    /// popped by this worker (LIFO) or stolen by an idle one (FIFO).
+    pub fn spawn_local(&self, f: impl FnOnce() + Send + 'static) {
+        self.worker().push(HeapJob::new(f).into_job_ref());
+    }
+
+    /// Create a counting latch wired to this pool's wake machinery.
+    pub fn count_latch(&self, count: usize) -> CountLatch {
+        CountLatch::with_sleep(count, Arc::clone(&self.worker().registry().sleep))
+    }
+
+    /// Create a one-shot latch wired to this pool's wake machinery.
+    pub fn spin_latch(&self) -> SpinLatch {
+        SpinLatch::with_sleep(Arc::clone(&self.worker().registry().sleep))
+    }
+
+    /// Work-first wait: execute available jobs until `latch` completes.
+    pub fn wait_until<L: Probe>(&self, latch: &L) {
+        self.worker().wait_until(latch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn install_runs_on_worker_and_returns_value() {
+        let pool = ThreadPool::new(2);
+        let v = pool.install(|| {
+            assert!(current_worker_index().is_some());
+            6 * 7
+        });
+        assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn install_propagates_panic() {
+        let pool = ThreadPool::new(2);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.install(|| panic!("inner"));
+        }));
+        assert!(r.is_err());
+        // Pool still usable afterwards.
+        assert_eq!(pool.install(|| 1), 1);
+    }
+
+    #[test]
+    fn broadcast_reaches_every_worker_exactly_once() {
+        let pool = ThreadPool::new(4);
+        let hits: Vec<AtomicUsize> = (0..4).map(|_| AtomicUsize::new(0)).collect();
+        pool.broadcast_all(|w| {
+            hits[w].fetch_add(1, Ordering::SeqCst);
+            assert_eq!(current_worker_index(), Some(w));
+        });
+        for h in &hits {
+            assert_eq!(h.load(Ordering::SeqCst), 1);
+        }
+    }
+
+    #[test]
+    fn broadcast_propagates_panics() {
+        let pool = ThreadPool::new(3);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.broadcast_all(|w| {
+                if w == 1 {
+                    panic!("worker 1 fails");
+                }
+            });
+        }));
+        assert!(r.is_err());
+        assert_eq!(pool.install(|| 5), 5);
+    }
+
+    #[test]
+    fn nested_install_same_pool_runs_inline() {
+        let pool = ThreadPool::new(2);
+        let out = pool.install(|| {
+            let before = current_worker_index();
+            let inner = pool.install(current_worker_index);
+            assert_eq!(before, inner);
+            inner
+        });
+        assert!(out.is_some());
+    }
+
+    #[test]
+    fn worker_token_identity() {
+        let pool = ThreadPool::new(3);
+        pool.install(|| {
+            let t = WorkerToken::current().unwrap();
+            assert_eq!(t.num_workers(), 3);
+            assert!(t.index() < 3);
+        });
+        assert!(WorkerToken::current().is_none());
+    }
+
+    #[test]
+    fn spawn_local_eventually_runs() {
+        let pool = ThreadPool::new(2);
+        let counter = Arc::new(AtomicUsize::new(0));
+        pool.install(|| {
+            let t = WorkerToken::current().unwrap();
+            let latch = t.count_latch(8);
+            for _ in 0..8 {
+                let c = Arc::clone(&counter);
+                let l: SendPtr<CountLatch> = SendPtr::new(&latch);
+                t.spawn_local(move || {
+                    c.fetch_add(1, Ordering::SeqCst);
+                    unsafe { l.get().set() };
+                });
+            }
+            t.wait_until(&latch);
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn builder_options_apply() {
+        let pool = ThreadPoolBuilder::new()
+            .num_workers(3)
+            .thread_name_prefix("custom")
+            .stack_size(4 << 20)
+            .build();
+        assert_eq!(pool.num_workers(), 3);
+        let name = pool.install(|| std::thread::current().name().map(String::from));
+        assert!(name.unwrap().starts_with("custom-"));
+    }
+
+    #[test]
+    fn deep_recursion_with_big_stacks() {
+        let pool = ThreadPoolBuilder::new().num_workers(2).stack_size(16 << 20).build();
+        fn depth(n: usize) -> usize {
+            if n == 0 {
+                return 0;
+            }
+            let (a, _) = crate::join(|| depth(n - 1), || ());
+            a + 1
+        }
+        assert_eq!(pool.install(|| depth(2000)), 2000);
+    }
+
+    #[test]
+    fn stats_count_activity() {
+        let pool = ThreadPool::new(2);
+        let before = pool.stats();
+        for _ in 0..10 {
+            pool.install(|| {
+                crate::join(|| std::hint::black_box(1), || std::hint::black_box(2));
+            });
+        }
+        let after = pool.stats();
+        assert!(after.jobs_executed > before.jobs_executed);
+        assert!(after.injected >= before.injected + 10);
+    }
+
+    #[test]
+    fn spawn_detached_runs_before_shutdown() {
+        let ran = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = ThreadPool::new(2);
+            for _ in 0..16 {
+                let r = Arc::clone(&ran);
+                pool.spawn_detached(move || {
+                    r.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+            // Pool drop waits for workers and drains leftovers.
+        }
+        assert_eq!(ran.load(Ordering::SeqCst), 16);
+    }
+
+    #[test]
+    fn spawn_detached_from_worker_uses_local_deque() {
+        let pool = ThreadPool::new(2);
+        let ran = Arc::new(AtomicUsize::new(0));
+        let r = Arc::clone(&ran);
+        pool.install(|| {
+            let r2 = Arc::clone(&r);
+            pool.spawn_detached(move || {
+                r2.fetch_add(1, Ordering::SeqCst);
+            });
+        });
+        // Give it a moment to be picked up, then force a sync point.
+        pool.install(|| {});
+        while ran.load(Ordering::SeqCst) == 0 {
+            std::thread::yield_now();
+        }
+        assert_eq!(ran.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn many_concurrent_installs() {
+        let pool = Arc::new(ThreadPool::new(4));
+        let total = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let pool = Arc::clone(&pool);
+                let total = Arc::clone(&total);
+                s.spawn(move || {
+                    for _ in 0..16 {
+                        pool.install(|| {
+                            total.fetch_add(1, Ordering::SeqCst);
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::SeqCst), 8 * 16);
+    }
+}

@@ -1,0 +1,77 @@
+//! A tiny xorshift PRNG for victim selection.
+//!
+//! Victim selection only needs speed and rough uniformity, not statistical
+//! quality, so each worker carries a one-word xorshift64* state seeded from
+//! its index.
+
+use std::cell::Cell;
+
+/// Per-worker pseudo-random generator (not `Sync`; one per worker thread).
+pub(crate) struct XorShift64Star {
+    state: Cell<u64>,
+}
+
+impl XorShift64Star {
+    pub(crate) fn new(seed: u64) -> Self {
+        // Avoid the all-zero fixed point; mix the seed with splitmix64.
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        XorShift64Star { state: Cell::new(z | 1) }
+    }
+
+    #[inline]
+    pub(crate) fn next_u64(&self) -> u64 {
+        let mut x = self.state.get();
+        x ^= x << 12;
+        x ^= x >> 25;
+        x ^= x << 27;
+        self.state.set(x);
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform-ish integer in `0..n` (`n > 0`).
+    #[inline]
+    pub(crate) fn next_below(&self, n: usize) -> usize {
+        debug_assert!(n > 0);
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn different_seeds_diverge() {
+        let a = XorShift64Star::new(0);
+        let b = XorShift64Star::new(1);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn below_stays_in_range_and_hits_everything() {
+        let r = XorShift64Star::new(42);
+        let mut hits = [0usize; 7];
+        for _ in 0..7000 {
+            let v = r.next_below(7);
+            assert!(v < 7);
+            hits[v] += 1;
+        }
+        for (i, &h) in hits.iter().enumerate() {
+            assert!(h > 0, "value {i} never produced");
+        }
+    }
+
+    #[test]
+    fn zero_seed_is_not_stuck() {
+        let r = XorShift64Star::new(0);
+        let first = r.next_u64();
+        let second = r.next_u64();
+        assert_ne!(first, 0);
+        assert_ne!(first, second);
+    }
+}

@@ -1,0 +1,40 @@
+//! Panic capture/resume helpers.
+//!
+//! Jobs execute user closures; a panic must not tear through the scheduler
+//! (it would poison deques and strand latches). Every execution site runs
+//! the closure through [`halt_unwinding`] and re-throws at the point that
+//! logically awaits the work.
+
+use std::any::Any;
+use std::panic::{self, AssertUnwindSafe};
+
+/// Run `f`, converting a panic into an `Err` carrying its payload.
+pub(crate) fn halt_unwinding<F, R>(f: F) -> Result<R, Box<dyn Any + Send>>
+where
+    F: FnOnce() -> R,
+{
+    panic::catch_unwind(AssertUnwindSafe(f))
+}
+
+/// Re-throw a payload captured by [`halt_unwinding`].
+pub(crate) fn resume_unwinding(payload: Box<dyn Any + Send>) -> ! {
+    panic::resume_unwind(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn captures_and_resumes() {
+        let err = halt_unwinding(|| std::panic::panic_any("boom 42".to_string())).unwrap_err();
+        let caught = halt_unwinding(move || resume_unwinding(err)).unwrap_err();
+        let msg = caught.downcast_ref::<String>().unwrap();
+        assert!(msg.contains("boom 42"));
+    }
+
+    #[test]
+    fn ok_path_passes_value() {
+        assert_eq!(halt_unwinding(|| 7).unwrap(), 7);
+    }
+}

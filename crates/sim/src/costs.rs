@@ -1,0 +1,118 @@
+//! Scheduling-overhead cost model, in CPU cycles.
+//!
+//! These constants play the role of the runtime-system costs the paper's
+//! real machine exhibits: deque pushes, steal attempts, shared-cursor
+//! atomics, claim-table `fetch_or`s, team fork/barrier. They are *model
+//! inputs*, calibrated to the orders of magnitude reported for such
+//! operations on Sandy-Bridge-class Xeons (an uncontended atomic RMW on a
+//! shared line costs tens of cycles; a cross-socket one, hundreds) and
+//! sanity-checked by the requirement that every scheme's one-core work
+//! efficiency land near 1.0 — as in the first column of the paper's
+//! Figure 1 — for the paper's chunk sizes.
+
+/// Cycle costs for scheduler operations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Pushing/popping a spawned frame on the own deque (work-first Cilk
+    /// spawn path).
+    pub spawn: f64,
+    /// A failed steal attempt (probe a remote deque).
+    pub steal_attempt: f64,
+    /// A successful steal (CAS on the victim's top + cache transfer).
+    pub steal_success: f64,
+    /// One `fetch_add`/CAS grab on a shared loop cursor, uncontended.
+    pub shared_grab: f64,
+    /// Additional cost per *other* active worker hammering the same
+    /// cursor (line ping-pong).
+    pub grab_contention: f64,
+    /// One `fetch_or` claim on the hybrid partition table.
+    pub claim: f64,
+    /// Entering a team parallel region (per loop).
+    pub team_fork: f64,
+    /// Leaving a team region: barrier cost per participating worker.
+    pub barrier_per_worker: f64,
+    /// Per discovery "hop": how long until the k-th non-initiating worker
+    /// finds a stealing-scheme loop (multiplied by `lg(k+1)`).
+    pub discovery_hop: f64,
+}
+
+impl CostModel {
+    /// Default calibration for the modeled Xeon E5-4620.
+    pub fn xeon() -> Self {
+        CostModel {
+            spawn: 12.0,
+            steal_attempt: 180.0,
+            steal_success: 450.0,
+            shared_grab: 90.0,
+            grab_contention: 14.0,
+            claim: 120.0,
+            team_fork: 600.0,
+            barrier_per_worker: 80.0,
+            discovery_hop: 500.0,
+        }
+    }
+
+    /// A zero-overhead model (used to compute the sequential baseline
+    /// `T_s`, the paper's "running time of the sequential code without any
+    /// parallel constructs").
+    pub fn free() -> Self {
+        CostModel {
+            spawn: 0.0,
+            steal_attempt: 0.0,
+            steal_success: 0.0,
+            shared_grab: 0.0,
+            grab_contention: 0.0,
+            claim: 0.0,
+            team_fork: 0.0,
+            barrier_per_worker: 0.0,
+            discovery_hop: 0.0,
+        }
+    }
+
+    /// Cost of one shared-cursor grab with `active` workers in the loop.
+    #[inline]
+    pub fn grab(&self, active: usize) -> f64 {
+        self.shared_grab + self.grab_contention * active.saturating_sub(1) as f64
+    }
+
+    /// Arrival delay of the `rank`-th worker (0 = initiator) into a
+    /// steal-discovered loop: steals propagate like a binary tree, so the
+    /// delay grows with `lg(rank+1)`.
+    pub fn arrival(&self, rank: usize) -> f64 {
+        if rank == 0 {
+            0.0
+        } else {
+            self.discovery_hop * ((rank + 1) as f64).log2().ceil()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn free_model_is_all_zero() {
+        let f = CostModel::free();
+        assert_eq!(f.grab(32), 0.0);
+        assert_eq!(f.arrival(31), 0.0);
+        assert_eq!(f.spawn, 0.0);
+    }
+
+    #[test]
+    fn grab_scales_with_contention() {
+        let c = CostModel::xeon();
+        assert!(c.grab(1) < c.grab(2));
+        assert!((c.grab(1) - c.shared_grab).abs() < 1e-9);
+        assert!((c.grab(5) - (c.shared_grab + 4.0 * c.grab_contention)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn arrival_monotone_in_rank() {
+        let c = CostModel::xeon();
+        assert_eq!(c.arrival(0), 0.0);
+        assert!(c.arrival(1) > 0.0);
+        assert!(c.arrival(7) <= c.arrival(15));
+        assert!(c.arrival(1) <= c.arrival(31));
+    }
+}

@@ -1,0 +1,346 @@
+//! Workload models of the five NAS kernels (Figure 3 / Figure 4 inputs).
+//!
+//! These are *models*, not the kernels themselves (the real Rust ports live
+//! in `parloop-nas` and run on the threaded runtime): each kernel is
+//! characterized by its parallel-loop structure — loop lengths, per-
+//! iteration CPU work, and memory footprint/reuse pattern — scaled down so
+//! a full Figure 3 sweep simulates in seconds. What the models preserve,
+//! per kernel, is the property the paper's discussion hinges on:
+//!
+//! * **ep** — embarrassingly parallel, compute-bound, almost no memory
+//!   traffic: every scheme scales; scheduling overhead is negligible.
+//! * **mg** — V-cycles over a grid hierarchy: large loops with heavy reuse
+//!   at the top levels plus *small* loops at coarse levels where per-loop
+//!   fork/steal overheads dominate (where OpenMP's cheap static fork wins).
+//! * **cg** — repeated sparse mat-vec: mildly irregular row costs, heavy
+//!   reuse of the source vector, plus tiny reduction loops every
+//!   iteration.
+//! * **ft** — dimension-sweep FFT passes: one contiguous pass and two
+//!   large-stride passes per step over a multi-socket-sized array; reuse
+//!   across steps only pays off if iterations stay put.
+//! * **is** — bucket sort: block reads of keys with scattered writes into
+//!   shared buckets (invalidation traffic), light CPU per key.
+
+use std::sync::Arc;
+
+use crate::workload::{blocked_offsets, AccessPattern, AddressSpace, AppModel, CostProfile, LoopModel};
+
+/// The five NAS kernels the paper evaluates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NasKernel {
+    Ep,
+    Mg,
+    Cg,
+    Ft,
+    Is,
+}
+
+impl NasKernel {
+    pub const ALL: [NasKernel; 5] = [
+        NasKernel::Mg,
+        NasKernel::Ft,
+        NasKernel::Ep,
+        NasKernel::Is,
+        NasKernel::Cg,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            NasKernel::Ep => "ep",
+            NasKernel::Mg => "mg",
+            NasKernel::Cg => "cg",
+            NasKernel::Ft => "ft",
+            NasKernel::Is => "is",
+        }
+    }
+}
+
+/// Deterministic per-iteration weights in `[lo, hi]` (splitmix-based).
+fn jitter_weights(n: usize, lo: f64, hi: f64, salt: u64) -> Arc<Vec<f64>> {
+    let mut v = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut z = (i as u64).wrapping_add(salt).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z ^= z >> 31;
+        let u = (z >> 11) as f64 / (1u64 << 53) as f64;
+        v.push(lo + (hi - lo) * u);
+    }
+    Arc::new(v)
+}
+
+/// Build the workload model for `kernel` at full (figure) scale.
+pub fn nas_app(kernel: NasKernel) -> AppModel {
+    nas_app_scaled(kernel, 1)
+}
+
+/// Look a kernel up by its paper name ("mg", "ft", "ep", "is", "cg") and
+/// build its model shrunk by `shrink`.
+pub fn nas_app_scaled_from_name(name: &str, shrink: usize) -> Option<AppModel> {
+    NasKernel::ALL
+        .into_iter()
+        .find(|k| k.name() == name)
+        .map(|k| nas_app_scaled(k, shrink))
+}
+
+/// Build the workload model shrunk by `shrink` (arrays, loop lengths and
+/// outer counts divided) — used by tests to keep simulation cheap while
+/// preserving each kernel's structure.
+pub fn nas_app_scaled(kernel: NasKernel, shrink: usize) -> AppModel {
+    let s = shrink.max(1);
+    let outer_full = |full: usize| if s > 1 { 2 } else { full };
+    let mut sp = AddressSpace::new();
+    match kernel {
+        NasKernel::Ep => {
+            // One big balanced compute loop; tiny private scratch per
+            // iteration (the Gaussian-pair tallies).
+            let n = (512 / s).max(8);
+            let scratch = sp.alloc(n * 512);
+            AppModel {
+                name: "ep".into(),
+                loops: vec![LoopModel {
+                    name: "ep-pairs",
+                    n,
+                    cpu: CostProfile::Uniform(180_000.0),
+                    patterns: vec![AccessPattern::Block {
+                        array: scratch,
+                        offsets: blocked_offsets(n * 512, n, 1.0),
+                        passes: 1,
+                        write: true,
+                    }],
+                }],
+                outer: outer_full(2),
+                seq_between: 10_000.0,
+            }
+        }
+        NasKernel::Mg => {
+            // Four grid levels, halving iteration counts and footprints,
+            // plus a tiny norm loop. Two sweeps (smooth + residual) per
+            // level are folded into passes = 2.
+            let levels: [(usize, usize); 4] = [
+                ((512 / s).max(8), (24 << 20) / s),
+                ((256 / s).max(8), (3 << 20) / s),
+                ((128 / s).max(8), (384 << 10) / s),
+                ((64 / s).max(8), (48 << 10) / s),
+            ];
+            let mut loops = Vec::new();
+            for (i, &(n, bytes)) in levels.iter().enumerate() {
+                let arr = sp.alloc(bytes);
+                loops.push(LoopModel {
+                    name: ["mg-l0", "mg-l1", "mg-l2", "mg-l3"][i],
+                    n,
+                    cpu: CostProfile::Uniform((bytes / n) as f64 / 8.0 * 1.8),
+                    patterns: vec![AccessPattern::Block {
+                        array: arr,
+                        offsets: blocked_offsets(bytes, n, 1.0),
+                        passes: 2,
+                        write: true,
+                    }],
+                });
+            }
+            // Coarse-level norm: tiny loop, pure overhead test.
+            loops.push(LoopModel {
+                name: "mg-norm",
+                n: 32,
+                cpu: CostProfile::Uniform(900.0),
+                patterns: vec![],
+            });
+            AppModel { name: "mg".into(), loops, outer: outer_full(6), seq_between: 5_000.0 }
+        }
+        NasKernel::Cg => {
+            // Sparse mat-vec with jittered row cost + shared x-vector
+            // gathers, then two small reductions per iteration.
+            let n = (512 / s).max(8);
+            let mbytes = (12 << 20) / s;
+            let matrix = sp.alloc(mbytes);
+            let xvec = sp.alloc((2 << 20) / s);
+            let row_cost = jitter_weights(n, 14_000.0, 34_000.0, 0xC6);
+            let mut loops = vec![LoopModel {
+                name: "cg-matvec",
+                n,
+                cpu: CostProfile::PerIter(row_cost),
+                patterns: vec![
+                    AccessPattern::Block {
+                        array: matrix,
+                        offsets: blocked_offsets(mbytes, n, 1.0),
+                        passes: 1,
+                        write: false,
+                    },
+                    AccessPattern::SharedSample { array: xvec, touches: 48, write: false, salt: 0x51 },
+                ],
+            }];
+            for (name, salt) in [("cg-axpy", 0x52u64), ("cg-dot", 0x53)] {
+                loops.push(LoopModel {
+                    name: if name == "cg-axpy" { "cg-axpy" } else { "cg-dot" },
+                    n: (64 / s).max(8),
+                    cpu: CostProfile::Uniform(2_500.0),
+                    patterns: vec![AccessPattern::SharedSample {
+                        array: xvec,
+                        touches: 16,
+                        write: salt == 0x52,
+                        salt,
+                    }],
+                });
+            }
+            AppModel { name: "cg".into(), loops, outer: outer_full(10), seq_between: 4_000.0 }
+        }
+        NasKernel::Ft => {
+            // Dimension sweeps over a 24 MB complex grid: one contiguous
+            // pass and two strided (transposed) passes per FT step.
+            let bytes = (24 << 20) / s;
+            let grid = sp.alloc(bytes);
+            let n = (384 / s).max(8);
+            let lines = (bytes / 64) as u64;
+            let per_iter = (lines / n as u64) as u32;
+            let mk_gather = |name: &'static str, step: u64| LoopModel {
+                name,
+                n,
+                cpu: CostProfile::Uniform(per_iter as f64 * 14.0),
+                patterns: vec![AccessPattern::Gather {
+                    array: grid,
+                    start_mul: 1,
+                    step_lines: step,
+                    count: per_iter,
+                    write: true,
+                }],
+            };
+            AppModel {
+                name: "ft".into(),
+                loops: vec![
+                    LoopModel {
+                        name: "ft-dim1",
+                        n,
+                        cpu: CostProfile::Uniform(per_iter as f64 * 14.0),
+                        patterns: vec![AccessPattern::Block {
+                            array: grid,
+                            offsets: blocked_offsets(bytes, n, 1.0),
+                            passes: 1,
+                            write: true,
+                        }],
+                    },
+                    mk_gather("ft-dim2", n as u64),
+                    mk_gather("ft-dim3", (n * n / 64) as u64 | 1),
+                ],
+                outer: outer_full(4),
+                seq_between: 8_000.0,
+            }
+        }
+        NasKernel::Is => {
+            // Histogram of keys into shared buckets, then ranked copy-out.
+            let kbytes = (16 << 20) / s;
+            let keys = sp.alloc(kbytes);
+            let buckets = sp.alloc((1 << 20) / s);
+            let out = sp.alloc(kbytes);
+            let n = (384 / s).max(8);
+            AppModel {
+                name: "is".into(),
+                loops: vec![
+                    LoopModel {
+                        name: "is-hist",
+                        n,
+                        cpu: CostProfile::Uniform(9_000.0),
+                        patterns: vec![
+                            AccessPattern::Block {
+                                array: keys,
+                                offsets: blocked_offsets(kbytes, n, 1.0),
+                                passes: 1,
+                                write: false,
+                            },
+                            AccessPattern::SharedSample {
+                                array: buckets,
+                                touches: 96,
+                                write: true,
+                                salt: 0x15,
+                            },
+                        ],
+                    },
+                    LoopModel {
+                        name: "is-rank",
+                        n,
+                        cpu: CostProfile::Uniform(7_000.0),
+                        patterns: vec![
+                            AccessPattern::Block {
+                                array: keys,
+                                offsets: blocked_offsets(kbytes, n, 1.0),
+                                passes: 1,
+                                write: false,
+                            },
+                            AccessPattern::Gather {
+                                array: out,
+                                start_mul: 677,
+                                step_lines: 131,
+                                count: 256,
+                                write: true,
+                            },
+                        ],
+                    },
+                ],
+                outer: outer_full(6),
+                seq_between: 6_000.0,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{sequential_time, simulate, SimConfig};
+    use crate::policy::PolicyKind;
+
+    #[test]
+    fn all_kernels_build_and_have_work() {
+        for k in NasKernel::ALL {
+            let app = nas_app(k);
+            assert!(!app.loops.is_empty(), "{}", k.name());
+            assert!(app.total_iterations() > 0);
+            assert!(app.loops.iter().any(|l| l.cpu_total() > 0.0));
+        }
+    }
+
+    #[test]
+    fn kernel_names_match_paper() {
+        let names: Vec<_> = NasKernel::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(names, vec!["mg", "ft", "ep", "is", "cg"]);
+    }
+
+    #[test]
+    fn ep_scales_nearly_linearly_for_everyone() {
+        let app = nas_app_scaled(NasKernel::Ep, 4);
+        let cfg = SimConfig::xeon();
+        for kind in [PolicyKind::Hybrid, PolicyKind::Static, PolicyKind::Stealing] {
+            let t1 = simulate(&app, kind, 1, &cfg).total_cycles;
+            let t8 = simulate(&app, kind, 8, &cfg).total_cycles;
+            let s = t1 / t8;
+            assert!(s > 6.0, "{}: ep speedup {s:.2} too low", kind.name());
+        }
+    }
+
+    #[test]
+    fn work_efficiency_reasonable_for_all_kernels() {
+        let cfg = SimConfig::xeon();
+        for k in NasKernel::ALL {
+            let app = nas_app_scaled(k, 8);
+            let ts = sequential_time(&app, &cfg);
+            for kind in [PolicyKind::Hybrid, PolicyKind::Static, PolicyKind::Stealing] {
+                let t1 = simulate(&app, kind, 1, &cfg).total_cycles;
+                let eff = ts / t1;
+                assert!(
+                    eff > 0.7 && eff <= 1.001,
+                    "{} {}: efficiency {eff:.3}",
+                    k.name(),
+                    kind.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn jitter_weights_are_bounded_and_deterministic() {
+        let a = jitter_weights(100, 2.0, 5.0, 9);
+        let b = jitter_weights(100, 2.0, 5.0, 9);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&w| (2.0..=5.0).contains(&w)));
+        let mean = a.iter().sum::<f64>() / 100.0;
+        assert!(mean > 2.8 && mean < 4.2, "mean {mean}");
+    }
+}

@@ -1,0 +1,168 @@
+//! Structured scheme × worker-count sweeps.
+//!
+//! The figure harnesses all follow one pattern: fix a workload, vary the
+//! scheme and `P`, report `T_s`, `T_1`, `T_P` and derived metrics. This
+//! module packages that pattern as data (so downstream users can consume
+//! sweeps programmatically or export CSV) instead of leaving it embedded
+//! in binary printouts.
+
+use crate::engine::{sequential_time, simulate, SimConfig, SimResult};
+use crate::policy::PolicyKind;
+use crate::workload::AppModel;
+
+/// One (scheme, P) cell of a sweep.
+#[derive(Debug, Clone)]
+pub struct SweepCell {
+    pub kind: PolicyKind,
+    pub workers: usize,
+    pub cycles: f64,
+    pub affinity: f64,
+}
+
+/// A full sweep over schemes and worker counts for one workload.
+#[derive(Debug, Clone)]
+pub struct Sweep {
+    pub app_name: String,
+    /// Sequential baseline `T_s` (no parallel constructs, no overheads).
+    pub ts: f64,
+    /// One-core time per scheme, in `kinds` order.
+    pub t1: Vec<f64>,
+    pub kinds: Vec<PolicyKind>,
+    pub workers: Vec<usize>,
+    /// Row-major: `cells[kind_index][worker_index]`.
+    pub cells: Vec<Vec<SweepCell>>,
+}
+
+impl Sweep {
+    /// Run the sweep (the expensive part: `kinds × workers` simulations).
+    pub fn run(
+        app: &AppModel,
+        kinds: &[PolicyKind],
+        workers: &[usize],
+        cfg: &SimConfig,
+    ) -> Sweep {
+        let ts = sequential_time(app, cfg);
+        let t1: Vec<f64> =
+            kinds.iter().map(|&k| simulate(app, k, 1, cfg).total_cycles).collect();
+        let cells = kinds
+            .iter()
+            .map(|&kind| {
+                workers
+                    .iter()
+                    .map(|&p| {
+                        let r: SimResult = simulate(app, kind, p, cfg);
+                        SweepCell {
+                            kind,
+                            workers: p,
+                            cycles: r.total_cycles,
+                            affinity: r.mean_affinity(app),
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        Sweep {
+            app_name: app.name.clone(),
+            ts,
+            t1,
+            kinds: kinds.to_vec(),
+            workers: workers.to_vec(),
+            cells,
+        }
+    }
+
+    /// Work efficiency `T_s / T_1` for scheme row `k`.
+    pub fn work_efficiency(&self, k: usize) -> f64 {
+        self.ts / self.t1[k]
+    }
+
+    /// Scalability `T_1 / T_P` for cell `(k, p_ix)` (the paper's Figure 1
+    /// metric).
+    pub fn scalability(&self, k: usize, p_ix: usize) -> f64 {
+        self.t1[k] / self.cells[k][p_ix].cycles
+    }
+
+    /// Speedup `T_s / T_P` for cell `(k, p_ix)` (the paper's Figure 3
+    /// metric).
+    pub fn speedup(&self, k: usize, p_ix: usize) -> f64 {
+        self.ts / self.cells[k][p_ix].cycles
+    }
+
+    /// The scheme with the best time at worker count index `p_ix`.
+    pub fn winner_at(&self, p_ix: usize) -> PolicyKind {
+        let mut best = (f64::INFINITY, self.kinds[0]);
+        for (k, row) in self.cells.iter().enumerate() {
+            if row[p_ix].cycles < best.0 {
+                best = (row[p_ix].cycles, self.kinds[k]);
+            }
+        }
+        best.1
+    }
+
+    /// Render as CSV: `scheme,workers,cycles,affinity,scalability,speedup`.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("scheme,workers,cycles,affinity,scalability,speedup\n");
+        for (k, row) in self.cells.iter().enumerate() {
+            for (p_ix, cell) in row.iter().enumerate() {
+                out.push_str(&format!(
+                    "{},{},{:.1},{:.6},{:.4},{:.4}\n",
+                    cell.kind.name(),
+                    cell.workers,
+                    cell.cycles,
+                    cell.affinity,
+                    self.scalability(k, p_ix),
+                    self.speedup(k, p_ix),
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::micro_model::{micro_app, MicroParams};
+
+    fn tiny_sweep() -> Sweep {
+        let app = micro_app(MicroParams::small_for_tests(true));
+        Sweep::run(
+            &app,
+            &[PolicyKind::Hybrid, PolicyKind::Static, PolicyKind::Stealing],
+            &[1, 4, 8],
+            &SimConfig::xeon(),
+        )
+    }
+
+    #[test]
+    fn sweep_shape_and_metrics() {
+        let s = tiny_sweep();
+        assert_eq!(s.cells.len(), 3);
+        assert_eq!(s.cells[0].len(), 3);
+        for k in 0..3 {
+            let eff = s.work_efficiency(k);
+            assert!(eff > 0.5 && eff <= 1.001, "efficiency {eff}");
+            // Scalability at P=1 must be ~1 (same T1).
+            assert!((s.scalability(k, 0) - 1.0).abs() < 1e-9);
+            // More workers never hurt much in this balanced tiny app.
+            assert!(s.scalability(k, 2) > 1.5);
+        }
+    }
+
+    #[test]
+    fn winner_is_a_swept_kind() {
+        let s = tiny_sweep();
+        let w = s.winner_at(2);
+        assert!(s.kinds.contains(&w));
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let s = tiny_sweep();
+        let csv = s.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 1 + 3 * 3);
+        assert!(lines[0].starts_with("scheme,workers"));
+        assert!(lines[1].starts_with("hybrid,1,"));
+    }
+}

@@ -1,0 +1,446 @@
+//! Workload models: what one loop iteration *does*, as data.
+//!
+//! The simulator does not run real kernels; it runs *models* — per
+//! iteration, a CPU-cycle cost plus a stream of memory accesses issued
+//! against the [`MemoryHierarchy`]. The paper's microbenchmarks are modeled
+//! exactly (private per-iteration blocks, stride-touched, repeated across
+//! outer phases); the NAS kernels are modeled by their loop structure and
+//! footprint (see `nas_model`).
+
+use std::sync::Arc;
+
+use parloop_simcache::{AllocInfo, MemoryHierarchy};
+
+/// A modeled array: a base address and length inside the simulated
+/// address space (used for NUMA homing and line addressing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArraySpec {
+    pub base: u64,
+    pub len: usize,
+}
+
+impl ArraySpec {
+    #[inline]
+    pub fn alloc_info(&self) -> AllocInfo {
+        AllocInfo::new(self.base, self.len)
+    }
+
+    /// Number of 64-byte lines the array spans.
+    #[inline]
+    pub fn lines(&self) -> u64 {
+        (self.len as u64).div_ceil(64)
+    }
+
+    #[inline]
+    pub fn first_line(&self) -> u64 {
+        self.base / 64
+    }
+}
+
+/// Bump allocator for the simulated address space (page-aligned, disjoint).
+#[derive(Debug, Default)]
+pub struct AddressSpace {
+    next: u64,
+}
+
+impl AddressSpace {
+    pub fn new() -> Self {
+        AddressSpace { next: 1 << 12 }
+    }
+
+    /// Allocate `bytes`, page-aligned, with a guard gap.
+    pub fn alloc(&mut self, bytes: usize) -> ArraySpec {
+        let base = self.next;
+        let span = (bytes as u64).div_ceil(4096) * 4096;
+        self.next = base + span + 4096;
+        ArraySpec { base, len: bytes }
+    }
+}
+
+/// Per-iteration CPU-cycle cost profile (excludes memory latency).
+#[derive(Debug, Clone, PartialEq)]
+pub enum CostProfile {
+    /// Every iteration costs the same.
+    Uniform(f64),
+    /// Linearly increasing from `min` (iteration 0) to `max` (iteration
+    /// n−1) — the canonical unbalanced profile.
+    LinearRamp { min: f64, max: f64 },
+    /// Explicit per-iteration costs.
+    PerIter(Arc<Vec<f64>>),
+}
+
+impl CostProfile {
+    /// Cycles for iteration `i` of `n`.
+    pub fn cycles(&self, i: usize, n: usize) -> f64 {
+        match self {
+            CostProfile::Uniform(c) => *c,
+            CostProfile::LinearRamp { min, max } => {
+                if n <= 1 {
+                    *min
+                } else {
+                    min + (max - min) * i as f64 / (n - 1) as f64
+                }
+            }
+            CostProfile::PerIter(v) => v[i],
+        }
+    }
+
+    /// Total cycles over all `n` iterations.
+    pub fn total(&self, n: usize) -> f64 {
+        (0..n).map(|i| self.cycles(i, n)).sum()
+    }
+}
+
+/// Mix a 64-bit value (splitmix64 finalizer) — used for sampled accesses.
+#[inline]
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The memory-access stream of one loop iteration.
+///
+/// Accesses are issued at cache-line granularity; within-line element
+/// accesses (always L1 hits) are folded into the CPU cost profile.
+#[derive(Debug, Clone)]
+pub enum AccessPattern {
+    /// Iteration `i` owns the private byte range `offsets[i]` of `array`
+    /// and walks it `passes` times (the paper's microbenchmark shape: each
+    /// iteration strides over its own sub-array).
+    Block {
+        array: ArraySpec,
+        /// Per-iteration `(byte_offset, bytes)` within the array.
+        offsets: Arc<Vec<(u64, u32)>>,
+        passes: u32,
+        write: bool,
+    },
+    /// Iteration `i` touches `count` lines at `i·start_mul + k·step_lines`
+    /// (mod array lines) — strided/transposed traversals (FT dimensions).
+    Gather {
+        array: ArraySpec,
+        start_mul: u64,
+        step_lines: u64,
+        count: u32,
+        write: bool,
+    },
+    /// Iteration `i` touches `touches` pseudo-random lines of `array`
+    /// (hash of `(i, k, salt)`) — shared structures like IS buckets or
+    /// CG's source vector.
+    SharedSample {
+        array: ArraySpec,
+        touches: u32,
+        write: bool,
+        salt: u64,
+    },
+}
+
+impl AccessPattern {
+    /// Issue iteration `i`'s accesses from `core`; return total memory
+    /// cycles.
+    pub fn mem_cost(&self, i: usize, core: usize, mem: &mut MemoryHierarchy) -> f64 {
+        let mut cycles = 0.0;
+        match self {
+            AccessPattern::Block { array, offsets, passes, write } => {
+                let (off, bytes) = offsets[i];
+                let lo = array.base + off;
+                let hi = lo + bytes as u64;
+                let info = array.alloc_info();
+                for _ in 0..*passes {
+                    let mut a = lo & !63;
+                    while a < hi {
+                        let lvl = mem.access(core, a, *write, info);
+                        cycles += mem.latency_of(lvl);
+                        a += 64;
+                    }
+                }
+            }
+            AccessPattern::Gather { array, start_mul, step_lines, count, write } => {
+                let lines = array.lines().max(1);
+                let info = array.alloc_info();
+                let base_line = array.first_line();
+                let mut line = (i as u64).wrapping_mul(*start_mul) % lines;
+                for _ in 0..*count {
+                    let addr = (base_line + line) * 64;
+                    let lvl = mem.access(core, addr, *write, info);
+                    cycles += mem.latency_of(lvl);
+                    line = (line + step_lines) % lines;
+                }
+            }
+            AccessPattern::SharedSample { array, touches, write, salt } => {
+                let lines = array.lines().max(1);
+                let info = array.alloc_info();
+                let base_line = array.first_line();
+                for k in 0..*touches {
+                    let h = mix((i as u64) << 20 ^ (k as u64) << 1 ^ salt);
+                    let addr = (base_line + h % lines) * 64;
+                    let lvl = mem.access(core, addr, *write, info);
+                    cycles += mem.latency_of(lvl);
+                }
+            }
+        }
+        cycles
+    }
+
+    /// Number of line accesses iteration `i` issues (model introspection).
+    pub fn accesses(&self, i: usize) -> u64 {
+        match self {
+            AccessPattern::Block { offsets, passes, .. } => {
+                let (off, bytes) = offsets[i];
+                let lo = off & !63;
+                let hi = off + bytes as u64;
+                (hi.div_ceil(64).saturating_sub(lo / 64)) * *passes as u64
+            }
+            AccessPattern::Gather { count, .. } => *count as u64,
+            AccessPattern::SharedSample { touches, .. } => *touches as u64,
+        }
+    }
+}
+
+/// One parallel loop: `n` iterations, each with CPU cost and access
+/// patterns.
+#[derive(Debug, Clone)]
+pub struct LoopModel {
+    pub name: &'static str,
+    pub n: usize,
+    pub cpu: CostProfile,
+    pub patterns: Vec<AccessPattern>,
+}
+
+impl LoopModel {
+    /// Execute iteration `i` on `core`: returns its total cycles.
+    pub fn iter_cost(&self, i: usize, core: usize, mem: &mut MemoryHierarchy) -> f64 {
+        let mut c = self.cpu.cycles(i, self.n);
+        for p in &self.patterns {
+            c += p.mem_cost(i, core, mem);
+        }
+        c
+    }
+
+    /// Pure-CPU total (used in tests and calibration).
+    pub fn cpu_total(&self) -> f64 {
+        self.cpu.total(self.n)
+    }
+
+    /// Total line accesses per execution of this loop.
+    pub fn total_accesses(&self) -> u64 {
+        (0..self.n).map(|i| self.patterns.iter().map(|p| p.accesses(i)).sum::<u64>()).sum()
+    }
+}
+
+/// An application: an outer sequential loop around a fixed sequence of
+/// parallel loops (the iterative-application shape the paper targets).
+#[derive(Debug, Clone)]
+pub struct AppModel {
+    pub name: String,
+    /// Parallel loops executed once per outer iteration, in order.
+    pub loops: Vec<LoopModel>,
+    /// Outer sequential repetitions.
+    pub outer: usize,
+    /// Sequential cycles between consecutive parallel loops.
+    pub seq_between: f64,
+}
+
+impl AppModel {
+    /// Total parallel-loop iterations across the whole run.
+    pub fn total_iterations(&self) -> usize {
+        self.loops.iter().map(|l| l.n).sum::<usize>() * self.outer
+    }
+}
+
+/// Split `total_bytes` into `n` per-iteration blocks: equal when
+/// `ramp == 1.0`, otherwise linearly ramping so the largest block is
+/// `ramp` times the smallest (the unbalanced microbenchmark).
+///
+/// Block boundaries are aligned to 64-byte lines (no two iterations share
+/// a cache line — the paper's "arrays accessed by different parallel
+/// iterations do not overlap in memory").
+pub fn blocked_offsets(total_bytes: usize, n: usize, ramp: f64) -> Arc<Vec<(u64, u32)>> {
+    assert!(n > 0 && ramp >= 1.0);
+    // weights w_i = 1 + (ramp-1) * i/(n-1), scaled to sum to total.
+    let weights: Vec<f64> = (0..n)
+        .map(|i| {
+            if n == 1 {
+                1.0
+            } else {
+                1.0 + (ramp - 1.0) * i as f64 / (n - 1) as f64
+            }
+        })
+        .collect();
+    weighted_offsets(total_bytes, &weights)
+}
+
+/// Split `total_bytes` into `n = weights.len()` per-iteration blocks with
+/// sizes proportional to `weights` (line-aligned; last block absorbs
+/// rounding).
+pub fn weighted_offsets(total_bytes: usize, weights: &[f64]) -> Arc<Vec<(u64, u32)>> {
+    let n = weights.len();
+    assert!(n > 0);
+    let wsum: f64 = weights.iter().sum();
+    let mut offsets = Vec::with_capacity(n);
+    let mut off = 0u64;
+    for (i, w) in weights.iter().enumerate() {
+        let mut bytes = ((total_bytes as f64) * w / wsum / 64.0).round() as u64 * 64;
+        // Last block absorbs rounding so the whole array is covered.
+        if i == n - 1 {
+            bytes = total_bytes as u64 - off;
+        }
+        let bytes = bytes.min(u32::MAX as u64) as u32;
+        offsets.push((off, bytes));
+        off += bytes as u64;
+    }
+    Arc::new(offsets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parloop_topo::{LatencyTable, MachineSpec};
+
+    #[test]
+    fn address_space_disjoint_and_aligned() {
+        let mut sp = AddressSpace::new();
+        let a = sp.alloc(1000);
+        let b = sp.alloc(5000);
+        assert_eq!(a.base % 4096, 0);
+        assert_eq!(b.base % 4096, 0);
+        assert!(a.base + a.len as u64 <= b.base);
+    }
+
+    #[test]
+    fn cost_profiles() {
+        assert_eq!(CostProfile::Uniform(5.0).cycles(3, 10), 5.0);
+        let ramp = CostProfile::LinearRamp { min: 10.0, max: 30.0 };
+        assert_eq!(ramp.cycles(0, 11), 10.0);
+        assert_eq!(ramp.cycles(10, 11), 30.0);
+        assert_eq!(ramp.cycles(5, 11), 20.0);
+        assert!((ramp.total(11) - 220.0).abs() < 1e-9);
+        let per = CostProfile::PerIter(Arc::new(vec![1.0, 2.0, 4.0]));
+        assert_eq!(per.cycles(2, 3), 4.0);
+        assert_eq!(per.total(3), 7.0);
+    }
+
+    #[test]
+    fn blocked_offsets_cover_array() {
+        for ramp in [1.0, 4.0, 7.0] {
+            let offs = blocked_offsets(1 << 20, 64, ramp);
+            assert_eq!(offs.len(), 64);
+            let mut expect = 0u64;
+            for &(off, bytes) in offs.iter() {
+                assert_eq!(off, expect);
+                expect += bytes as u64;
+            }
+            assert_eq!(expect, 1 << 20);
+        }
+    }
+
+    #[test]
+    fn blocked_offsets_balanced_are_equal() {
+        let offs = blocked_offsets(64 * 1024, 64, 1.0);
+        let sizes: Vec<u32> = offs.iter().map(|&(_, b)| b).collect();
+        assert!(sizes.iter().all(|&s| s == sizes[0]));
+    }
+
+    #[test]
+    fn blocked_offsets_ramp_is_monotone() {
+        let offs = blocked_offsets(1 << 20, 32, 6.0);
+        for w in offs.windows(2) {
+            assert!(w[1].1 >= w[0].1, "block sizes must ramp up");
+        }
+        let first = offs.first().unwrap().1 as f64;
+        let last = offs.last().unwrap().1 as f64;
+        assert!(last / first > 4.0, "ramp {last}/{first} too shallow");
+    }
+
+    #[test]
+    fn block_pattern_issues_expected_lines() {
+        let mut sp = AddressSpace::new();
+        let arr = sp.alloc(64 * 100);
+        let pat = AccessPattern::Block {
+            array: arr,
+            offsets: blocked_offsets(64 * 100, 10, 1.0),
+            passes: 2,
+            write: false,
+        };
+        // 10 lines per block, 2 passes.
+        assert_eq!(pat.accesses(0), 20);
+        let mut mem =
+            MemoryHierarchy::new(MachineSpec::tiny_for_tests(), LatencyTable::xeon_e5_4620());
+        let cycles = pat.mem_cost(0, 0, &mut mem);
+        assert!(cycles > 0.0);
+        assert_eq!(mem.total_counts().total(), 20);
+    }
+
+    #[test]
+    fn repeated_block_access_becomes_cache_hits() {
+        let mut sp = AddressSpace::new();
+        let arr = sp.alloc(4096);
+        let pat = AccessPattern::Block {
+            array: arr,
+            offsets: Arc::new(vec![(0, 4096)]),
+            passes: 1,
+            write: false,
+        };
+        let mut mem = MemoryHierarchy::xeon();
+        let cold = pat.mem_cost(0, 0, &mut mem);
+        let warm = pat.mem_cost(0, 0, &mut mem);
+        assert!(warm < cold / 5.0, "warm {warm} should be far below cold {cold}");
+    }
+
+    #[test]
+    fn gather_wraps_modulo_array() {
+        let mut sp = AddressSpace::new();
+        let arr = sp.alloc(64 * 8);
+        let pat = AccessPattern::Gather {
+            array: arr,
+            start_mul: 3,
+            step_lines: 5,
+            count: 100,
+            write: false,
+        };
+        assert_eq!(pat.accesses(7), 100);
+        let mut mem = MemoryHierarchy::xeon();
+        pat.mem_cost(7, 0, &mut mem);
+        assert_eq!(mem.total_counts().total(), 100);
+    }
+
+    #[test]
+    fn shared_sample_is_deterministic() {
+        let mut sp = AddressSpace::new();
+        let arr = sp.alloc(1 << 16);
+        let pat =
+            AccessPattern::SharedSample { array: arr, touches: 50, write: false, salt: 99 };
+        let mut m1 = MemoryHierarchy::xeon();
+        let mut m2 = MemoryHierarchy::xeon();
+        let c1 = pat.mem_cost(3, 0, &mut m1);
+        let c2 = pat.mem_cost(3, 0, &mut m2);
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn loop_model_totals() {
+        let mut sp = AddressSpace::new();
+        let arr = sp.alloc(64 * 64);
+        let lm = LoopModel {
+            name: "t",
+            n: 8,
+            cpu: CostProfile::Uniform(10.0),
+            patterns: vec![AccessPattern::Block {
+                array: arr,
+                offsets: blocked_offsets(64 * 64, 8, 1.0),
+                passes: 1,
+                write: true,
+            }],
+        };
+        assert_eq!(lm.cpu_total(), 80.0);
+        assert_eq!(lm.total_accesses(), 64);
+        let app = AppModel {
+            name: "app".into(),
+            loops: vec![lm],
+            outer: 3,
+            seq_between: 0.0,
+        };
+        assert_eq!(app.total_iterations(), 24);
+    }
+}

@@ -1,0 +1,103 @@
+//! Per-level access counters — the software analogue of the paper's
+//! LIKWID hardware-counter measurements (Figure 4).
+
+use parloop_topo::{AccessLevel, LatencyTable};
+
+/// Counts of accesses serviced at each memory-hierarchy level, in
+/// [`AccessLevel::ALL`] order.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AccessCounts {
+    counts: [u64; 6],
+}
+
+impl AccessCounts {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one access serviced at `level`.
+    #[inline]
+    pub fn add(&mut self, level: AccessLevel) {
+        self.counts[Self::slot(level)] += 1;
+    }
+
+    /// Count for one level.
+    pub fn get(&self, level: AccessLevel) -> u64 {
+        self.counts[Self::slot(level)]
+    }
+
+    /// All six counts in [`AccessLevel::ALL`] order.
+    pub fn as_array(&self) -> [u64; 6] {
+        self.counts
+    }
+
+    /// Total accesses across levels.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Accumulate another counter set into this one.
+    pub fn merge(&mut self, other: &AccessCounts) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts) {
+            *a += b;
+        }
+    }
+
+    /// Total memory cycles under `lat` (the paper's inferred latency).
+    pub fn inferred_latency(&self, lat: &LatencyTable) -> f64 {
+        lat.inferred_latency(&self.counts)
+    }
+
+    /// Inferred latency excluding L1 (the paper's Figure 4 comparison).
+    pub fn inferred_latency_without_l1(&self, lat: &LatencyTable) -> f64 {
+        lat.inferred_latency_without_l1(&self.counts)
+    }
+
+    #[inline]
+    fn slot(level: AccessLevel) -> usize {
+        AccessLevel::ALL
+            .iter()
+            .position(|&l| l == level)
+            .expect("level present in ALL")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_get_total() {
+        let mut c = AccessCounts::new();
+        c.add(AccessLevel::L1);
+        c.add(AccessLevel::L1);
+        c.add(AccessLevel::RemoteDram);
+        assert_eq!(c.get(AccessLevel::L1), 2);
+        assert_eq!(c.get(AccessLevel::RemoteDram), 1);
+        assert_eq!(c.get(AccessLevel::L2), 0);
+        assert_eq!(c.total(), 3);
+    }
+
+    #[test]
+    fn merge_sums() {
+        let mut a = AccessCounts::new();
+        a.add(AccessLevel::L2);
+        let mut b = AccessCounts::new();
+        b.add(AccessLevel::L2);
+        b.add(AccessLevel::LocalL3);
+        a.merge(&b);
+        assert_eq!(a.get(AccessLevel::L2), 2);
+        assert_eq!(a.get(AccessLevel::LocalL3), 1);
+    }
+
+    #[test]
+    fn inferred_latency_matches_table() {
+        let lat = LatencyTable::xeon_e5_4620();
+        let mut c = AccessCounts::new();
+        c.add(AccessLevel::L1);
+        c.add(AccessLevel::LocalDram);
+        let want = 4.1 + 246.7;
+        assert!((c.inferred_latency(&lat) - want).abs() < 1e-9);
+        assert!((c.inferred_latency_without_l1(&lat) - 246.7).abs() < 1e-9);
+    }
+}

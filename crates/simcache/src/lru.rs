@@ -1,0 +1,238 @@
+//! A set-associative cache with LRU replacement, tracking tags only.
+//!
+//! The simulator never stores data — it only needs to answer "would this
+//! access hit?" — so each cache is a `sets × ways` matrix of line tags plus
+//! LRU stamps. Way counts are small (8–16), so a linear scan of one set is
+//! faster than any cleverness.
+
+use parloop_topo::CacheGeometry;
+
+/// Sentinel tag for an invalid way.
+const INVALID: u64 = u64::MAX;
+
+/// A set-associative, LRU cache over 64-byte-line tags.
+pub struct SetAssocCache {
+    geo: CacheGeometry,
+    sets: usize,
+    ways: usize,
+    /// `sets * ways` line tags (full line addresses, so no tag/set split
+    /// bookkeeping is needed).
+    tags: Vec<u64>,
+    /// LRU stamps parallel to `tags`.
+    stamps: Vec<u64>,
+    clock: u64,
+}
+
+/// Result of a cache fill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fill {
+    /// The line was already present (refreshed instead).
+    AlreadyPresent,
+    /// Inserted into an empty way.
+    Inserted,
+    /// Inserted, evicting the returned line.
+    Evicted(u64),
+}
+
+impl SetAssocCache {
+    pub fn new(geo: CacheGeometry) -> Self {
+        let sets = geo.sets();
+        let ways = geo.ways;
+        SetAssocCache {
+            geo,
+            sets,
+            ways,
+            tags: vec![INVALID; sets * ways],
+            stamps: vec![0; sets * ways],
+            clock: 0,
+        }
+    }
+
+    #[inline]
+    fn set_of_line(&self, line: u64) -> usize {
+        (line % self.sets as u64) as usize
+    }
+
+    #[inline]
+    fn slot_range(&self, set: usize) -> std::ops::Range<usize> {
+        set * self.ways..(set + 1) * self.ways
+    }
+
+    /// Look up `line`; on hit, refresh its LRU stamp.
+    pub fn probe(&mut self, line: u64) -> bool {
+        debug_assert_ne!(line, INVALID);
+        self.clock += 1;
+        let set = self.set_of_line(line);
+        for slot in self.slot_range(set) {
+            if self.tags[slot] == line {
+                self.stamps[slot] = self.clock;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Check presence without touching LRU state.
+    pub fn contains(&self, line: u64) -> bool {
+        let set = self.set_of_line(line);
+        self.slot_range(set).any(|slot| self.tags[slot] == line)
+    }
+
+    /// Insert `line`, evicting the LRU way of its set if full.
+    pub fn fill(&mut self, line: u64) -> Fill {
+        debug_assert_ne!(line, INVALID);
+        self.clock += 1;
+        let set = self.set_of_line(line);
+        let mut victim = set * self.ways;
+        let mut victim_stamp = u64::MAX;
+        for slot in self.slot_range(set) {
+            if self.tags[slot] == line {
+                self.stamps[slot] = self.clock;
+                return Fill::AlreadyPresent;
+            }
+            if self.tags[slot] == INVALID {
+                // Empty way wins outright.
+                self.tags[slot] = line;
+                self.stamps[slot] = self.clock;
+                return Fill::Inserted;
+            }
+            if self.stamps[slot] < victim_stamp {
+                victim_stamp = self.stamps[slot];
+                victim = slot;
+            }
+        }
+        let evicted = self.tags[victim];
+        self.tags[victim] = line;
+        self.stamps[victim] = self.clock;
+        Fill::Evicted(evicted)
+    }
+
+    /// Drop `line` if present; true if it was.
+    pub fn invalidate(&mut self, line: u64) -> bool {
+        let set = self.set_of_line(line);
+        for slot in self.slot_range(set) {
+            if self.tags[slot] == line {
+                self.tags[slot] = INVALID;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Invalidate everything.
+    pub fn flush(&mut self) {
+        self.tags.fill(INVALID);
+        self.stamps.fill(0);
+    }
+
+    /// Number of valid lines currently cached.
+    pub fn occupancy(&self) -> usize {
+        self.tags.iter().filter(|&&t| t != INVALID).count()
+    }
+
+    /// The cache's geometry.
+    pub fn geometry(&self) -> CacheGeometry {
+        self.geo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> SetAssocCache {
+        // 4 sets x 2 ways of 64B lines = 512 B.
+        SetAssocCache::new(CacheGeometry { capacity: 512, line: 64, ways: 2 })
+    }
+
+    #[test]
+    fn geometry_derived() {
+        let c = tiny();
+        assert_eq!(c.sets, 4);
+        assert_eq!(c.ways, 2);
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = tiny();
+        assert!(!c.probe(100));
+        c.fill(100);
+        assert!(c.probe(100));
+        assert!(c.contains(100));
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = tiny();
+        // Lines 0, 4, 8 all map to set 0 (line % 4 == 0).
+        c.fill(0);
+        c.fill(4);
+        assert!(c.probe(0)); // 0 is now most recent; 4 is LRU
+        match c.fill(8) {
+            Fill::Evicted(v) => assert_eq!(v, 4),
+            other => panic!("expected eviction, got {other:?}"),
+        }
+        assert!(c.contains(0));
+        assert!(!c.contains(4));
+        assert!(c.contains(8));
+    }
+
+    #[test]
+    fn fill_refreshes_existing() {
+        let mut c = tiny();
+        c.fill(0);
+        c.fill(4);
+        assert_eq!(c.fill(0), Fill::AlreadyPresent); // refresh 0; 4 is LRU
+        assert!(matches!(c.fill(8), Fill::Evicted(4)));
+    }
+
+    #[test]
+    fn invalidate_removes() {
+        let mut c = tiny();
+        c.fill(7);
+        assert!(c.invalidate(7));
+        assert!(!c.contains(7));
+        assert!(!c.invalidate(7));
+    }
+
+    #[test]
+    fn flush_clears_all() {
+        let mut c = tiny();
+        for l in 0..8u64 {
+            c.fill(l);
+        }
+        assert!(c.occupancy() > 0);
+        c.flush();
+        assert_eq!(c.occupancy(), 0);
+    }
+
+    #[test]
+    fn working_set_within_capacity_always_hits_after_warmup() {
+        let mut c = tiny();
+        let lines: Vec<u64> = (0..8).collect(); // exactly capacity
+        for &l in &lines {
+            c.fill(l);
+        }
+        for &l in &lines {
+            assert!(c.probe(l), "line {l} should hit");
+        }
+    }
+
+    #[test]
+    fn working_set_twice_capacity_thrashes() {
+        let mut c = tiny();
+        let lines: Vec<u64> = (0..16).collect();
+        // Sequential sweep twice: with LRU and 2 ways, second sweep misses.
+        let mut hits = 0;
+        for _ in 0..2 {
+            for &l in &lines {
+                if c.probe(l) {
+                    hits += 1;
+                } else {
+                    c.fill(l);
+                }
+            }
+        }
+        assert_eq!(hits, 0);
+    }
+}

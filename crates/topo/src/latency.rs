@@ -1,0 +1,148 @@
+//! Per-level memory access latencies (the paper's Figure 5).
+//!
+//! The paper measured these with the Intel Memory Latency Checker on the
+//! evaluation machine and uses them to convert hardware-counter totals into
+//! an *inferred latency* metric (Figure 4, last column). We adopt the same
+//! numbers; where the paper reports a range (remote L3 and remote DRAM) we
+//! use the midpoint, as the paper does.
+
+/// The level of the memory hierarchy that serviced an access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessLevel {
+    /// Hit in the core's private L1 data cache.
+    L1,
+    /// Hit in the core's private L2.
+    L2,
+    /// Hit in the socket's shared L3.
+    LocalL3,
+    /// Miss serviced by the socket's own DRAM.
+    LocalDram,
+    /// Miss serviced by a *remote* socket's L3 (dirty/shared line elsewhere).
+    RemoteL3,
+    /// Miss serviced by a remote socket's DRAM.
+    RemoteDram,
+}
+
+impl AccessLevel {
+    /// All levels, in paper order (Figure 4 columns).
+    pub const ALL: [AccessLevel; 6] = [
+        AccessLevel::L1,
+        AccessLevel::L2,
+        AccessLevel::LocalL3,
+        AccessLevel::LocalDram,
+        AccessLevel::RemoteL3,
+        AccessLevel::RemoteDram,
+    ];
+
+    /// Column label used by the figure harnesses.
+    pub fn label(self) -> &'static str {
+        match self {
+            AccessLevel::L1 => "L1",
+            AccessLevel::L2 => "L2",
+            AccessLevel::LocalL3 => "local L3",
+            AccessLevel::LocalDram => "local DRAM",
+            AccessLevel::RemoteL3 => "remote L3",
+            AccessLevel::RemoteDram => "remote DRAM",
+        }
+    }
+}
+
+/// Access latency (in CPU cycles) per hierarchy level.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyTable {
+    pub l1: f64,
+    pub l2: f64,
+    pub local_l3: f64,
+    pub local_dram: f64,
+    pub remote_l3: f64,
+    pub remote_dram: f64,
+}
+
+impl LatencyTable {
+    /// The paper's Figure 5 values for the Xeon E5-4620.
+    ///
+    /// Remote L3 is reported as 381.5–648.8 cycles and remote DRAM as
+    /// 643.2–650.9 cycles; following the paper we use the midpoints.
+    pub fn xeon_e5_4620() -> Self {
+        LatencyTable {
+            l1: 4.1,
+            l2: 12.2,
+            local_l3: 41.4,
+            local_dram: 246.7,
+            remote_l3: (381.5 + 648.8) / 2.0,
+            remote_dram: (643.2 + 650.9) / 2.0,
+        }
+    }
+
+    /// Latency of a single access serviced at `level`.
+    #[inline]
+    pub fn cycles(&self, level: AccessLevel) -> f64 {
+        match level {
+            AccessLevel::L1 => self.l1,
+            AccessLevel::L2 => self.l2,
+            AccessLevel::LocalL3 => self.local_l3,
+            AccessLevel::LocalDram => self.local_dram,
+            AccessLevel::RemoteL3 => self.remote_l3,
+            AccessLevel::RemoteDram => self.remote_dram,
+        }
+    }
+
+    /// The paper's *inferred latency* metric: sum of per-level counts times
+    /// per-level latency. `counts` must be in [`AccessLevel::ALL`] order.
+    pub fn inferred_latency(&self, counts: &[u64; 6]) -> f64 {
+        AccessLevel::ALL
+            .iter()
+            .zip(counts)
+            .map(|(&lvl, &n)| self.cycles(lvl) * n as f64)
+            .sum()
+    }
+
+    /// Inferred latency excluding the L1 column.
+    ///
+    /// The paper notes that OpenMP's redundant team-wide computation shows up
+    /// mostly as extra L1 hits, so its Figure 4 comparison uses the inferred
+    /// latency *without* L1 to compare affinity retention fairly.
+    pub fn inferred_latency_without_l1(&self, counts: &[u64; 6]) -> f64 {
+        self.inferred_latency(counts) - self.l1 * counts[0] as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure5_values() {
+        let t = LatencyTable::xeon_e5_4620();
+        assert!((t.l1 - 4.1).abs() < 1e-9);
+        assert!((t.l2 - 12.2).abs() < 1e-9);
+        assert!((t.local_l3 - 41.4).abs() < 1e-9);
+        assert!((t.local_dram - 246.7).abs() < 1e-9);
+        assert!((t.remote_l3 - 515.15).abs() < 1e-9);
+        assert!((t.remote_dram - 647.05).abs() < 1e-9);
+        // Monotone with distance from the core.
+        assert!(t.l1 < t.l2 && t.l2 < t.local_l3);
+        assert!(t.local_l3 < t.local_dram && t.local_dram < t.remote_l3);
+        assert!(t.remote_l3 < t.remote_dram);
+    }
+
+    #[test]
+    fn inferred_latency_weights_counts() {
+        let t = LatencyTable::xeon_e5_4620();
+        let counts = [10, 0, 0, 0, 0, 0];
+        assert!((t.inferred_latency(&counts) - 41.0).abs() < 1e-9);
+        assert_eq!(t.inferred_latency_without_l1(&counts), 0.0);
+
+        let counts = [0, 0, 0, 1, 0, 1];
+        let want = 246.7 + 647.05;
+        assert!((t.inferred_latency(&counts) - want).abs() < 1e-9);
+        assert!((t.inferred_latency_without_l1(&counts) - want).abs() < 1e-9);
+    }
+
+    #[test]
+    fn level_labels_distinct() {
+        let labels: std::collections::HashSet<_> =
+            AccessLevel::ALL.iter().map(|l| l.label()).collect();
+        assert_eq!(labels.len(), 6);
+    }
+}

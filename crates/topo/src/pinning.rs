@@ -1,0 +1,72 @@
+//! Thread-to-core pinning policies.
+//!
+//! The paper pins worker threads "to cores in a compact fashion during
+//! executions, i.e., if less than 8 threads are used, only one socket is
+//! employed". [`pin_order`] yields the core id that worker `w` is pinned to
+//! under a given policy; the simulator uses this to place virtual workers on
+//! the modeled topology.
+
+use crate::machine::MachineSpec;
+
+/// How P worker threads are laid out over the machine's cores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PinningPolicy {
+    /// Fill socket 0 first, then socket 1, ... (the paper's policy).
+    Compact,
+    /// Round-robin across sockets (one worker per socket before reusing).
+    Scatter,
+}
+
+/// The physical core worker `w` runs on under `policy`.
+///
+/// Workers are identified by contiguous ids `0..P`; cores are numbered
+/// socket-major as in [`MachineSpec::socket_of`].
+pub fn pin_order(machine: &MachineSpec, policy: PinningPolicy, w: usize) -> usize {
+    let cores = machine.cores();
+    let w = w % cores;
+    match policy {
+        PinningPolicy::Compact => w,
+        PinningPolicy::Scatter => {
+            let socket = w % machine.sockets;
+            let slot = w / machine.sockets;
+            socket * machine.cores_per_socket + slot
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_fills_one_socket_first() {
+        let m = MachineSpec::xeon_e5_4620();
+        for w in 0..8 {
+            assert_eq!(m.socket_of(pin_order(&m, PinningPolicy::Compact, w)), 0);
+        }
+        assert_eq!(m.socket_of(pin_order(&m, PinningPolicy::Compact, 8)), 1);
+        assert_eq!(m.socket_of(pin_order(&m, PinningPolicy::Compact, 31)), 3);
+    }
+
+    #[test]
+    fn scatter_spreads_across_sockets() {
+        let m = MachineSpec::xeon_e5_4620();
+        let sockets: Vec<_> = (0..4)
+            .map(|w| m.socket_of(pin_order(&m, PinningPolicy::Scatter, w)))
+            .collect();
+        assert_eq!(sockets, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn pinning_is_a_permutation() {
+        let m = MachineSpec::xeon_e5_4620();
+        for policy in [PinningPolicy::Compact, PinningPolicy::Scatter] {
+            let mut seen = vec![false; m.cores()];
+            for w in 0..m.cores() {
+                let c = pin_order(&m, policy, w);
+                assert!(!seen[c], "{policy:?} maps two workers to core {c}");
+                seen[c] = true;
+            }
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Iterative 2D Jacobi heat diffusion — the canonical *iterative
+//! application* the hybrid scheme targets: an outer time loop around a
+//! parallel loop over rows that touch the same data every step, so
+//! keeping a row on the same worker keeps it in the same caches.
+//!
+//! Prints per-schedule wall time and the measured loop affinity (how many
+//! rows stayed on their previous worker between steps).
+//!
+//! ```text
+//! cargo run --release --example heat_stencil
+//! ```
+
+use parloop::core::{par_for_tracked, AffinityProbe, ConsecutiveAffinity, Schedule};
+use parloop::runtime::ThreadPool;
+use std::time::Instant;
+
+const W: usize = 512;
+const H: usize = 512;
+const STEPS: usize = 40;
+
+/// One Jacobi step: `next[r] = average of the 4-neighborhood of cur[r]`.
+///
+/// Rows of `next` are written by disjoint iterations; `cur` is read-only.
+fn step(cur: &[f64], next: &mut [f64], pool: &ThreadPool, sched: Schedule, probe: &AffinityProbe) {
+    // Each iteration writes exactly one disjoint row of `next`; wrap the
+    // base pointer so the (Sync) wrapper — not the raw pointer — is
+    // captured by the loop body.
+    struct Rows(*mut f64);
+    unsafe impl Sync for Rows {}
+    impl Rows {
+        /// # Safety
+        /// Row `r` must be written by at most one loop iteration.
+        unsafe fn row(&self, r: usize) -> &mut [f64] {
+            std::slice::from_raw_parts_mut(self.0.add(r * W), W)
+        }
+    }
+    let base = Rows(next.as_mut_ptr());
+
+    par_for_tracked(pool, 0..H, sched, probe, |r| {
+        let row = unsafe { base.row(r) };
+        for c in 0..W {
+            let up = cur[r.saturating_sub(1) * W + c];
+            let down = cur[(r + 1).min(H - 1) * W + c];
+            let left = cur[r * W + c.saturating_sub(1)];
+            let right = cur[r * W + (c + 1).min(W - 1)];
+            row[c] = 0.25 * (up + down + left + right);
+        }
+    });
+}
+
+fn run(pool: &ThreadPool, sched: Schedule) -> (f64, f64) {
+    // Hot spot in the middle, cold borders.
+    let mut cur = vec![0.0f64; W * H];
+    let mut next = vec![0.0f64; W * H];
+    for r in H / 2 - 8..H / 2 + 8 {
+        for c in W / 2 - 8..W / 2 + 8 {
+            cur[r * W + c] = 100.0;
+        }
+    }
+
+    let probe = AffinityProbe::new(0..H);
+    let mut affinity = ConsecutiveAffinity::new();
+    let t0 = Instant::now();
+    for _ in 0..STEPS {
+        probe.reset();
+        step(&cur, &mut next, pool, sched, &probe);
+        affinity.observe(probe.snapshot());
+        std::mem::swap(&mut cur, &mut next);
+    }
+    let secs = t0.elapsed().as_secs_f64();
+
+    // Conservation sanity: heat only diffuses, total stays bounded.
+    let total: f64 = cur.iter().sum();
+    assert!(total.is_finite() && total > 0.0);
+
+    (secs, affinity.mean())
+}
+
+fn main() {
+    let pool = ThreadPool::new(4);
+    println!("2D Jacobi heat diffusion, {W}x{H}, {STEPS} steps, 4 workers\n");
+    println!("{:<12} {:>9} {:>10}", "schedule", "time (s)", "affinity");
+    for sched in [
+        Schedule::hybrid(),
+        Schedule::omp_static(),
+        Schedule::vanilla(),
+        Schedule::omp_guided(),
+    ] {
+        let (secs, affinity) = run(&pool, sched);
+        println!("{:<12} {:>9.3} {:>9.1}%", sched.name(), secs, affinity * 100.0);
+    }
+    println!("\nOn a multi-socket machine the affinity column is what keeps");
+    println!("hybrid/static fast: rows stay in the caches that already hold them.");
+    println!("(On a single-core host, dynamic schemes' affinity is OS-scheduling");
+    println!("noise; the paper-shape numbers come from `fig2_affinity`, which");
+    println!("models the 32-core machine.)");
+}

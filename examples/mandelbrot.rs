@@ -1,0 +1,82 @@
+//! Mandelbrot escape-time rendering — a naturally *unbalanced* parallel
+//! loop (rows near the set take orders of magnitude longer), i.e. the
+//! workload class where static partitioning collapses and the hybrid
+//! scheme's dynamic fallback earns its keep.
+//!
+//! ```text
+//! cargo run --release --example mandelbrot
+//! ```
+
+use parloop::core::{par_for, Schedule};
+use parloop::runtime::ThreadPool;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::time::Instant;
+
+const W: usize = 256;
+const H: usize = 96;
+const MAX_ITER: u32 = 20_000;
+
+fn escape_time(cx: f64, cy: f64) -> u32 {
+    let (mut x, mut y) = (0.0f64, 0.0f64);
+    let mut i = 0;
+    while x * x + y * y <= 4.0 && i < MAX_ITER {
+        let nx = x * x - y * y + cx;
+        y = 2.0 * x * y + cy;
+        x = nx;
+        i += 1;
+    }
+    i
+}
+
+fn render(pool: &ThreadPool, sched: Schedule, img: &[AtomicU32]) -> f64 {
+    let t0 = Instant::now();
+    par_for(pool, 0..H, sched, |row| {
+        for col in 0..W {
+            let cx = -2.2 + 3.0 * col as f64 / W as f64;
+            let cy = -1.2 + 2.4 * row as f64 / H as f64;
+            img[row * W + col].store(escape_time(cx, cy), Ordering::Relaxed);
+        }
+    });
+    t0.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let pool = ThreadPool::new(4);
+    let img: Vec<AtomicU32> = (0..W * H).map(|_| AtomicU32::new(0)).collect();
+
+    println!("Mandelbrot {W}x{H}, max {MAX_ITER} iterations, 4 workers\n");
+    let mut reference: Option<Vec<u32>> = None;
+    for sched in [
+        Schedule::hybrid(),
+        Schedule::omp_static(),
+        Schedule::omp_guided(),
+        Schedule::vanilla(),
+    ] {
+        let secs = render(&pool, sched, &img);
+        let frame: Vec<u32> = img.iter().map(|p| p.load(Ordering::Relaxed)).collect();
+        match &reference {
+            None => reference = Some(frame),
+            Some(r) => assert_eq!(r, &frame, "{} produced a different image", sched.name()),
+        }
+        println!("  {:<12} {secs:.3}s", sched.name());
+    }
+
+    // ASCII rendering of the common result, downsampled 2x vertically.
+    let r = reference.unwrap();
+    let shades = [' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
+    println!();
+    for row in (0..H).step_by(2) {
+        let line: String = (0..W)
+            .step_by(2)
+            .map(|col| {
+                let v = r[row * W + col];
+                if v >= MAX_ITER {
+                    shades[9]
+                } else {
+                    shades[(v as usize * 9 / 600).min(8)]
+                }
+            })
+            .collect();
+        println!("{line}");
+    }
+}

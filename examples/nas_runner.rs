@@ -1,0 +1,44 @@
+//! Run the five NAS kernels under every scheduler and report verification
+//! and timing — the threaded-runtime analogue of the paper's Section V
+//! benchmark sweep.
+//!
+//! ```text
+//! cargo run --release --example nas_runner [s|mini]
+//! ```
+
+use parloop::core::Schedule;
+use parloop::nas::{run_kernel, ClassSize, Kernel};
+use parloop::runtime::ThreadPool;
+
+fn main() {
+    let class = match std::env::args().nth(1).as_deref() {
+        Some("s") => ClassSize::S,
+        _ => ClassSize::Mini,
+    };
+    let pool = ThreadPool::new(4);
+
+    println!("NAS kernels at {class:?} size, 4 workers\n");
+    println!(
+        "{:<4} {:<12} {:>9}  {:<8} metric",
+        "bench", "schedule", "time (s)", "verified"
+    );
+
+    let schedules =
+        [Schedule::hybrid(), Schedule::omp_static(), Schedule::omp_guided(), Schedule::vanilla()];
+    for kernel in Kernel::ALL {
+        for sched in schedules {
+            let rep = run_kernel(&pool, kernel, class, sched);
+            println!(
+                "{:<4} {:<12} {:>9.3}  {:<8} {}",
+                kernel.name(),
+                rep.schedule,
+                rep.elapsed.as_secs_f64(),
+                if rep.verified { "yes" } else { "NO" },
+                rep.metric
+            );
+            assert!(rep.verified, "{} failed verification", kernel.name());
+        }
+        println!();
+    }
+    println!("All kernels verified under all schedulers.");
+}

@@ -1,0 +1,45 @@
+//! Quickstart: schedule a parallel loop six different ways.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use parloop::core::{hybrid_for_with_stats, par_for, Schedule};
+use parloop::runtime::ThreadPool;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn main() {
+    // A pool of 4 workers — the analogue of starting the Cilk runtime.
+    let pool = ThreadPool::new(4);
+    let n = 1 << 16;
+
+    // Any `Fn(usize) + Sync` body works; here: a parallel square-sum.
+    let expected: u64 = (0..n as u64).map(|i| i * i).sum();
+
+    println!("parallel square-sum of 0..{n} under every scheduler:");
+    for sched in Schedule::roster(n, pool.num_workers()) {
+        let sum = AtomicU64::new(0);
+        par_for(&pool, 0..n, sched, |i| {
+            sum.fetch_add((i * i) as u64, Ordering::Relaxed);
+        });
+        let got = sum.load(Ordering::Relaxed);
+        println!(
+            "  {:<12} -> {} {}",
+            sched.name(),
+            got,
+            if got == expected { "ok" } else { "MISMATCH" }
+        );
+    }
+
+    // The hybrid scheme also reports its scheduling counters: how many
+    // partitions it made, how many workers adopted the loop through the
+    // DoHybridLoop steal protocol, and how many claims failed (bounded by
+    // lg R per worker between successes — Lemma 4).
+    let stats = hybrid_for_with_stats(&pool, 0..n, None, |i| {
+        std::hint::black_box(i);
+    });
+    println!(
+        "\nhybrid loop stats: partitions={} adoptions={} failed_claims={}",
+        stats.partitions, stats.adoptions, stats.failed_claims
+    );
+}

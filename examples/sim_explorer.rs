@@ -1,0 +1,57 @@
+//! Drive the virtual-time simulator directly: pick a workload and watch
+//! how each scheme behaves on the modeled 32-core, four-socket machine —
+//! cycles, speedup, affinity, and where memory accesses were serviced.
+//!
+//! ```text
+//! cargo run --release --example sim_explorer [balanced|unbalanced|mg|ft|ep|is|cg]
+//! ```
+
+use parloop::sim::{
+    micro_app, nas_app_scaled_from_name, sequential_time, simulate, MicroParams, PolicyKind,
+    SimConfig,
+};
+use parloop::topo::AccessLevel;
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "balanced".into());
+    let cfg = SimConfig::xeon();
+
+    let app = match which.as_str() {
+        "balanced" => {
+            let mut p = MicroParams::new(MicroParams::WORKING_SETS[0].1, true);
+            p.outer = 4;
+            p.iterations = 256;
+            micro_app(p)
+        }
+        "unbalanced" => {
+            let mut p = MicroParams::new(MicroParams::WORKING_SETS[0].1, false);
+            p.outer = 4;
+            p.iterations = 256;
+            micro_app(p)
+        }
+        name => nas_app_scaled_from_name(name, 4)
+            .unwrap_or_else(|| panic!("unknown workload '{name}'")),
+    };
+
+    let ts = sequential_time(&app, &cfg);
+    println!("workload: {} | sequential baseline Ts = {:.2e} cycles\n", app.name, ts);
+    println!(
+        "{:<12} {:>10} {:>8} {:>9}  L3-miss service (local/remoteL3/remote)",
+        "scheme", "T32 cycles", "Ts/T32", "affinity"
+    );
+
+    for kind in PolicyKind::roster() {
+        let r = simulate(&app, kind, 32, &cfg);
+        let c = r.counts;
+        let local = c.get(AccessLevel::LocalDram);
+        let rl3 = c.get(AccessLevel::RemoteL3);
+        let remote = c.get(AccessLevel::RemoteDram);
+        println!(
+            "{:<12} {:>10.2e} {:>8.2} {:>8.1}%  {local} / {rl3} / {remote}",
+            kind.name(),
+            r.total_cycles,
+            ts / r.total_cycles,
+            100.0 * r.mean_affinity(&app),
+        );
+    }
+}

@@ -1,0 +1,88 @@
+//! Model-based property test for the Chase–Lev deque: a random sequence
+//! of owner operations (push/pop) interleaved with *serialized* steals
+//! must behave exactly like a reference double-ended queue (LIFO bottom,
+//! FIFO top). The concurrent exactly-once property is covered by the
+//! stress test inside `parloop-runtime`; this file pins the sequential
+//! semantics, which the concurrent protocol must linearize to.
+
+use parloop::runtime::deque::{deque, Steal};
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Push(u64),
+    Pop,
+    Steal,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => any::<u64>().prop_map(Op::Push),
+        2 => Just(Op::Pop),
+        2 => Just(Op::Steal),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn matches_reference_deque(ops in prop::collection::vec(op_strategy(), 0..512)) {
+        let (w, s) = deque::<u64>();
+        let mut model: VecDeque<u64> = VecDeque::new();
+
+        for op in ops {
+            match op {
+                Op::Push(v) => {
+                    w.push(v);
+                    model.push_back(v);
+                }
+                Op::Pop => {
+                    prop_assert_eq!(w.pop(), model.pop_back());
+                }
+                Op::Steal => {
+                    let got = match s.steal() {
+                        Steal::Success(v) => Some(v),
+                        Steal::Empty => None,
+                        Steal::Retry => {
+                            // No concurrency here: Retry must not happen.
+                            prop_assert!(false, "spurious Retry in sequential use");
+                            None
+                        }
+                    };
+                    prop_assert_eq!(got, model.pop_front());
+                }
+            }
+            prop_assert_eq!(w.len(), model.len());
+            prop_assert_eq!(w.is_empty(), model.is_empty());
+        }
+
+        // Drain and compare the remainder (steals take the front).
+        while let Some(want) = model.pop_front() {
+            match s.steal() {
+                Steal::Success(v) => prop_assert_eq!(v, want),
+                other => prop_assert!(false, "expected Success({want}), got {other:?}"),
+            }
+        }
+        prop_assert!(w.pop().is_none());
+    }
+
+    /// Growth boundary: interleave around the initial capacity (64).
+    #[test]
+    fn growth_preserves_fifo_order(extra in 0usize..200, steal_every in 1usize..8) {
+        let (w, s) = deque::<u64>();
+        let mut model: VecDeque<u64> = VecDeque::new();
+        for i in 0..(64 + extra) as u64 {
+            w.push(i);
+            model.push_back(i);
+            if (i as usize).is_multiple_of(steal_every) {
+                let got = s.steal().success();
+                prop_assert_eq!(got, model.pop_front());
+            }
+        }
+        while let Some(want) = model.pop_back() {
+            prop_assert_eq!(w.pop(), Some(want));
+        }
+    }
+}

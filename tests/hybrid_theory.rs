@@ -1,0 +1,150 @@
+//! Property tests for the paper's theory results (Section IV), driven by
+//! proptest over partition counts, worker sets, interleavings, and
+//! adversarial pre-claimed states.
+
+use parloop::core::{
+    index_group, partition_group, run_claim_heuristic, ClaimTable, ClaimWalker,
+};
+use proptest::prelude::*;
+
+/// Drive a set of walkers under an arbitrary interleaving (a sequence of
+/// indices into the walker set); returns the execution order per worker.
+fn run_interleaved(
+    r_total: usize,
+    workers: &[usize],
+    schedule: &[usize],
+) -> Vec<Vec<usize>> {
+    let table = ClaimTable::new(r_total);
+    let mut walkers: Vec<ClaimWalker> =
+        workers.iter().map(|&w| ClaimWalker::new(w, r_total)).collect();
+    let mut executed: Vec<Vec<usize>> = vec![Vec::new(); workers.len()];
+
+    // Apply the arbitrary interleaving first, then round-robin to drain.
+    let drain: Vec<usize> = (0..workers.len()).cycle().take(workers.len() * 4 * r_total).collect();
+    for &k in schedule.iter().chain(drain.iter()) {
+        let k = k % workers.len();
+        if let Some(r) = walkers[k].candidate() {
+            let won = table.try_claim(r);
+            if let Some(part) = walkers[k].record(won) {
+                executed[k].push(part);
+            }
+        }
+    }
+    assert!(walkers.iter().all(|w| w.finished()), "a walker failed to finish");
+    executed
+}
+
+proptest! {
+    /// Theorem 3: every partition executes exactly once, for any worker
+    /// subset and any interleaving.
+    #[test]
+    fn theorem3_exactly_once(
+        k in 0u32..6,
+        worker_mask in 1u64..,
+        schedule in prop::collection::vec(0usize..8, 0..256),
+    ) {
+        let r_total = 1usize << k;
+        let workers: Vec<usize> =
+            (0..r_total).filter(|&w| worker_mask >> (w % 64) & 1 == 1).collect();
+        let workers = if workers.is_empty() { vec![0] } else { workers };
+
+        let executed = run_interleaved(r_total, &workers, &schedule);
+        let mut seen = vec![0usize; r_total];
+        for parts in &executed {
+            for &p in parts {
+                seen[p] += 1;
+            }
+        }
+        prop_assert!(seen.iter().all(|&c| c == 1), "counts {seen:?}");
+    }
+
+    /// Lemma 4: at most lg R consecutive unsuccessful claims per worker,
+    /// under adversarial pre-claimed partitions.
+    #[test]
+    fn lemma4_failed_run_bound(
+        k in 0u32..10,
+        w in 0usize..1024,
+        preclaim in prop::collection::vec(any::<bool>(), 1024),
+    ) {
+        let r_total = 1usize << k;
+        let w = w % r_total;
+        let table = ClaimTable::new(r_total);
+        for (r, &pre) in preclaim.iter().enumerate().take(r_total) {
+            if pre {
+                table.try_claim(r);
+            }
+        }
+        let stats = run_claim_heuristic(&table, w, |_| {});
+        // Lemma 4: at most lg R failures before a success *or a return*;
+        // the single failure at i = 0 that exits immediately makes the
+        // tight run bound max(lg R, 1).
+        let bound = (k as usize).max(1);
+        prop_assert!(
+            stats.max_failed_run <= bound,
+            "failed run {} exceeds max(lg R, 1) = {bound}",
+            stats.max_failed_run
+        );
+    }
+
+    /// A worker's claim sequence starts at its earmarked partition and is
+    /// a permutation prefix: all claimed partitions are distinct.
+    #[test]
+    fn claim_sequence_starts_at_earmark(k in 0u32..8, w_raw in any::<usize>()) {
+        let r_total = 1usize << k;
+        let w = w_raw % r_total;
+        let table = ClaimTable::new(r_total);
+        let mut order = Vec::new();
+        run_claim_heuristic(&table, w, |r| order.push(r));
+        prop_assert_eq!(order[0], w, "first claim must be the earmarked partition");
+        let set: std::collections::HashSet<_> = order.iter().collect();
+        prop_assert_eq!(set.len(), order.len());
+        // A lone worker claims everything.
+        prop_assert_eq!(order.len(), r_total);
+    }
+
+    /// Index-group recursion: I(x, n) = I(2x, n-1) ∪ I(2x+1, n-1), and
+    /// partition groups are XOR images of index groups (Lemma 2 scaffolding).
+    #[test]
+    fn index_group_recursion(n in 1u32..8, x_raw in any::<usize>()) {
+        let x = x_raw % (1usize << (8 - n));
+        let parent: Vec<usize> = index_group(x, n).collect();
+        let mut children: Vec<usize> = index_group(2 * x, n - 1).collect();
+        children.extend(index_group(2 * x + 1, n - 1));
+        prop_assert_eq!(parent, children);
+    }
+
+    /// Partition groups of the same level form a partition of 0..R for
+    /// every worker (bijectivity of XOR).
+    #[test]
+    fn partition_groups_tile_the_space(k in 1u32..8, w_raw in any::<usize>(), n in 0u32..8) {
+        let n = n % (k + 1);
+        let r_total = 1usize << k;
+        let w = w_raw % r_total;
+        let mut seen = vec![false; r_total];
+        for x in 0..(r_total >> n) {
+            for part in partition_group(w, x, n) {
+                prop_assert!(!seen[part], "partition {part} in two groups");
+                seen[part] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+}
+
+#[test]
+fn two_workers_adversarial_lockstep_claims() {
+    // Deterministic worst-case-ish interleaving: both workers attempt the
+    // same candidate whenever possible.
+    for k in 0..6u32 {
+        let r_total = 1usize << k;
+        for w1 in 0..r_total {
+            let w2 = (w1 + 1) % r_total;
+            if w1 == w2 {
+                continue;
+            }
+            let executed = run_interleaved(r_total, &[w1, w2], &[0, 1].repeat(r_total * 2));
+            let total: usize = executed.iter().map(|e| e.len()).sum();
+            assert_eq!(total, r_total);
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Stress and lifecycle tests for the work-stealing runtime under
+//! oversubscription (this host has one core, so every pool > 1 is
+//! heavily preempted — a good adversarial schedule generator).
+
+use parloop::core::{par_for, Schedule};
+use parloop::runtime::{join, scope, ThreadPool};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+#[test]
+fn many_short_lived_pools() {
+    for round in 0..30 {
+        let p = 1 + round % 5;
+        let pool = ThreadPool::new(p);
+        let count = AtomicUsize::new(0);
+        pool.install(|| {
+            join(
+                || count.fetch_add(1, Ordering::Relaxed),
+                || count.fetch_add(1, Ordering::Relaxed),
+            );
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 2);
+        // Drop immediately: shutdown must not hang or leak stack jobs.
+    }
+}
+
+#[test]
+fn deep_join_tree_with_stealing() {
+    let pool = ThreadPool::new(4);
+    fn sum(lo: u64, hi: u64) -> u64 {
+        if hi - lo <= 32 {
+            return (lo..hi).sum();
+        }
+        let mid = lo + (hi - lo) / 2;
+        let (a, b) = join(|| sum(lo, mid), || sum(mid, hi));
+        a + b
+    }
+    let n = 1 << 16;
+    assert_eq!(pool.install(|| sum(0, n)), n * (n - 1) / 2);
+    let stats = pool.stats();
+    assert!(stats.jobs_executed > 0);
+}
+
+#[test]
+fn scopes_spawning_parallel_loops() {
+    let pool = ThreadPool::new(3);
+    let total = AtomicUsize::new(0);
+    let pool_ref = &pool;
+    let total_ref = &total;
+    pool.install(|| {
+        scope(|s| {
+            for _ in 0..8 {
+                s.spawn(move |_| {
+                    // A full parallel loop from inside a scoped task.
+                    par_for(pool_ref, 0..64, Schedule::vanilla(), |_| {
+                        total_ref.fetch_add(1, Ordering::Relaxed);
+                    });
+                });
+            }
+        });
+    });
+    assert_eq!(total.load(Ordering::Relaxed), 8 * 64);
+}
+
+#[test]
+fn hybrid_under_oversubscription_is_exactly_once() {
+    // 16 workers on (at most) a few cores: extreme preemption.
+    let pool = ThreadPool::new(16);
+    let n = 20_000;
+    let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+    par_for(&pool, 0..n, Schedule::hybrid(), |i| {
+        hits[i].fetch_add(1, Ordering::Relaxed);
+    });
+    assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+}
+
+#[test]
+fn alternating_schedules_many_rounds() {
+    let pool = ThreadPool::new(4);
+    let roster = Schedule::roster(512, 4);
+    let count = Arc::new(AtomicUsize::new(0));
+    for round in 0..60 {
+        let sched = roster[round % roster.len()];
+        let c = Arc::clone(&count);
+        par_for(&pool, 0..512, sched, move |_| {
+            c.fetch_add(1, Ordering::Relaxed);
+        });
+    }
+    assert_eq!(count.load(Ordering::Relaxed), 60 * 512);
+}
+
+#[test]
+fn panic_storm_leaves_pool_usable() {
+    let pool = ThreadPool::new(3);
+    for i in 0..10 {
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            par_for(&pool, 0..100, Schedule::roster(100, 3)[i % 6], |j| {
+                if j == 50 {
+                    panic!("round {i}");
+                }
+            });
+        }));
+        assert!(r.is_err(), "round {i} should have panicked");
+    }
+    // Still fully functional afterwards.
+    let count = AtomicUsize::new(0);
+    par_for(&pool, 0..1000, Schedule::hybrid(), |_| {
+        count.fetch_add(1, Ordering::Relaxed);
+    });
+    assert_eq!(count.load(Ordering::Relaxed), 1000);
+}
+
+#[test]
+fn results_flow_out_of_install() {
+    let pool = ThreadPool::new(2);
+    let v: Vec<u64> = pool.install(|| {
+        let (mut a, b) = join(
+            || (0..100u64).map(|i| i * 2).collect::<Vec<_>>(),
+            || (100..200u64).map(|i| i * 2).collect::<Vec<_>>(),
+        );
+        a.extend(b);
+        a
+    });
+    assert_eq!(v.len(), 200);
+    assert_eq!(v[199], 398);
+}

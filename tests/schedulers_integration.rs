@@ -1,0 +1,106 @@
+//! Cross-crate integration: every scheduler × every kernel × several pool
+//! sizes on the real threaded runtime, asserting identical results.
+
+use parloop::core::{par_for, Schedule};
+use parloop::micro::{run_sequential, IterativeMicro, MicroParams};
+use parloop::nas::{run_kernel, ClassSize, Kernel};
+use parloop::runtime::ThreadPool;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+#[test]
+fn all_kernels_verify_under_all_schedules_and_pool_sizes() {
+    for p in [1usize, 2, 5] {
+        let pool = ThreadPool::new(p);
+        for kernel in Kernel::ALL {
+            for sched in Schedule::roster(256, p) {
+                let rep = run_kernel(&pool, kernel, ClassSize::Mini, sched);
+                assert!(
+                    rep.verified,
+                    "{} under {} with P={p} failed: {}",
+                    kernel.name(),
+                    rep.schedule,
+                    rep.metric
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn micro_checksums_equal_sequential_everywhere() {
+    let params = MicroParams { working_set: 256 << 10, iterations: 64, passes: 2, balanced: false };
+    let expect = {
+        let m = IterativeMicro::new(params);
+        run_sequential(&m, 3);
+        m.checksum()
+    };
+    for p in [1usize, 3, 4] {
+        let pool = ThreadPool::new(p);
+        for sched in Schedule::roster(64, p) {
+            let m = IterativeMicro::new(params);
+            m.run_phases(&pool, sched, 3);
+            assert_eq!(m.checksum(), expect, "{} P={p}", sched.name());
+        }
+    }
+}
+
+#[test]
+fn nested_parallel_loops_mix_schedules() {
+    // A hybrid loop whose body runs vanilla inner loops, and vice versa.
+    let pool = ThreadPool::new(4);
+    let count = AtomicUsize::new(0);
+    par_for(&pool, 0..16, Schedule::hybrid(), |_| {
+        par_for(&pool, 0..32, Schedule::vanilla(), |_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+    });
+    assert_eq!(count.load(Ordering::Relaxed), 16 * 32);
+
+    count.store(0, Ordering::Relaxed);
+    par_for(&pool, 0..16, Schedule::vanilla(), |_| {
+        par_for(&pool, 0..32, Schedule::hybrid(), |_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+    });
+    assert_eq!(count.load(Ordering::Relaxed), 16 * 32);
+}
+
+#[test]
+fn concurrent_loops_from_external_threads() {
+    // Multiple external threads push loops into one pool concurrently —
+    // the "multiple parallel regions at the same time" scenario the paper
+    // gives as a motivation for dynamic load balancing.
+    let pool = std::sync::Arc::new(ThreadPool::new(4));
+    let total = std::sync::Arc::new(AtomicUsize::new(0));
+    std::thread::scope(|s| {
+        for t in 0..4 {
+            let pool = std::sync::Arc::clone(&pool);
+            let total = std::sync::Arc::clone(&total);
+            s.spawn(move || {
+                let sched = if t % 2 == 0 { Schedule::hybrid() } else { Schedule::vanilla() };
+                for _ in 0..8 {
+                    par_for(&pool, 0..500, sched, |_| {
+                        total.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+        }
+    });
+    assert_eq!(total.load(Ordering::Relaxed), 4 * 8 * 500);
+}
+
+#[test]
+fn pools_of_many_sizes_handle_tiny_loops() {
+    for p in 1..=6 {
+        let pool = ThreadPool::new(p);
+        for n in [0usize, 1, 2, p, p + 1, 2 * p + 1] {
+            for sched in Schedule::roster(n.max(1), p) {
+                let count = AtomicUsize::new(0);
+                par_for(&pool, 0..n, sched, |_| {
+                    count.fetch_add(1, Ordering::Relaxed);
+                });
+                assert_eq!(count.load(Ordering::Relaxed), n, "{} n={n} p={p}", sched.name());
+            }
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! End-to-end assertions on the *shapes* the paper's figures report,
+//! evaluated on reduced-size simulator runs (the full-size tables are
+//! produced by the `fig*` harness binaries and recorded in
+//! EXPERIMENTS.md).
+
+use parloop::sim::{
+    micro_app, nas_app_scaled, sequential_time, simulate, MicroParams, NasKernel, PolicyKind,
+    SimConfig,
+};
+
+fn quick_micro(balanced: bool) -> parloop::sim::AppModel {
+    let mut p = MicroParams::new(MicroParams::WORKING_SETS[0].1, balanced);
+    p.outer = 4;
+    p.iterations = 256;
+    micro_app(p)
+}
+
+#[test]
+fn fig1_balanced_static_and_hybrid_lead_cross_socket() {
+    let cfg = SimConfig::xeon();
+    let app = quick_micro(true);
+    let t32 = |kind| simulate(&app, kind, 32, &cfg).total_cycles;
+    let hybrid = t32(PolicyKind::Hybrid);
+    let statics = t32(PolicyKind::Static);
+    for lagger in [PolicyKind::WorkSharing, PolicyKind::Guided, PolicyKind::Stealing] {
+        let t = t32(lagger);
+        assert!(hybrid < t, "{}: hybrid {hybrid:.0} !< {t:.0}", lagger.name());
+        assert!(statics < t, "{}: static {statics:.0} !< {t:.0}", lagger.name());
+    }
+    // Hybrid follows static closely (within 15%).
+    assert!(hybrid < statics * 1.15, "hybrid {hybrid:.0} vs static {statics:.0}");
+}
+
+#[test]
+fn fig1_unbalanced_non_static_schemes_win() {
+    let cfg = SimConfig::xeon();
+    let app = quick_micro(false);
+    let t32 = |kind| simulate(&app, kind, 32, &cfg).total_cycles;
+    let statics = t32(PolicyKind::Static);
+    for dynamic in [PolicyKind::Hybrid, PolicyKind::WorkSharing, PolicyKind::Guided, PolicyKind::Stealing] {
+        let t = t32(dynamic);
+        assert!(t < statics, "{} {t:.0} should beat omp_static {statics:.0}", dynamic.name());
+    }
+    // And the hybrid is the best of them.
+    let hybrid = t32(PolicyKind::Hybrid);
+    for other in [PolicyKind::WorkSharing, PolicyKind::Guided, PolicyKind::Stealing] {
+        assert!(hybrid <= t32(other) * 1.02, "hybrid not competitive with {}", other.name());
+    }
+}
+
+#[test]
+fn fig2_affinity_ordering() {
+    let cfg = SimConfig::xeon();
+    for balanced in [true, false] {
+        let app = quick_micro(balanced);
+        let aff = |kind| simulate(&app, kind, 32, &cfg).mean_affinity(&app);
+        let hybrid = aff(PolicyKind::Hybrid);
+        let statics = aff(PolicyKind::Static);
+        let vanilla = aff(PolicyKind::Stealing);
+        let dynamic = aff(PolicyKind::WorkSharing);
+        assert!((statics - 1.0).abs() < 1e-12, "static affinity must be 100%");
+        if balanced {
+            assert!(hybrid > 0.95, "balanced hybrid affinity {hybrid}");
+        } else {
+            assert!(hybrid > 0.5, "unbalanced hybrid affinity {hybrid}");
+        }
+        assert!(vanilla < 0.3, "vanilla affinity {vanilla}");
+        assert!(dynamic < 0.3, "omp_dynamic affinity {dynamic}");
+        assert!(hybrid > vanilla + 0.3);
+    }
+}
+
+#[test]
+fn fig4_vanilla_pays_more_remote_traffic() {
+    use parloop::topo::AccessLevel;
+    let cfg = SimConfig::xeon();
+    let app = quick_micro(true);
+    let hybrid = simulate(&app, PolicyKind::Hybrid, 32, &cfg);
+    let vanilla = simulate(&app, PolicyKind::Stealing, 32, &cfg);
+    let remote = |r: &parloop::sim::SimResult| {
+        r.counts.get(AccessLevel::RemoteL3) + r.counts.get(AccessLevel::RemoteDram)
+    };
+    assert!(
+        remote(&vanilla) > remote(&hybrid),
+        "vanilla remote {} must exceed hybrid {}",
+        remote(&vanilla),
+        remote(&hybrid)
+    );
+    let lat = |r: &parloop::sim::SimResult| r.counts.inferred_latency_without_l1(&cfg.latency);
+    assert!(lat(&vanilla) > lat(&hybrid), "vanilla inferred latency must be highest");
+}
+
+#[test]
+fn fig3_hybrid_competitive_on_all_kernels() {
+    let cfg = SimConfig::xeon();
+    for kernel in NasKernel::ALL {
+        let app = nas_app_scaled(kernel, 8);
+        let ts = sequential_time(&app, &cfg);
+        let speedups: Vec<(PolicyKind, f64)> = PolicyKind::roster()
+            .into_iter()
+            .map(|kind| (kind, ts / simulate(&app, kind, 16, &cfg).total_cycles))
+            .collect();
+        let best = speedups.iter().map(|&(_, s)| s).fold(0.0, f64::max);
+        let hybrid = speedups
+            .iter()
+            .find(|(k, _)| *k == PolicyKind::Hybrid)
+            .map(|&(_, s)| s)
+            .unwrap();
+        let rank = speedups.iter().filter(|&&(_, s)| s > hybrid).count();
+        // The paper's Figure 3 result: hybrid wins ft/is/ep, and is
+        // *second best* on mg and cg where OpenMP leads. So accept either
+        // second-or-better rank, or within 15% of the best (the schemes
+        // bunch together at this reduced test scale; full-scale tables
+        // live in EXPERIMENTS.md).
+        assert!(
+            rank <= 1 || hybrid >= 0.85 * best,
+            "{}: hybrid {hybrid:.2} not within 15% of best {best:.2}: {:?}",
+            kernel.name(),
+            speedups
+                .iter()
+                .map(|(k, s)| format!("{}={s:.2}", k.name()))
+                .collect::<Vec<_>>()
+        );
+    }
+}
+
+#[test]
+fn simulation_deterministic_across_runs() {
+    let cfg = SimConfig::xeon();
+    let app = quick_micro(false);
+    for kind in PolicyKind::roster() {
+        let a = simulate(&app, kind, 8, &cfg);
+        let b = simulate(&app, kind, 8, &cfg);
+        assert_eq!(a.total_cycles, b.total_cycles, "{}", kind.name());
+        assert_eq!(a.counts, b.counts, "{}", kind.name());
+    }
+}

@@ -1,0 +1,108 @@
+//! Property tests for the virtual-time engine: coverage, conservation,
+//! and sanity invariants that must hold for arbitrary workload shapes.
+
+use parloop::sim::{
+    blocked_offsets, simulate, AccessPattern, AddressSpace, AppModel, CostProfile, LoopModel,
+    PolicyKind, SimConfig,
+};
+use proptest::prelude::*;
+
+/// Build a small arbitrary app model from a handful of parameters.
+fn build_app(n: usize, outer: usize, ws_kb: usize, ramp: f64, passes: u32) -> AppModel {
+    let mut sp = AddressSpace::new();
+    let bytes = ws_kb * 1024;
+    let arr = sp.alloc(bytes);
+    AppModel {
+        name: "prop".into(),
+        loops: vec![LoopModel {
+            name: "prop-loop",
+            n,
+            cpu: CostProfile::LinearRamp { min: 50.0, max: 50.0 * ramp },
+            patterns: vec![AccessPattern::Block {
+                array: arr,
+                offsets: blocked_offsets(bytes, n, ramp.max(1.0)),
+                passes,
+                write: true,
+            }],
+        }],
+        outer,
+        seq_between: 100.0,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every access the workload issues is counted exactly once,
+    /// regardless of scheme and worker count.
+    #[test]
+    fn access_conservation(
+        n in 4usize..64,
+        outer in 1usize..4,
+        ws_kb in 8usize..128,
+        p in 1usize..9,
+        kind_ix in 0usize..6,
+    ) {
+        let app = build_app(n, outer, ws_kb, 1.0, 1);
+        let kind = PolicyKind::roster()[kind_ix];
+        let cfg = SimConfig::xeon();
+        let r = simulate(&app, kind, p, &cfg);
+        let expect = app.loops[0].total_accesses() * outer as u64;
+        prop_assert_eq!(r.counts.total(), expect, "{} P={}", kind.name(), p);
+    }
+
+    /// Total virtual time is positive, finite, and at least the critical
+    /// path of a single iteration.
+    #[test]
+    fn time_is_sane(
+        n in 4usize..48,
+        ws_kb in 8usize..64,
+        ramp in 1.0f64..8.0,
+        p in 1usize..9,
+        kind_ix in 0usize..6,
+    ) {
+        let app = build_app(n, 2, ws_kb, ramp, 1);
+        let kind = PolicyKind::roster()[kind_ix];
+        let r = simulate(&app, kind, p, &SimConfig::xeon());
+        prop_assert!(r.total_cycles.is_finite() && r.total_cycles > 0.0);
+        // No scheme can beat the per-iteration CPU floor.
+        let floor = app.loops[0].cpu_total() / p as f64;
+        prop_assert!(r.total_cycles >= floor, "{}: {} < floor {}", kind.name(), r.total_cycles, floor);
+    }
+
+    /// Affinity values are valid probabilities, and static is always 1.
+    #[test]
+    fn affinity_in_unit_interval(
+        n in 4usize..48,
+        outer in 2usize..5,
+        p in 2usize..9,
+        kind_ix in 0usize..6,
+    ) {
+        let app = build_app(n, outer, 32, 2.0, 1);
+        let kind = PolicyKind::roster()[kind_ix];
+        let r = simulate(&app, kind, p, &SimConfig::xeon());
+        let a = r.mean_affinity(&app);
+        prop_assert!((0.0..=1.0).contains(&a), "{}: affinity {a}", kind.name());
+        if kind == PolicyKind::Static {
+            prop_assert!((a - 1.0).abs() < 1e-12);
+        }
+    }
+
+    /// The hybrid-oversubscription variants stay correct for any factor.
+    #[test]
+    fn oversub_conserves_accesses(factor in 1u8..9, p in 1usize..9) {
+        let app = build_app(32, 2, 64, 1.0, 1);
+        let r = simulate(&app, PolicyKind::HybridOversub(factor), p, &SimConfig::xeon());
+        prop_assert_eq!(r.counts.total(), app.loops[0].total_accesses() * 2);
+    }
+
+    /// StaticCyclic is deterministic: affinity 1.0 across consecutive loops.
+    #[test]
+    fn static_cyclic_retains_affinity(chunk in 1u16..33, p in 2usize..9) {
+        let app = build_app(40, 3, 64, 1.0, 1);
+        let r = simulate(&app, PolicyKind::StaticCyclic(chunk), p, &SimConfig::xeon());
+        prop_assert_eq!(r.counts.total(), app.loops[0].total_accesses() * 3);
+        let a = r.mean_affinity(&app);
+        prop_assert!((a - 1.0).abs() < 1e-12, "cyclic affinity {a}");
+    }
+}
