@@ -31,11 +31,8 @@ fn main() {
         let mut t = Table::new(vec!["R factor", "T32 (cycles)", "vs factor 1", "affinity"]);
         let base = simulate(&app, PolicyKind::Hybrid, p, &cfg).total_cycles;
         for factor in [1u8, 2, 4, 8] {
-            let kind = if factor == 1 {
-                PolicyKind::Hybrid
-            } else {
-                PolicyKind::HybridOversub(factor)
-            };
+            let kind =
+                if factor == 1 { PolicyKind::Hybrid } else { PolicyKind::HybridOversub(factor) };
             let r = simulate(&app, kind, p, &cfg);
             t.row(vec![
                 format!("{factor}x"),

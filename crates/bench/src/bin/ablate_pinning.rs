@@ -31,7 +31,8 @@ fn main() {
         h
     });
 
-    for (label, pinning) in [("compact", PinningPolicy::Compact), ("scatter", PinningPolicy::Scatter)]
+    for (label, pinning) in
+        [("compact", PinningPolicy::Compact), ("scatter", PinningPolicy::Scatter)]
     {
         let cfg = SimConfig { pinning, ..SimConfig::xeon() };
         let mut cells = vec![label.to_string()];

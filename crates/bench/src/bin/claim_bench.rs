@@ -1,0 +1,82 @@
+//! Claim-heuristic microbench (plain wall-clock port of the old Criterion
+//! `claim` bench): cost of full solo claim walks, contended walks from
+//! every worker id, and the single `fetch_or` claim primitive.
+//!
+//! Usage: `cargo run --release -p parloop-bench --bin claim_bench [--quick]`
+
+use parloop_bench::{quick_flag, time_best_ns, Table};
+use parloop_core::{ClaimTable, ClaimWalker};
+
+fn solo_walk(r: usize) -> usize {
+    let table = ClaimTable::new(r);
+    let mut walker = ClaimWalker::new(0, r);
+    let mut claimed = 0;
+    while let Some(c) = walker.candidate() {
+        let won = table.try_claim(c);
+        if walker.record(won).is_some() {
+            claimed += 1;
+        }
+    }
+    claimed
+}
+
+fn contended_walks(r: usize, p: usize) -> usize {
+    // All P walkers interleaved round-robin on one thread — the worst-case
+    // claim-collision pattern without timing noise from real threads.
+    let table = ClaimTable::new(r);
+    let mut walkers: Vec<ClaimWalker> = (0..p).map(|w| ClaimWalker::new(w, r)).collect();
+    let mut claimed = 0;
+    while !table.all_claimed() {
+        for walker in &mut walkers {
+            if let Some(c) = walker.candidate() {
+                let won = table.try_claim(c);
+                if walker.record(won).is_some() {
+                    claimed += 1;
+                }
+            }
+        }
+    }
+    claimed
+}
+
+fn main() {
+    let quick = quick_flag();
+    let reps = if quick { 50 } else { 500 };
+
+    println!("claim heuristic walk cost (best of {reps})\n");
+    let mut t = Table::new(vec!["benchmark", "R", "ns total", "ns/partition"]);
+    for r in [32usize, 128, 1024] {
+        let ns = time_best_ns(reps, || {
+            assert_eq!(std::hint::black_box(solo_walk(r)), r);
+        });
+        t.row(vec![
+            "solo walk".to_string(),
+            r.to_string(),
+            format!("{ns:.0}"),
+            format!("{:.2}", ns / r as f64),
+        ]);
+    }
+    for r in [32usize, 128, 1024] {
+        let p = 8.min(r);
+        let ns = time_best_ns(reps, || {
+            assert_eq!(std::hint::black_box(contended_walks(r, p)), r);
+        });
+        t.row(vec![
+            format!("interleaved x{p}"),
+            r.to_string(),
+            format!("{ns:.0}"),
+            format!("{:.2}", ns / r as f64),
+        ]);
+    }
+    t.print();
+
+    // The primitive itself: one fetch_or claim on a fresh table.
+    let iters = 1024usize;
+    let ns = time_best_ns(reps, || {
+        let table = ClaimTable::new(iters);
+        for i in 0..iters {
+            std::hint::black_box(table.try_claim(i));
+        }
+    });
+    println!("\nsingle try_claim (fetch_or): {:.2} ns", ns / iters as f64);
+}

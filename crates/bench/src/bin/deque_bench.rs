@@ -1,0 +1,89 @@
+//! Chase–Lev deque microbench (plain wall-clock port of the old Criterion
+//! `deque` bench): owner push/pop throughput, drain-by-stealing, and
+//! stealing under owner contention.
+//!
+//! Usage: `cargo run --release -p parloop-bench --bin deque_bench [--quick]`
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use parloop_bench::{quick_flag, time_best_ns, Table};
+use parloop_runtime::deque::deque;
+
+const OPS: usize = 1000;
+
+fn push_pop() -> usize {
+    let (w, _s) = deque::<usize>();
+    let mut popped = 0;
+    for i in 0..OPS {
+        w.push(i);
+    }
+    while w.pop().is_some() {
+        popped += 1;
+    }
+    popped
+}
+
+fn steal_drain() -> usize {
+    let (w, s) = deque::<usize>();
+    for i in 0..OPS {
+        w.push(i);
+    }
+    let mut stolen = 0;
+    while s.steal().success().is_some() {
+        stolen += 1;
+    }
+    stolen
+}
+
+fn contended_steal() -> usize {
+    // Owner pushes/pops at the bottom while a thief drains the top.
+    let (w, s) = deque::<usize>();
+    let done = Arc::new(AtomicBool::new(false));
+    let done2 = Arc::clone(&done);
+    let thief = std::thread::spawn(move || {
+        let mut stolen = 0usize;
+        while !done2.load(Ordering::Acquire) {
+            if s.steal().success().is_some() {
+                stolen += 1;
+            }
+        }
+        while s.steal().success().is_some() {
+            stolen += 1;
+        }
+        stolen
+    });
+    let mut popped = 0usize;
+    for i in 0..OPS {
+        w.push(i);
+        if i % 2 == 0 && w.pop().is_some() {
+            popped += 1;
+        }
+    }
+    while w.pop().is_some() {
+        popped += 1;
+    }
+    done.store(true, Ordering::Release);
+    let stolen = thief.join().unwrap();
+    assert_eq!(popped + stolen, OPS);
+    popped + stolen
+}
+
+fn main() {
+    let quick = quick_flag();
+    let reps = if quick { 20 } else { 200 };
+
+    println!("Chase-Lev deque, {OPS} ops per run (best of {reps})\n");
+    let mut t = Table::new(vec!["benchmark", "ns total", "ns/op"]);
+    for (name, f) in [
+        ("push_pop_1k", push_pop as fn() -> usize),
+        ("steal_1k", steal_drain as fn() -> usize),
+        ("contended_steal_1k", contended_steal as fn() -> usize),
+    ] {
+        let ns = time_best_ns(reps, || {
+            assert_eq!(std::hint::black_box(f()), OPS);
+        });
+        t.row(vec![name.to_string(), format!("{ns:.0}"), format!("{:.2}", ns / OPS as f64)]);
+    }
+    t.print();
+}

@@ -10,10 +10,8 @@ use parloop_sim::{micro_app, nas_app_scaled, MicroParams, NasKernel, SimConfig, 
 
 fn main() -> std::io::Result<()> {
     let quick = quick_flag();
-    let outdir = std::env::args()
-        .skip(1)
-        .find(|a| !a.starts_with("--"))
-        .unwrap_or_else(|| "results".into());
+    let outdir =
+        std::env::args().skip(1).find(|a| !a.starts_with("--")).unwrap_or_else(|| "results".into());
     std::fs::create_dir_all(&outdir)?;
 
     let cfg = SimConfig::xeon();

@@ -16,16 +16,9 @@ use parloop_sim::{micro_app, sequential_time, simulate, MicroParams, SimConfig};
 fn main() {
     let quick = quick_flag();
     let cfg = SimConfig::xeon();
-    let sweep: Vec<usize> = if quick {
-        WORKER_SWEEP_QUICK.to_vec()
-    } else {
-        WORKER_SWEEP.to_vec()
-    };
-    let working_sets: Vec<(&str, usize)> = if quick {
-        vec![MicroParams::WORKING_SETS[0]]
-    } else {
-        MicroParams::WORKING_SETS.to_vec()
-    };
+    let sweep: Vec<usize> = if quick { WORKER_SWEEP_QUICK.to_vec() } else { WORKER_SWEEP.to_vec() };
+    let working_sets: Vec<(&str, usize)> =
+        if quick { vec![MicroParams::WORKING_SETS[0]] } else { MicroParams::WORKING_SETS.to_vec() };
 
     println!("Figure 1: microbenchmark work efficiency and scalability");
     println!("(modeled Xeon E5-4620: 4 sockets x 8 cores, compact pinning)\n");

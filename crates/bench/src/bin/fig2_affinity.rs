@@ -22,11 +22,8 @@ fn main() {
         PolicyKind::WorkSharing,
         PolicyKind::Guided,
     ];
-    let working_sets: Vec<(&str, usize)> = if quick {
-        vec![MicroParams::WORKING_SETS[0]]
-    } else {
-        MicroParams::WORKING_SETS.to_vec()
-    };
+    let working_sets: Vec<(&str, usize)> =
+        if quick { vec![MicroParams::WORKING_SETS[0]] } else { MicroParams::WORKING_SETS.to_vec() };
 
     println!("Figure 2: % iterations executed by the same core in");
     println!("consecutive parallel loops (32 modeled cores)\n");

@@ -14,11 +14,7 @@ use parloop_sim::{nas_model, sequential_time, simulate, NasKernel, SimConfig};
 fn main() {
     let quick = quick_flag();
     let cfg = SimConfig::xeon();
-    let sweep: Vec<usize> = if quick {
-        WORKER_SWEEP_QUICK.to_vec()
-    } else {
-        WORKER_SWEEP.to_vec()
-    };
+    let sweep: Vec<usize> = if quick { WORKER_SWEEP_QUICK.to_vec() } else { WORKER_SWEEP.to_vec() };
     let shrink = if quick { 4 } else { 1 };
 
     println!("Figure 3: NAS kernel scalability (Ts/TP) on the modeled machine\n");

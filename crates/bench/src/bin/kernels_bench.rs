@@ -1,0 +1,52 @@
+//! NAS-kernel wall-clock bench (plain port of the old Criterion `kernels`
+//! bench): EP / IS / CG at mini sizes under hybrid, static and vanilla
+//! scheduling, plus one iterative-micro phase.
+//!
+//! Usage: `cargo run --release -p parloop-bench --bin kernels_bench
+//! [--quick]`
+
+use parloop_bench::{quick_flag, time_best_ns, Table};
+use parloop_core::Schedule;
+use parloop_micro::{IterativeMicro, MicroParams};
+use parloop_nas::cg::{cg, make_matrix, CgParams};
+use parloop_nas::ep::{ep, EpParams};
+use parloop_nas::is::{generate_keys, is_sort, IsParams};
+use parloop_runtime::ThreadPool;
+
+fn main() {
+    let quick = quick_flag();
+    let p = 4usize;
+    let reps = if quick { 3 } else { 10 };
+    let pool = ThreadPool::new(p);
+
+    let schemes = [Schedule::hybrid(), Schedule::omp_static(), Schedule::vanilla()];
+
+    let is_params = IsParams::mini();
+    let keys = generate_keys(is_params);
+    let cg_params = CgParams::mini();
+    let a = make_matrix(cg_params);
+    let micro = IterativeMicro::new(MicroParams::small(false));
+
+    println!("NAS kernels at mini sizes, P = {p} (ms, best of {reps})\n");
+    let mut t = Table::new(vec!["kernel", "hybrid", "omp_static", "vanilla"]);
+    for kernel in ["ep", "is", "cg", "micro"] {
+        let mut cells = vec![kernel.to_string()];
+        for sched in schemes {
+            let ns = time_best_ns(reps, || match kernel {
+                "ep" => {
+                    std::hint::black_box(ep(&pool, EpParams::mini(), sched));
+                }
+                "is" => {
+                    std::hint::black_box(is_sort(&pool, is_params, &keys, sched));
+                }
+                "cg" => {
+                    std::hint::black_box(cg(&pool, &a, cg_params, sched));
+                }
+                _ => micro.run_phase(&pool, sched),
+            });
+            cells.push(format!("{:.3}", ns / 1e6));
+        }
+        t.row(cells);
+    }
+    t.print();
+}

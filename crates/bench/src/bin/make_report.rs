@@ -9,9 +9,7 @@
 use std::fmt::Write as _;
 
 use parloop_bench::{scheme_roster, WORKER_SWEEP, WORKER_SWEEP_QUICK};
-use parloop_sim::{
-    micro_app, nas_app_scaled, MicroParams, NasKernel, SimConfig, Sweep,
-};
+use parloop_sim::{micro_app, nas_app_scaled, MicroParams, NasKernel, SimConfig, Sweep};
 use parloop_topo::{AccessLevel, LatencyTable, MachineSpec};
 
 fn md_sweep_table(out: &mut String, sweep: &Sweep, metric: &str) {

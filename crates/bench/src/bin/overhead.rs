@@ -1,0 +1,58 @@
+//! Loop-scheduling overhead microbench (plain wall-clock port of the old
+//! Criterion `overhead` bench): ns/iteration of a near-empty body across
+//! the scheme roster, plus grain sensitivity for the stealing-based and
+//! chunked schemes.
+//!
+//! Usage: `cargo run --release -p parloop-bench --bin overhead [--quick]`
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parloop_bench::{quick_flag, time_best_ns, Table};
+use parloop_core::{par_for, Schedule};
+use parloop_runtime::ThreadPool;
+
+fn main() {
+    let quick = quick_flag();
+    let p = 4usize;
+    let reps = if quick { 8 } else { 30 };
+    let pool = ThreadPool::new(p);
+
+    for n in [1000usize, 1 << 16] {
+        println!("roster overhead, n = {n}, P = {p} (ns/iter, best of {reps})\n");
+        let mut t = Table::new(vec!["scheme", "ns/iter"]);
+        for sched in Schedule::roster(n, p) {
+            let sum = AtomicU64::new(0);
+            let total = time_best_ns(reps, || {
+                par_for(&pool, 0..n, sched, |i| {
+                    sum.fetch_add(i as u64 & 1, Ordering::Relaxed);
+                });
+            });
+            t.row(vec![sched.name().to_string(), format!("{:.3}", total / n as f64)]);
+        }
+        t.print();
+        println!();
+    }
+
+    let n = 1 << 16;
+    println!("grain sensitivity, n = {n} (ns/iter)\n");
+    let mut t = Table::new(vec!["scheme", "grain=1", "grain=64", "grain=2048"]);
+    for name in ["hybrid", "vanilla", "omp_dynamic"] {
+        let mut cells = vec![name.to_string()];
+        for grain in [1usize, 64, 2048] {
+            let sched = match name {
+                "hybrid" => Schedule::Hybrid { grain: Some(grain), oversub: 1 },
+                "vanilla" => Schedule::DynamicStealing { grain: Some(grain) },
+                _ => Schedule::WorkSharing { chunk: grain },
+            };
+            let sum = AtomicU64::new(0);
+            let total = time_best_ns(reps, || {
+                par_for(&pool, 0..n, sched, |i| {
+                    sum.fetch_add(i as u64 & 1, Ordering::Relaxed);
+                });
+            });
+            cells.push(format!("{:.3}", total / n as f64));
+        }
+        t.row(cells);
+    }
+    t.print();
+}

@@ -96,6 +96,21 @@ pub fn r2(v: f64) -> String {
     format!("{v:.2}")
 }
 
+/// Best-of-`reps` wall-clock time of `f`, in nanoseconds (plain
+/// `Instant`, no external benchmarking deps). Runs one untimed warmup
+/// first. The minimum is the conventional low-noise estimator for
+/// overhead-dominated microbenchmarks.
+pub fn time_best_ns<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    f(); // warmup
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let t0 = std::time::Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_nanos() as f64);
+    }
+    best
+}
+
 /// Format a count in scientific notation like the paper's Figure 4.
 pub fn sci(v: u64) -> String {
     if v == 0 {

@@ -34,6 +34,16 @@ impl AffinityProbe {
         self.owners[i - self.base].store(worker as u32, Ordering::Relaxed);
     }
 
+    /// Record that every iteration in `chunk` ran on `worker` — the
+    /// per-chunk fast path used by `par_for_tracked`.
+    #[inline]
+    pub fn record_range(&self, chunk: Range<usize>, worker: usize) {
+        let w = worker as u32;
+        for o in &self.owners[chunk.start - self.base..chunk.end - self.base] {
+            o.store(w, Ordering::Relaxed);
+        }
+    }
+
     /// The worker that executed iteration `i`, if recorded.
     pub fn owner(&self, i: usize) -> Option<usize> {
         match self.owners[i - self.base].load(Ordering::Relaxed) {
@@ -162,6 +172,16 @@ mod tests {
         assert_eq!(p.owner(19), Some(7));
         p.reset();
         assert_eq!(p.owner(10), None);
+    }
+
+    #[test]
+    fn record_range_marks_whole_chunk() {
+        let p = AffinityProbe::new(10..20);
+        p.record_range(12..15, 5);
+        assert_eq!(p.owner(11), None);
+        assert_eq!(p.owner(12), Some(5));
+        assert_eq!(p.owner(14), Some(5));
+        assert_eq!(p.owner(15), None);
     }
 
     #[test]

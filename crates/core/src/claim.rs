@@ -24,7 +24,7 @@
 use std::ops::Range;
 use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
 
-use crossbeam::utils::CachePadded;
+use parloop_runtime::CachePadded;
 
 /// Statistics from one worker's pass through the heuristic.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]

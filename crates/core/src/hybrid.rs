@@ -18,7 +18,7 @@
 //!    each partition body runs as a stealable divide-and-conquer loop.
 //! 3. `DoHybridLoop` walks the semi-deterministic claim sequence
 //!    ([`ClaimWalker`]); every successfully claimed partition executes via
-//!    [`ws_for`] and then decrements the loop's completion latch.
+//!    [`ws_for_chunks`] and then decrements the loop's completion latch.
 //!
 //! Theorem 3 (every partition executes exactly once) carries over
 //! directly: claims are `fetch_or` on `A`, and only a winning claim
@@ -26,19 +26,24 @@
 //! Lemma 2 — the initiator always *attempts* a claim in the top-level
 //! group, which guarantees every partition is eventually claimed by one of
 //! the workers running the heuristic.
+//!
+//! The scheduler is generic over the loop body `F: Fn(Range<usize>)`, so
+//! every leaf chunk of a claimed partition runs monomorphized. Type
+//! erasure happens only at the adopter-frame boundary (the frame closure
+//! is boxed to cross `spawn_local`), i.e. once per protocol steal instead
+//! of once per iteration.
 
 use std::any::Any;
 use std::ops::Range;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
-use parking_lot::Mutex;
 use parloop_runtime::{CountLatch, Latch, WorkerToken};
 
 use crate::claim::{partitions_oversubscribed, ClaimTable, ClaimWalker};
 use crate::range::block_bounds;
-use crate::stealing::ws_for;
+use crate::stealing::ws_for_chunks;
 use crate::util::SendPtr;
 
 /// Observability counters from one hybrid loop execution.
@@ -54,14 +59,17 @@ pub struct HybridStats {
     pub failed_claims: usize,
 }
 
-struct HybridState {
+/// Shared per-loop state. `F` is the (chunk) body type; the state never
+/// owns the body — `body` is a lifetime-erased pointer to the caller's
+/// borrow, dereferenced only while the caller still blocks on `latch`.
+struct HybridState<F> {
     table: ClaimTable,
     latch: CountLatch,
     range_start: usize,
     n: usize,
     r_parts: usize,
     grain: usize,
-    body: SendPtr<dyn Fn(usize) + Sync>,
+    body: SendPtr<F>,
     /// Adopter frames spawned so far (the initial frame plus re-publishes).
     frames: AtomicUsize,
     /// Workers that actually adopted the loop via the steal protocol.
@@ -72,35 +80,35 @@ struct HybridState {
     poisoned: AtomicBool,
 }
 
-/// Execute `body` over `range` with the hybrid scheme. Must be called on a
-/// pool worker (`token`). Returns scheduling counters.
-pub(crate) fn hybrid_for(
+/// Execute `body` over chunks of `range` with the hybrid scheme. Must be
+/// called on a pool worker (`token`). Returns scheduling counters.
+pub(crate) fn hybrid_for<F>(
     token: WorkerToken,
     range: Range<usize>,
     grain: usize,
-    body: &(dyn Fn(usize) + Sync),
-) -> HybridStats {
+    body: &F,
+) -> HybridStats
+where
+    F: Fn(Range<usize>) + Sync,
+{
     hybrid_for_oversub(token, range, grain, 1, body)
 }
 
 /// [`hybrid_for`] with `R = next_pow2(P · oversub)` partitions — the
 /// paper's general-`R` setting (Theorem 5).
-pub(crate) fn hybrid_for_oversub(
+pub(crate) fn hybrid_for_oversub<F>(
     token: WorkerToken,
     range: Range<usize>,
     grain: usize,
     oversub: usize,
-    body: &(dyn Fn(usize) + Sync),
-) -> HybridStats {
+    body: &F,
+) -> HybridStats
+where
+    F: Fn(Range<usize>) + Sync,
+{
     let n = range.len();
     let p = token.num_workers();
     let r_parts = partitions_oversubscribed(p, oversub);
-
-    // SAFETY: erase the body's lifetime. Sound because this function blocks
-    // on `state.latch` (all `R` partitions executed) before returning, and
-    // `execute_partition` is the only deref site — guarded so that no deref
-    // can happen after the last partition completes.
-    let body_static: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(body) };
 
     let state = Arc::new(HybridState {
         table: ClaimTable::new(r_parts),
@@ -109,7 +117,13 @@ pub(crate) fn hybrid_for_oversub(
         n,
         r_parts,
         grain,
-        body: SendPtr::new(body_static),
+        // SAFETY (lifetime erasure): this function blocks on `state.latch`
+        // (all `R` partitions executed) before returning, and
+        // `execute_partition` is the only deref site — every deref happens
+        // before that partition's `latch.set()`, hence before we return.
+        // Frames that run later hit the `all_claimed` early-return and
+        // never touch `body`.
+        body: SendPtr::new(body),
         frames: AtomicUsize::new(0),
         adoptions: AtomicUsize::new(0),
         max_frames: p,
@@ -123,7 +137,7 @@ pub(crate) fn hybrid_for_oversub(
     do_hybrid_loop(&token, &state);
     token.wait_until(&state.latch);
 
-    let maybe_panic = state.panic.lock().take();
+    let maybe_panic = state.panic.lock().unwrap().take();
     if let Some(payload) = maybe_panic {
         resume_unwind(payload);
     }
@@ -136,21 +150,46 @@ pub(crate) fn hybrid_for_oversub(
 }
 
 /// Push one adopter frame onto the current worker's deque, if the protocol
-/// budget (`P` frames per loop) allows.
-fn publish_frame(token: &WorkerToken, state: &Arc<HybridState>) {
-    if state.frames.fetch_add(1, Ordering::AcqRel) >= state.max_frames {
-        return;
+/// budget (`P` frames per loop) allows. The budget is consumed only by
+/// frames actually published: a CAS loop backs off without spending a slot
+/// once the cap is reached, so `P` rejected attempts cannot starve later
+/// legitimate re-publishes.
+fn publish_frame<F>(token: &WorkerToken, state: &Arc<HybridState<F>>)
+where
+    F: Fn(Range<usize>) + Sync,
+{
+    let mut cur = state.frames.load(Ordering::Relaxed);
+    loop {
+        if cur >= state.max_frames {
+            return;
+        }
+        match state.frames.compare_exchange_weak(cur, cur + 1, Ordering::AcqRel, Ordering::Acquire)
+        {
+            Ok(_) => break,
+            Err(seen) => cur = seen,
+        }
     }
     let st = Arc::clone(state);
-    token.spawn_local(move || {
+    let frame: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
         let token = WorkerToken::current().expect("adopter frames execute on pool workers");
         adopt_frame(token, st);
     });
+    // SAFETY: erase the frame's lifetime (it captures `Arc<HybridState<F>>`
+    // where `F` may borrow the caller's stack). A frame popped after the
+    // loop completes only observes `all_claimed` and drops the Arc; the
+    // body pointer inside is dereferenced solely for partitions claimed
+    // while the initiator still blocks on the latch. Same pattern as
+    // `Scope::spawn` in parloop-runtime.
+    let frame: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(frame) };
+    token.spawn_local(frame);
 }
 
 /// The `DoHybridLoop` steal-protocol entry point, run by whichever worker
 /// pops or steals an adopter frame.
-fn adopt_frame(token: WorkerToken, state: Arc<HybridState>) {
+fn adopt_frame<F>(token: WorkerToken, state: Arc<HybridState<F>>)
+where
+    F: Fn(Range<usize>) + Sync,
+{
     if state.table.all_claimed() {
         return; // loop already fully claimed; nothing to adopt
     }
@@ -169,7 +208,10 @@ fn adopt_frame(token: WorkerToken, state: Arc<HybridState>) {
 }
 
 /// Algorithm 3: the claim walk plus partition execution.
-fn do_hybrid_loop(token: &WorkerToken, state: &Arc<HybridState>) {
+fn do_hybrid_loop<F>(token: &WorkerToken, state: &Arc<HybridState<F>>)
+where
+    F: Fn(Range<usize>) + Sync,
+{
     let w = token.index();
     let mut walker = ClaimWalker::new(w, state.r_parts);
     while let Some(candidate) = walker.candidate() {
@@ -183,7 +225,10 @@ fn do_hybrid_loop(token: &WorkerToken, state: &Arc<HybridState>) {
 }
 
 /// Run the iterations of partition `part` as a stealable inner loop.
-fn execute_partition(state: &Arc<HybridState>, part: usize) {
+fn execute_partition<F>(state: &Arc<HybridState<F>>, part: usize)
+where
+    F: Fn(Range<usize>) + Sync,
+{
     if state.poisoned.load(Ordering::Acquire) {
         // A sibling partition panicked: skip the body but keep the claim
         // walk and latch accounting alive so the loop still terminates.
@@ -195,8 +240,9 @@ fn execute_partition(state: &Arc<HybridState>, part: usize) {
     // executed; every deref of `body` happens before its partition's
     // `latch.set()`, hence before `hybrid_for` returns.
     let body = unsafe { state.body.get() };
-    if let Err(payload) = catch_unwind(AssertUnwindSafe(|| ws_for(range, state.grain, body))) {
-        state.panic.lock().get_or_insert(payload);
+    if let Err(payload) = catch_unwind(AssertUnwindSafe(|| ws_for_chunks(range, state.grain, body)))
+    {
+        state.panic.lock().unwrap().get_or_insert(payload);
         state.poisoned.store(true, Ordering::Release);
     }
 }
@@ -207,10 +253,19 @@ mod tests {
     use parloop_runtime::ThreadPool;
     use std::sync::atomic::AtomicUsize;
 
-    fn run_hybrid(pool: &ThreadPool, n: usize, grain: usize, body: &(dyn Fn(usize) + Sync)) -> HybridStats {
+    fn run_hybrid(
+        pool: &ThreadPool,
+        n: usize,
+        grain: usize,
+        body: impl Fn(usize) + Sync,
+    ) -> HybridStats {
         pool.install(|| {
             let token = WorkerToken::current().unwrap();
-            hybrid_for(token, 0..n, grain, body)
+            hybrid_for(token, 0..n, grain, &|chunk: Range<usize>| {
+                for i in chunk {
+                    body(i);
+                }
+            })
         })
     }
 
@@ -220,7 +275,7 @@ mod tests {
             let pool = ThreadPool::new(p);
             let n = 5000;
             let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
-            let stats = run_hybrid(&pool, n, 64, &|i| {
+            let stats = run_hybrid(&pool, n, 64, |i| {
                 hits[i].fetch_add(1, Ordering::Relaxed);
             });
             assert!(
@@ -234,7 +289,7 @@ mod tests {
     #[test]
     fn empty_loop() {
         let pool = ThreadPool::new(4);
-        let stats = run_hybrid(&pool, 0, 16, &|_| panic!("no iterations"));
+        let stats = run_hybrid(&pool, 0, 16, |_| panic!("no iterations"));
         assert_eq!(stats.partitions, 4);
     }
 
@@ -242,7 +297,7 @@ mod tests {
     fn fewer_iterations_than_partitions() {
         let pool = ThreadPool::new(8);
         let hits: Vec<AtomicUsize> = (0..3).map(|_| AtomicUsize::new(0)).collect();
-        run_hybrid(&pool, 3, 4, &|i| {
+        run_hybrid(&pool, 3, 4, |i| {
             hits[i].fetch_add(1, Ordering::Relaxed);
         });
         assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
@@ -252,7 +307,7 @@ mod tests {
     fn single_worker_pool() {
         let pool = ThreadPool::new(1);
         let sum = AtomicUsize::new(0);
-        let stats = run_hybrid(&pool, 1000, 32, &|i| {
+        let stats = run_hybrid(&pool, 1000, 32, |i| {
             sum.fetch_add(i, Ordering::Relaxed);
         });
         assert_eq!(sum.load(Ordering::Relaxed), (0..1000).sum::<usize>());
@@ -265,11 +320,13 @@ mod tests {
         let total = AtomicUsize::new(0);
         pool.install(|| {
             let token = WorkerToken::current().unwrap();
-            hybrid_for(token, 0..8, 1, &|_| {
-                let inner_token = WorkerToken::current().unwrap();
-                hybrid_for(inner_token, 0..10, 2, &|_| {
-                    total.fetch_add(1, Ordering::Relaxed);
-                });
+            hybrid_for(token, 0..8, 1, &|outer: Range<usize>| {
+                for _ in outer {
+                    let inner_token = WorkerToken::current().unwrap();
+                    hybrid_for(inner_token, 0..10, 2, &|inner: Range<usize>| {
+                        total.fetch_add(inner.len(), Ordering::Relaxed);
+                    });
+                }
             });
         });
         assert_eq!(total.load(Ordering::Relaxed), 80);
@@ -279,7 +336,7 @@ mod tests {
     fn panic_in_body_propagates_and_pool_survives() {
         let pool = ThreadPool::new(4);
         let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
-            run_hybrid(&pool, 100, 4, &|i| {
+            run_hybrid(&pool, 100, 4, |i| {
                 if i == 37 {
                     panic!("iteration 37 dies");
                 }
@@ -288,7 +345,7 @@ mod tests {
         assert!(r.is_err());
         // Pool and hybrid machinery still usable.
         let sum = AtomicUsize::new(0);
-        run_hybrid(&pool, 10, 2, &|i| {
+        run_hybrid(&pool, 10, 2, |i| {
             sum.fetch_add(i, Ordering::Relaxed);
         });
         assert_eq!(sum.load(Ordering::Relaxed), 45);
@@ -299,7 +356,7 @@ mod tests {
         let pool = ThreadPool::new(3);
         for _ in 0..50 {
             let count = AtomicUsize::new(0);
-            run_hybrid(&pool, 256, 8, &|_| {
+            run_hybrid(&pool, 256, 8, |_| {
                 count.fetch_add(1, Ordering::Relaxed);
             });
             assert_eq!(count.load(Ordering::Relaxed), 256);
@@ -314,14 +371,13 @@ mod tests {
             let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
             let stats = pool.install(|| {
                 let token = WorkerToken::current().unwrap();
-                hybrid_for_oversub(token, 0..n, 16, oversub, &|i| {
-                    hits[i].fetch_add(1, Ordering::Relaxed);
+                hybrid_for_oversub(token, 0..n, 16, oversub, &|chunk: Range<usize>| {
+                    for i in chunk {
+                        hits[i].fetch_add(1, Ordering::Relaxed);
+                    }
                 })
             });
-            assert!(
-                hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
-                "oversub={oversub}"
-            );
+            assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1), "oversub={oversub}");
             assert_eq!(stats.partitions, (3 * oversub).next_power_of_two());
         }
     }
@@ -330,10 +386,44 @@ mod tests {
     fn stats_adoptions_bounded_by_p() {
         let pool = ThreadPool::new(4);
         for _ in 0..10 {
-            let stats = run_hybrid(&pool, 4096, 16, &|i| {
+            let stats = run_hybrid(&pool, 4096, 16, |i| {
                 std::hint::black_box(i);
             });
             assert!(stats.adoptions <= 4, "adoptions {} > P", stats.adoptions);
         }
+    }
+
+    #[test]
+    fn frame_budget_not_consumed_by_rejected_publishes() {
+        // Regression: a rejected publish (budget full) must not burn a
+        // slot. After the cap is hit, repeated publish attempts leave the
+        // counter saturated at max_frames instead of overflowing past it.
+        let pool = ThreadPool::new(2);
+        pool.install(|| {
+            let token = WorkerToken::current().unwrap();
+            let body = |_: Range<usize>| {};
+            let state = Arc::new(HybridState {
+                table: ClaimTable::new(2),
+                latch: token.count_latch(0),
+                range_start: 0,
+                n: 0,
+                r_parts: 2,
+                grain: 1,
+                body: SendPtr::new(&body),
+                frames: AtomicUsize::new(0),
+                adoptions: AtomicUsize::new(0),
+                max_frames: 2,
+                failed_claims: AtomicUsize::new(0),
+                panic: Mutex::new(None),
+                poisoned: AtomicBool::new(false),
+            });
+            // Claim everything so the published frames are inert no-ops.
+            state.table.try_claim(0);
+            state.table.try_claim(1);
+            for _ in 0..10 {
+                publish_frame(&token, &state);
+            }
+            assert_eq!(state.frames.load(Ordering::Acquire), 2);
+        });
     }
 }

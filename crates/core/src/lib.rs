@@ -50,7 +50,9 @@ pub use claim::{
 };
 pub use hybrid::HybridStats;
 pub use range::{block_bounds, block_of, default_grain};
-pub use schedule::{hybrid_for_with_stats, par_for, par_for_tracked, Schedule};
 pub use reduce::{par_max_f64, par_reduce, par_sum_f64, par_sum_u64};
+pub use schedule::{
+    hybrid_for_with_stats, par_for, par_for_chunks, par_for_dyn, par_for_tracked, Schedule,
+};
 pub use static_part::{static_cyclic_owner, static_owner};
-pub use stealing::ws_for;
+pub use stealing::{ws_for, ws_for_chunks};

@@ -76,7 +76,10 @@ mod tests {
                 for i in 0..n {
                     let b = block_of(n, parts, i);
                     let r = block_bounds(n, parts, b);
-                    assert!(r.contains(&i), "i={i} not in its block {b}={r:?} (n={n}, parts={parts})");
+                    assert!(
+                        r.contains(&i),
+                        "i={i} not in its block {b}={r:?} (n={n}, parts={parts})"
+                    );
                 }
             }
         }

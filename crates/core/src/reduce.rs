@@ -1,18 +1,19 @@
 //! Parallel reductions over any [`Schedule`].
 //!
 //! Values are combined into per-worker, cache-line-padded accumulators (no
-//! cross-worker contention), then folded sequentially. Floating-point
-//! reductions therefore depend on the schedule and on stealing for their
-//! *summation order* — compare results across schedulers with a tolerance,
-//! never exactly.
+//! cross-worker contention), then folded sequentially. Accumulation is
+//! per *chunk*: one worker-index lookup and one accumulator round-trip per
+//! scheduler chunk, with the chunk itself folded in a monomorphized local
+//! loop. Floating-point reductions therefore depend on the schedule and
+//! on stealing for their *summation order* — compare results across
+//! schedulers with a tolerance, never exactly.
 
 use std::ops::Range;
+use std::sync::Mutex;
 
-use crossbeam::utils::CachePadded;
-use parking_lot::Mutex;
-use parloop_runtime::{current_worker_index, ThreadPool};
+use parloop_runtime::{current_worker_index, CachePadded, ThreadPool};
 
-use crate::schedule::{par_for, Schedule};
+use crate::schedule::{par_for_chunks, Schedule};
 
 /// Generic reduction: fold `map(i)` over `range` with `combine`, starting
 /// from `identity` in each worker-local accumulator.
@@ -46,18 +47,23 @@ where
         .map(|_| CachePadded::new(Mutex::new(Some(identity.clone()))))
         .collect();
 
-    par_for(pool, range, sched, |i| {
+    par_for_chunks(pool, range, sched, |chunk: Range<usize>| {
         let w = current_worker_index().expect("loop bodies run on pool workers");
         // Uncontended in practice: only worker `w` locks slot `w`; the
         // mutex exists to keep the accumulator API safe for any `T: Send`.
-        let mut slot = slots[w].lock();
-        let cur = slot.take().expect("accumulator present during the loop");
-        *slot = Some(combine(cur, map(i)));
+        // Taken once per chunk, with the chunk folded locally.
+        let mut slot = slots[w].lock().unwrap();
+        let mut cur = slot.take().expect("accumulator present during the loop");
+        for i in chunk {
+            cur = combine(cur, map(i));
+        }
+        *slot = Some(cur);
     });
 
     let mut acc = identity;
     for slot in slots {
-        let v = slot.into_inner().into_inner().expect("accumulator present after the loop");
+        let v =
+            slot.into_inner().into_inner().unwrap().expect("accumulator present after the loop");
         acc = combine(acc, v);
     }
     acc
@@ -105,12 +111,7 @@ mod tests {
         let n = 10_000usize;
         let expect: u64 = (0..n as u64).sum();
         for sched in Schedule::roster(n, 3) {
-            assert_eq!(
-                par_sum_u64(&pool, 0..n, sched, |i| i as u64),
-                expect,
-                "{}",
-                sched.name()
-            );
+            assert_eq!(par_sum_u64(&pool, 0..n, sched, |i| i as u64), expect, "{}", sched.name());
         }
     }
 

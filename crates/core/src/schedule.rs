@@ -1,4 +1,12 @@
-//! The unified scheduling API: pick a [`Schedule`], call [`par_for`].
+//! The unified scheduling API: pick a [`Schedule`], call [`par_for`] (or
+//! [`par_for_chunks`] when the body wants whole chunks).
+//!
+//! All schedulers are generic over the body type: [`par_for_chunks`] is
+//! the primitive, and [`par_for`] layers a per-index loop over each chunk,
+//! so iteration bodies still compile to tight monomorphized loops. The
+//! dyn-dispatch path survives only as [`par_for_dyn`], a compatibility
+//! wrapper with the *same* chunk decomposition (one virtual call per
+//! iteration — the overhead the chunk layer exists to kill).
 
 use std::ops::Range;
 
@@ -9,7 +17,7 @@ use crate::hybrid::{hybrid_for, hybrid_for_oversub, HybridStats};
 use crate::range::default_grain;
 use crate::sharing::{sharing_for, static_sharing_for, SharingPolicy};
 use crate::static_part::static_for;
-use crate::stealing::ws_for;
+use crate::stealing::ws_for_chunks;
 
 /// A loop-scheduling policy — one per platform/scheme the paper compares.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -134,7 +142,8 @@ impl std::str::FromStr for Schedule {
             "ff_static" | "ff" => Ok(Schedule::ff_static()),
             "omp_static_c" | "static_cyclic" => Ok(Schedule::omp_static_chunked(64)),
             other => Err(format!(
-                "unknown schedule '{other}' (expected one of: hybrid, omp_static,                  omp_dynamic, omp_guided, vanilla, ff_static, omp_static_c)"
+                "unknown schedule '{other}' (expected one of: hybrid, omp_static, \
+                 omp_dynamic, omp_guided, vanilla, ff_static, omp_static_c)"
             )),
         }
     }
@@ -159,6 +168,36 @@ pub fn par_for<F>(pool: &ThreadPool, range: Range<usize>, sched: Schedule, body:
 where
     F: Fn(usize) + Sync,
 {
+    par_for_chunks(pool, range, sched, move |chunk: Range<usize>| {
+        for i in chunk {
+            body(i);
+        }
+    });
+}
+
+/// Execute `body(chunk)` for each scheduler-chosen chunk of `range` under
+/// `sched` on `pool`. This is the primitive the per-index [`par_for`] is
+/// built on: the body is monomorphized through every scheduler, so a
+/// regular chunk body compiles to a tight loop with no per-iteration
+/// dispatch. Chunks are non-empty, disjoint, and tile `range`.
+///
+/// ```
+/// use parloop_core::{par_for_chunks, Schedule};
+/// use parloop_runtime::ThreadPool;
+/// use std::sync::atomic::{AtomicU64, Ordering};
+///
+/// let pool = ThreadPool::new(4);
+/// let sum = AtomicU64::new(0);
+/// par_for_chunks(&pool, 0..1000, Schedule::hybrid(), |chunk| {
+///     let partial: u64 = chunk.map(|i| i as u64).sum();
+///     sum.fetch_add(partial, Ordering::Relaxed);
+/// });
+/// assert_eq!(sum.load(Ordering::Relaxed), 499_500);
+/// ```
+pub fn par_for_chunks<F>(pool: &ThreadPool, range: Range<usize>, sched: Schedule, body: F)
+where
+    F: Fn(Range<usize>) + Sync,
+{
     let n = range.len();
     let p = pool.num_workers();
     match sched {
@@ -175,7 +214,7 @@ where
         }
         Schedule::DynamicStealing { grain } => {
             let grain = grain.unwrap_or_else(|| default_grain(n, p));
-            pool.install(|| ws_for(range, grain, &body));
+            pool.install(|| ws_for_chunks(range, grain, &body));
         }
         Schedule::Hybrid { grain, oversub } => {
             let grain = grain.unwrap_or_else(|| default_grain(n, p));
@@ -187,8 +226,29 @@ where
     }
 }
 
+/// Dyn-compatible [`par_for`]: the body is a trait object, so every
+/// iteration pays one virtual call. Decomposes `range` into exactly the
+/// same chunks as the generic path (it runs through [`par_for_chunks`]),
+/// which makes it the baseline the overhead harness compares against and
+/// keeps worker↔iteration placement identical to [`par_for`].
+pub fn par_for_dyn(
+    pool: &ThreadPool,
+    range: Range<usize>,
+    sched: Schedule,
+    body: &(dyn Fn(usize) + Sync),
+) {
+    par_for_chunks(pool, range, sched, move |chunk: Range<usize>| {
+        for i in chunk {
+            body(i);
+        }
+    });
+}
+
 /// Like [`par_for`], but records which worker executed each iteration into
 /// `probe` (used for the Figure 2 affinity experiments).
+///
+/// Ownership is recorded per *chunk*: one worker-index lookup and one
+/// probe write-range per scheduler chunk, instead of per iteration.
 pub fn par_for_tracked<F>(
     pool: &ThreadPool,
     range: Range<usize>,
@@ -198,11 +258,13 @@ pub fn par_for_tracked<F>(
 ) where
     F: Fn(usize) + Sync,
 {
-    par_for(pool, range, sched, |i| {
+    par_for_chunks(pool, range, sched, move |chunk: Range<usize>| {
         if let Some(w) = current_worker_index() {
-            probe.record(i, w);
+            probe.record_range(chunk.clone(), w);
         }
-        body(i);
+        for i in chunk {
+            body(i);
+        }
     });
 }
 
@@ -221,7 +283,11 @@ where
     let grain = grain.unwrap_or_else(|| default_grain(n, p));
     pool.install(|| {
         let token = WorkerToken::current().expect("install puts us on a worker");
-        hybrid_for(token, range, grain, &body)
+        hybrid_for(token, range, grain, &|chunk: Range<usize>| {
+            for i in chunk {
+                body(i);
+            }
+        })
     })
 }
 

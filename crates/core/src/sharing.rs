@@ -13,6 +13,10 @@
 //! * **static-sharing** — `P` fixed blocks of `⌈N/P⌉` claimed through the
 //!   shared cursor (FastFlow's static mode: the *partitioning* is static
 //!   but block-to-worker assignment depends on arrival order).
+//!
+//! The engines hand each claimed chunk to a generic `Fn(Range<usize>)`
+//! body, so the per-chunk loop monomorphizes at the call site; only the
+//! team-broadcast job boundary is type-erased.
 
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -28,13 +32,16 @@ pub(crate) enum SharingPolicy {
     Guided { min_chunk: usize },
 }
 
-/// Run `body` over `range` on the whole team with a shared cursor.
-pub(crate) fn sharing_for(
+/// Run `body` over `range` on the whole team with a shared cursor,
+/// delivering each claimed chunk as one contiguous range.
+pub(crate) fn sharing_for<F>(
     pool: &ThreadPool,
     range: Range<usize>,
     policy: SharingPolicy,
-    body: &(dyn Fn(usize) + Sync),
-) {
+    body: &F,
+) where
+    F: Fn(Range<usize>) + Sync,
+{
     if range.is_empty() {
         return;
     }
@@ -74,19 +81,16 @@ pub(crate) fn sharing_for(
                 (lo, hi)
             }
         };
-        for i in lo..hi {
-            body(i);
-        }
+        body(lo..hi);
     });
 }
 
 /// FastFlow-style static partitioning through a shared queue: `P` blocks,
-/// block index handed out by a shared counter.
-pub(crate) fn static_sharing_for(
-    pool: &ThreadPool,
-    range: Range<usize>,
-    body: &(dyn Fn(usize) + Sync),
-) {
+/// block index handed out by a shared counter; each block runs as one chunk.
+pub(crate) fn static_sharing_for<F>(pool: &ThreadPool, range: Range<usize>, body: &F)
+where
+    F: Fn(Range<usize>) + Sync,
+{
     if range.is_empty() {
         return;
     }
@@ -101,9 +105,7 @@ pub(crate) fn static_sharing_for(
             break;
         }
         let r = crate::range::block_bounds(n, team, b);
-        for i in r {
-            body(start + i);
-        }
+        body(start + r.start..start + r.end);
     });
 }
 
@@ -112,11 +114,13 @@ mod tests {
     use super::*;
     use std::sync::atomic::AtomicUsize;
 
-    fn check_exactly_once(run: impl FnOnce(&ThreadPool, &(dyn Fn(usize) + Sync)), n: usize) {
+    fn check_exactly_once(run: impl FnOnce(&ThreadPool, &(dyn Fn(Range<usize>) + Sync)), n: usize) {
         let pool = ThreadPool::new(3);
         let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
-        run(&pool, &|i| {
-            hits[i].fetch_add(1, Ordering::Relaxed);
+        run(&pool, &|chunk: Range<usize>| {
+            for i in chunk {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            }
         });
         for (i, h) in hits.iter().enumerate() {
             assert_eq!(h.load(Ordering::Relaxed), 1, "iteration {i}");
@@ -125,18 +129,18 @@ mod tests {
 
     #[test]
     fn dynamic_fixed_chunks_cover_range() {
-        check_exactly_once(|p, b| sharing_for(p, 0..1000, SharingPolicy::Fixed(7), b), 1000);
+        check_exactly_once(|p, b| sharing_for(p, 0..1000, SharingPolicy::Fixed(7), &b), 1000);
     }
 
     #[test]
     fn dynamic_chunk_larger_than_range() {
-        check_exactly_once(|p, b| sharing_for(p, 0..5, SharingPolicy::Fixed(100), b), 5);
+        check_exactly_once(|p, b| sharing_for(p, 0..5, SharingPolicy::Fixed(100), &b), 5);
     }
 
     #[test]
     fn guided_covers_range() {
         check_exactly_once(
-            |p, b| sharing_for(p, 0..1000, SharingPolicy::Guided { min_chunk: 4 }, b),
+            |p, b| sharing_for(p, 0..1000, SharingPolicy::Guided { min_chunk: 4 }, &b),
             1000,
         );
     }
@@ -144,19 +148,19 @@ mod tests {
     #[test]
     fn guided_min_chunk_one() {
         check_exactly_once(
-            |p, b| sharing_for(p, 0..123, SharingPolicy::Guided { min_chunk: 1 }, b),
+            |p, b| sharing_for(p, 0..123, SharingPolicy::Guided { min_chunk: 1 }, &b),
             123,
         );
     }
 
     #[test]
     fn static_sharing_covers_range() {
-        check_exactly_once(|p, b| static_sharing_for(p, 0..100, b), 100);
+        check_exactly_once(|p, b| static_sharing_for(p, 0..100, &b), 100);
     }
 
     #[test]
     fn static_sharing_fewer_iterations_than_workers() {
-        check_exactly_once(|p, b| static_sharing_for(p, 0..2, b), 2);
+        check_exactly_once(|p, b| static_sharing_for(p, 0..2, &b), 2);
     }
 
     #[test]
@@ -171,9 +175,11 @@ mod tests {
     fn nonzero_range_start_respected() {
         let pool = ThreadPool::new(2);
         let sum = AtomicUsize::new(0);
-        sharing_for(&pool, 10..20, SharingPolicy::Fixed(3), &|i| {
-            assert!((10..20).contains(&i));
-            sum.fetch_add(i, Ordering::Relaxed);
+        sharing_for(&pool, 10..20, SharingPolicy::Fixed(3), &|chunk: Range<usize>| {
+            for i in chunk {
+                assert!((10..20).contains(&i));
+                sum.fetch_add(i, Ordering::Relaxed);
+            }
         });
         assert_eq!(sum.load(Ordering::Relaxed), (10..20).sum::<usize>());
     }

@@ -12,8 +12,12 @@ use parloop_runtime::ThreadPool;
 
 use crate::range::block_bounds;
 
-/// Execute `body` over `range` with OpenMP-style static partitioning.
-pub(crate) fn static_for(pool: &ThreadPool, range: Range<usize>, body: &(dyn Fn(usize) + Sync)) {
+/// Execute `body` over `range` with OpenMP-style static partitioning,
+/// handing each worker its whole block as one chunk.
+pub(crate) fn static_for<F>(pool: &ThreadPool, range: Range<usize>, body: &F)
+where
+    F: Fn(Range<usize>) + Sync,
+{
     if range.is_empty() {
         return;
     }
@@ -21,8 +25,9 @@ pub(crate) fn static_for(pool: &ThreadPool, range: Range<usize>, body: &(dyn Fn(
     let start = range.start;
     let team = pool.num_workers();
     pool.broadcast_all(|w| {
-        for i in block_bounds(n, team, w) {
-            body(start + i);
+        let r = block_bounds(n, team, w);
+        if !r.is_empty() {
+            body(start + r.start..start + r.end);
         }
     });
 }
@@ -37,12 +42,10 @@ pub fn static_owner(n: usize, p: usize, i: usize) -> usize {
 /// workers (chunk `c` to worker `c mod P`). Still fully deterministic —
 /// so it retains loop affinity like [`static_for`] — but interleaving
 /// spreads monotonic imbalance across the team.
-pub(crate) fn static_cyclic_for(
-    pool: &ThreadPool,
-    range: Range<usize>,
-    chunk: usize,
-    body: &(dyn Fn(usize) + Sync),
-) {
+pub(crate) fn static_cyclic_for<F>(pool: &ThreadPool, range: Range<usize>, chunk: usize, body: &F)
+where
+    F: Fn(Range<usize>) + Sync,
+{
     if range.is_empty() {
         return;
     }
@@ -56,9 +59,7 @@ pub(crate) fn static_cyclic_for(
         while c < chunks {
             let lo = c * chunk;
             let hi = (lo + chunk).min(n);
-            for i in lo..hi {
-                body(start + i);
-            }
+            body(start + lo..start + hi);
             c += team;
         }
     });
@@ -80,8 +81,10 @@ mod tests {
         let pool = ThreadPool::new(4);
         let n = 103;
         let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
-        static_for(&pool, 0..n, &|i| {
-            hits[i].fetch_add(1, Ordering::Relaxed);
+        static_for(&pool, 0..n, &|chunk: Range<usize>| {
+            for i in chunk {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            }
         });
         assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
     }
@@ -91,11 +94,14 @@ mod tests {
         let pool = ThreadPool::new(4);
         let n = 64;
         let owners: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(usize::MAX)).collect();
-        static_for(&pool, 0..n, &|i| {
-            owners[i].store(current_worker_index().unwrap(), Ordering::Relaxed);
+        static_for(&pool, 0..n, &|chunk: Range<usize>| {
+            let w = current_worker_index().unwrap();
+            for i in chunk {
+                owners[i].store(w, Ordering::Relaxed);
+            }
         });
-        for i in 0..n {
-            assert_eq!(owners[i].load(Ordering::Relaxed), static_owner(n, 4, i), "iteration {i}");
+        for (i, o) in owners.iter().enumerate() {
+            assert_eq!(o.load(Ordering::Relaxed), static_owner(n, 4, i), "iteration {i}");
         }
     }
 
@@ -107,8 +113,11 @@ mod tests {
         let mut maps = Vec::new();
         for _ in 0..3 {
             let owners: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
-            static_for(&pool, 0..n, &|i| {
-                owners[i].store(current_worker_index().unwrap() + 1, Ordering::Relaxed);
+            static_for(&pool, 0..n, &|chunk: Range<usize>| {
+                let w = current_worker_index().unwrap() + 1;
+                for i in chunk {
+                    owners[i].store(w, Ordering::Relaxed);
+                }
             });
             maps.push(owners.iter().map(|o| o.load(Ordering::Relaxed)).collect::<Vec<_>>());
         }
@@ -121,8 +130,10 @@ mod tests {
         let pool = ThreadPool::new(3);
         let n = 101;
         let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
-        static_cyclic_for(&pool, 0..n, 7, &|i| {
-            hits[i].fetch_add(1, Ordering::Relaxed);
+        static_cyclic_for(&pool, 0..n, 7, &|chunk: Range<usize>| {
+            for i in chunk {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            }
         });
         assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
     }
@@ -133,12 +144,15 @@ mod tests {
         let n = 64;
         let chunk = 4;
         let owners: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(usize::MAX)).collect();
-        static_cyclic_for(&pool, 0..n, chunk, &|i| {
-            owners[i].store(current_worker_index().unwrap(), Ordering::Relaxed);
+        static_cyclic_for(&pool, 0..n, chunk, &|r: Range<usize>| {
+            let w = current_worker_index().unwrap();
+            for i in r {
+                owners[i].store(w, Ordering::Relaxed);
+            }
         });
-        for i in 0..n {
+        for (i, o) in owners.iter().enumerate() {
             assert_eq!(
-                owners[i].load(Ordering::Relaxed),
+                o.load(Ordering::Relaxed),
                 static_cyclic_owner(4, chunk, i),
                 "iteration {i}"
             );
@@ -149,8 +163,8 @@ mod tests {
     fn cyclic_chunk_zero_treated_as_one() {
         let pool = ThreadPool::new(2);
         let count = AtomicUsize::new(0);
-        static_cyclic_for(&pool, 0..10, 0, &|_| {
-            count.fetch_add(1, Ordering::Relaxed);
+        static_cyclic_for(&pool, 0..10, 0, &|r: Range<usize>| {
+            count.fetch_add(r.len(), Ordering::Relaxed);
         });
         assert_eq!(count.load(Ordering::Relaxed), 10);
     }
@@ -159,9 +173,11 @@ mod tests {
     fn offset_range() {
         let pool = ThreadPool::new(2);
         let sum = AtomicUsize::new(0);
-        static_for(&pool, 100..110, &|i| {
-            assert!((100..110).contains(&i));
-            sum.fetch_add(i, Ordering::Relaxed);
+        static_for(&pool, 100..110, &|chunk: Range<usize>| {
+            for i in chunk {
+                assert!((100..110).contains(&i));
+                sum.fetch_add(i, Ordering::Relaxed);
+            }
         });
         assert_eq!(sum.load(Ordering::Relaxed), (100..110).sum::<usize>());
     }

@@ -6,27 +6,52 @@
 //! `join` the two halves of the range until a chunk of at most `grain`
 //! iterations remains, which runs sequentially. With the Cilk default
 //! grain `min(2048, N/8P)` this yields span `Θ(lg N) + max_i T_∞(i)`.
+//!
+//! Both entry points are generic over the body type, so the leaf chunk
+//! executes as a monomorphized loop the compiler can unroll and vectorize
+//! — no per-iteration virtual dispatch.
 
 use std::ops::Range;
 
 use parloop_runtime::join;
 
-/// Execute `body(i)` for every `i` in `range` with binary splitting;
-/// sub-ranges above `grain` iterations are stealable.
+/// Execute `body(chunk)` over `range` with binary splitting; sub-ranges
+/// above `grain` iterations are stealable, and each leaf chunk of at most
+/// `grain` iterations is handed to `body` as one contiguous range.
 ///
 /// Must run on a pool worker for actual parallelism; off-pool it degrades
-/// to a sequential loop (serial elision).
-pub fn ws_for(range: Range<usize>, grain: usize, body: &(dyn Fn(usize) + Sync)) {
+/// to a sequential call (serial elision).
+pub fn ws_for_chunks<F>(range: Range<usize>, grain: usize, body: &F)
+where
+    F: Fn(Range<usize>) + Sync,
+{
     let grain = grain.max(1);
+    if range.is_empty() {
+        return;
+    }
     if range.len() <= grain {
-        for i in range {
-            body(i);
-        }
+        body(range);
         return;
     }
     let mid = range.start + range.len() / 2;
     let (lo, hi) = (range.start..mid, mid..range.end);
-    join(|| ws_for(lo, grain, body), || ws_for(hi, grain, body));
+    join(|| ws_for_chunks(lo, grain, body), || ws_for_chunks(hi, grain, body));
+}
+
+/// Execute `body(i)` for every `i` in `range` with binary splitting;
+/// sub-ranges above `grain` iterations are stealable.
+///
+/// Thin wrapper over [`ws_for_chunks`]: the leaf runs as a tight
+/// monomorphized `for` loop over the chunk.
+pub fn ws_for<F>(range: Range<usize>, grain: usize, body: &F)
+where
+    F: Fn(usize) + Sync,
+{
+    ws_for_chunks(range, grain, &|chunk: Range<usize>| {
+        for i in chunk {
+            body(i);
+        }
+    });
 }
 
 #[cfg(test)]
@@ -49,9 +74,27 @@ mod tests {
     }
 
     #[test]
+    fn chunks_cover_exactly_once_and_respect_grain() {
+        let pool = ThreadPool::new(4);
+        let n = 10_000;
+        let grain = 64;
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        pool.install(|| {
+            ws_for_chunks(0..n, grain, &|chunk| {
+                assert!(!chunk.is_empty() && chunk.len() <= grain);
+                for i in chunk {
+                    hits[i].fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
     fn empty_range_is_noop() {
         let pool = ThreadPool::new(2);
         pool.install(|| ws_for(5..5, 8, &|_| panic!("no iterations expected")));
+        pool.install(|| ws_for_chunks(5..5, 8, &|_| panic!("no chunks expected")));
     }
 
     #[test]

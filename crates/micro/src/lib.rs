@@ -11,12 +11,12 @@
 //! On this 1-core host the timing curves come from `parloop-sim`; this
 //! crate exists so the *real* scheduler runs the real workload — for
 //! correctness tests, affinity measurements (Figure 2's metric on live
-//! threads), and host-local Criterion overhead benches.
+//! threads), and host-local wall-clock overhead benches.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
-use parloop_core::{par_for, par_for_tracked, AffinityProbe, ConsecutiveAffinity, Schedule};
+use parloop_core::{par_for_chunks, par_for_tracked, AffinityProbe, ConsecutiveAffinity, Schedule};
 use parloop_runtime::ThreadPool;
 
 /// Parameters of a threaded microbenchmark instance.
@@ -49,11 +49,8 @@ fn ramped_blocks(total: usize, n: usize, ramp: f64) -> Vec<(usize, usize)> {
     let mut blocks = Vec::with_capacity(n);
     let mut start = 0usize;
     for (i, w) in weights.iter().enumerate() {
-        let len = if i == n - 1 {
-            total - start
-        } else {
-            ((total as f64) * w / wsum).round() as usize
-        };
+        let len =
+            if i == n - 1 { total - start } else { ((total as f64) * w / wsum).round() as usize };
         blocks.push((start, len));
         start += len;
     }
@@ -104,7 +101,11 @@ impl IterativeMicro {
 
     /// Run one inner parallel loop under `sched`.
     pub fn run_phase(&self, pool: &ThreadPool, sched: Schedule) {
-        par_for(pool, 0..self.iterations(), sched, |i| self.iteration_body(i));
+        par_for_chunks(pool, 0..self.iterations(), sched, |chunk| {
+            for i in chunk {
+                self.iteration_body(i);
+            }
+        });
     }
 
     /// Run `outer` phases, returning wall-clock time.
@@ -128,9 +129,7 @@ impl IterativeMicro {
         let mut affinity = ConsecutiveAffinity::new();
         for _ in 0..outer {
             probe.reset();
-            par_for_tracked(pool, 0..self.iterations(), sched, &probe, |i| {
-                self.iteration_body(i)
-            });
+            par_for_tracked(pool, 0..self.iterations(), sched, &probe, |i| self.iteration_body(i));
             affinity.observe(probe.snapshot());
         }
         affinity

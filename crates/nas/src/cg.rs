@@ -13,7 +13,7 @@
 //! knobs (`n`, nonzeros per row). The paper's scheduling results depend on
 //! the loop structure and irregularity, not on `makea`'s exact spectrum.
 
-use parloop_core::{par_for, Schedule};
+use parloop_core::{par_for_chunks, Schedule};
 use parloop_runtime::ThreadPool;
 
 use crate::randdp::{randlc, A as LCG_A, SEED};
@@ -61,7 +61,14 @@ impl CgParams {
 
     /// A miniature instance for fast tests.
     pub fn mini() -> Self {
-        CgParams { n: 256, nonzer: 5, niter: 4, cg_iters: 15, shift: 10.0, rows: RowProfile::Uniform }
+        CgParams {
+            n: 256,
+            nonzer: 5,
+            niter: 4,
+            cg_iters: 15,
+            shift: 10.0,
+            rows: RowProfile::Uniform,
+        }
     }
 
     /// The same instance with the given row profile.
@@ -121,7 +128,7 @@ pub fn make_matrix(params: CgParams) -> SparseMatrix {
                 continue;
             }
             let v = 2.0 * randlc(&mut x, LCG_A) - 1.0; // in (-1, 1)
-            // Indexed access on purpose: both rows[i] and rows[j] mutate.
+                                                       // Indexed access on purpose: both rows[i] and rows[j] mutate.
             *rows[i].entry(j).or_insert(0.0) += v;
             *rows[j].entry(i).or_insert(0.0) += v;
         }
@@ -171,8 +178,10 @@ fn conj_grad(
         {
             let qs = UnsafeSlice::new(&mut q);
             let p_ref = &p;
-            par_for(pool, 0..n, sched, |i| unsafe {
-                qs.write(i, a.row_dot(i, p_ref));
+            par_for_chunks(pool, 0..n, sched, |chunk| {
+                for i in chunk {
+                    unsafe { qs.write(i, a.row_dot(i, p_ref)) };
+                }
             });
         }
         let pq = par_sum(pool, 0..n, sched, |i| p[i] * q[i]);
@@ -181,9 +190,13 @@ fn conj_grad(
             let zs = UnsafeSlice::new(&mut z);
             let rs = UnsafeSlice::new(&mut r);
             let (p_ref, q_ref) = (&p, &q);
-            par_for(pool, 0..n, sched, |i| unsafe {
-                zs.write(i, zs.read(i) + alpha * p_ref[i]);
-                rs.write(i, rs.read(i) - alpha * q_ref[i]);
+            par_for_chunks(pool, 0..n, sched, |chunk| {
+                for i in chunk {
+                    unsafe {
+                        zs.write(i, zs.read(i) + alpha * p_ref[i]);
+                        rs.write(i, rs.read(i) - alpha * q_ref[i]);
+                    }
+                }
             });
         }
         let rho_new = par_sum(pool, 0..n, sched, |i| r[i] * r[i]);
@@ -192,8 +205,10 @@ fn conj_grad(
         {
             let ps = UnsafeSlice::new(&mut p);
             let r_ref = &r;
-            par_for(pool, 0..n, sched, |i| unsafe {
-                ps.write(i, r_ref[i] + beta * ps.read(i));
+            par_for_chunks(pool, 0..n, sched, |chunk| {
+                for i in chunk {
+                    unsafe { ps.write(i, r_ref[i] + beta * ps.read(i)) };
+                }
             });
         }
     }
@@ -231,8 +246,10 @@ pub fn cg(pool: &ThreadPool, a: &SparseMatrix, params: CgParams, sched: Schedule
         let znorm = par_sum(pool, 0..n, sched, |i| z[i] * z[i]).sqrt();
         let zs = UnsafeSlice::new(&mut x);
         let z_ref = &z;
-        par_for(pool, 0..n, sched, |i| unsafe {
-            zs.write(i, z_ref[i] / znorm);
+        par_for_chunks(pool, 0..n, sched, |chunk| {
+            for i in chunk {
+                unsafe { zs.write(i, z_ref[i] / znorm) };
+            }
         });
     }
     CgResult { zeta, rnorm }
@@ -263,8 +280,7 @@ mod tests {
         let a = make_matrix(CgParams::mini());
         let mut x = 42.0_f64;
         for _ in 0..5 {
-            let v: Vec<f64> =
-                (0..a.n).map(|_| 2.0 * randlc(&mut x, LCG_A) - 1.0).collect();
+            let v: Vec<f64> = (0..a.n).map(|_| 2.0 * randlc(&mut x, LCG_A) - 1.0).collect();
             let vav: f64 = (0..a.n).map(|i| v[i] * a.row_dot(i, &v)).sum();
             assert!(vav > 0.0, "v·Av = {vav} not positive");
         }
@@ -301,8 +317,7 @@ mod tests {
         let params = CgParams::mini().with_rows(RowProfile::Geometric);
         let a = make_matrix(params);
         // Row lengths must actually vary.
-        let lens: Vec<usize> =
-            (0..a.n).map(|i| a.row_ptr[i + 1] - a.row_ptr[i]).collect();
+        let lens: Vec<usize> = (0..a.n).map(|i| a.row_ptr[i + 1] - a.row_ptr[i]).collect();
         let min = lens.iter().min().unwrap();
         let max = lens.iter().max().unwrap();
         assert!(max > &(min + 3), "rows too uniform: min {min} max {max}");
@@ -327,6 +342,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)]
     fn row_dot_matches_dense_product() {
         let a = make_matrix(CgParams {
             n: 32,

@@ -119,7 +119,12 @@ pub fn ep(pool: &ThreadPool, params: EpParams, sched: Schedule) -> EpResult {
     for (dst, src) in q.iter_mut().zip(&q_tot) {
         *dst = src.load(std::sync::atomic::Ordering::Relaxed);
     }
-    EpResult { sx, sy: f64::from_bits(sy_bits.load(std::sync::atomic::Ordering::Relaxed)), q, accepted: q.iter().sum() }
+    EpResult {
+        sx,
+        sy: f64::from_bits(sy_bits.load(std::sync::atomic::Ordering::Relaxed)),
+        q,
+        accepted: q.iter().sum(),
+    }
 }
 
 /// Sequential reference (block order, deterministic summation).

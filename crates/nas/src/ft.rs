@@ -9,7 +9,7 @@
 
 use std::ops::{Add, Mul, Sub};
 
-use parloop_core::{par_for, Schedule};
+use parloop_core::{par_for, par_for_chunks, Schedule};
 use parloop_runtime::ThreadPool;
 
 use crate::randdp::{randlc, A as LCG_A, SEED};
@@ -59,10 +59,7 @@ impl Mul for Complex {
     type Output = Complex;
     #[inline]
     fn mul(self, o: Complex) -> Complex {
-        Complex {
-            re: self.re * o.re - self.im * o.im,
-            im: self.re * o.im + self.im * o.re,
-        }
+        Complex { re: self.re * o.re - self.im * o.im, im: self.re * o.im + self.im * o.re }
     }
 }
 
@@ -276,9 +273,11 @@ pub fn ft(pool: &ThreadPool, p: FtParams, sched: Schedule) -> FtResult {
             let w = UnsafeSlice::new(&mut work.data);
             let u0_ref = &u0;
             let decay_ref = &decay;
-            par_for(pool, 0..total, sched, |i| {
-                let f = decay_ref[i].powi(step as i32);
-                unsafe { w.write(i, u0_ref.data[i].scale(f)) };
+            par_for_chunks(pool, 0..total, sched, |chunk| {
+                for i in chunk {
+                    let f = decay_ref[i].powi(step as i32);
+                    unsafe { w.write(i, u0_ref.data[i].scale(f)) };
+                }
             });
         }
         // Inverse transform back to physical space.
@@ -316,9 +315,8 @@ mod tests {
     #[test]
     fn fft1d_roundtrip_identity() {
         let mut x = SEED;
-        let orig: Vec<Complex> = (0..64)
-            .map(|_| Complex::new(randlc(&mut x, LCG_A), randlc(&mut x, LCG_A)))
-            .collect();
+        let orig: Vec<Complex> =
+            (0..64).map(|_| Complex::new(randlc(&mut x, LCG_A), randlc(&mut x, LCG_A))).collect();
         let mut buf = orig.clone();
         fft1d(&mut buf, false);
         fft1d(&mut buf, true);
@@ -336,9 +334,8 @@ mod tests {
     #[test]
     fn parseval_holds_for_fft1d() {
         let mut x = 7.0;
-        let sig: Vec<Complex> = (0..32)
-            .map(|_| Complex::new(randlc(&mut x, LCG_A) - 0.5, 0.0))
-            .collect();
+        let sig: Vec<Complex> =
+            (0..32).map(|_| Complex::new(randlc(&mut x, LCG_A) - 0.5, 0.0)).collect();
         let time_energy: f64 = sig.iter().map(|c| c.norm_sqr()).sum();
         let mut buf = sig;
         fft1d(&mut buf, false);

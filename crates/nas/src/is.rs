@@ -212,8 +212,7 @@ mod tests {
     fn key_distribution_is_centered() {
         let params = IsParams::mini();
         let keys = generate_keys(params);
-        let mean: f64 =
-            keys.iter().map(|&k| k as f64).sum::<f64>() / keys.len() as f64;
+        let mean: f64 = keys.iter().map(|&k| k as f64).sum::<f64>() / keys.len() as f64;
         let mid = params.max_key() as f64 / 2.0;
         assert!((mean - mid).abs() < mid * 0.05, "mean {mean} vs mid {mid}");
         assert!(keys.iter().all(|&k| (k as usize) < params.max_key()));

@@ -300,11 +300,7 @@ mod tests {
         let pool = ThreadPool::new(2);
         let r = mg(&pool, MgParams::mini(), Schedule::hybrid());
         assert!(r.history.len() == 2);
-        assert!(
-            r.history[1] < r.history[0],
-            "V-cycle did not contract: {:?}",
-            r.history
-        );
+        assert!(r.history[1] < r.history[0], "V-cycle did not contract: {:?}", r.history);
     }
 
     #[test]
@@ -326,13 +322,7 @@ mod tests {
         for sched in Schedule::roster(params.n, 3) {
             let r = mg(&pool, params, sched);
             let rel = ((r.rnorm - reference.rnorm) / reference.rnorm).abs();
-            assert!(
-                rel < 1e-10,
-                "{}: rnorm {} vs {}",
-                sched.name(),
-                r.rnorm,
-                reference.rnorm
-            );
+            assert!(rel < 1e-10, "{}: rnorm {} vs {}", sched.name(), r.rnorm, reference.rnorm);
         }
     }
 

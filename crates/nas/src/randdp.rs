@@ -7,8 +7,29 @@
 //! independently in parallel.
 
 /// 2^-23 and friends.
-const R23: f64 = 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5
-    * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5 * 0.5;
+const R23: f64 = 0.5
+    * 0.5
+    * 0.5
+    * 0.5
+    * 0.5
+    * 0.5
+    * 0.5
+    * 0.5
+    * 0.5
+    * 0.5
+    * 0.5
+    * 0.5
+    * 0.5
+    * 0.5
+    * 0.5
+    * 0.5
+    * 0.5
+    * 0.5
+    * 0.5
+    * 0.5
+    * 0.5
+    * 0.5
+    * 0.5;
 const T23: f64 = 8_388_608.0; // 2^23
 const R46: f64 = R23 * R23;
 const T46: f64 = T23 * T23;

@@ -5,9 +5,8 @@ use std::cell::UnsafeCell;
 use std::marker::PhantomData;
 use std::ops::Range;
 
-use crossbeam::utils::CachePadded;
-use parloop_core::{par_for, Schedule};
-use parloop_runtime::{current_worker_index, ThreadPool};
+use parloop_core::{par_for_chunks, Schedule};
+use parloop_runtime::{current_worker_index, CachePadded, ThreadPool};
 
 /// A shared view of a mutable slice for parallel loops whose iterations
 /// write *disjoint* index sets (stencils over planes, per-row outputs…).
@@ -100,8 +99,9 @@ impl WorkerAccum {
 }
 
 /// Parallel sum-reduction: `Σ f(i)` for `i` in `range`, scheduled by
-/// `sched`. Accumulation is per-worker, so there is no atomic contention;
-/// the final combine is sequential.
+/// `sched`. Accumulation is per-worker with one worker lookup per *chunk*
+/// (the chunk folds into a local register first), so there is no atomic
+/// contention; the final combine is sequential.
 ///
 /// Floating-point note: the summation *order* depends on the schedule and
 /// on stealing, so results across schedulers agree only to rounding —
@@ -111,27 +111,36 @@ where
     F: Fn(usize) -> f64 + Sync,
 {
     let acc = WorkerAccum::new(pool.num_workers());
-    par_for(pool, range, sched, |i| {
+    par_for_chunks(pool, range, sched, |chunk: Range<usize>| {
         let w = current_worker_index().expect("loop bodies run on pool workers");
-        acc.add(w, f(i));
+        let mut partial = 0.0;
+        for i in chunk {
+            partial += f(i);
+        }
+        acc.add(w, partial);
     });
     acc.total()
 }
 
 /// Parallel max-reduction over `|f(i)|` (used by verification norms).
+/// The chunk maximum is computed locally; the shared atomic is touched
+/// once per chunk.
 pub fn par_max_abs<F>(pool: &ThreadPool, range: Range<usize>, sched: Schedule, f: F) -> f64
 where
     F: Fn(usize) -> f64 + Sync,
 {
     use std::sync::atomic::{AtomicU64, Ordering};
     let best = AtomicU64::new(0);
-    par_for(pool, range, sched, |i| {
-        let v = f(i).abs();
+    par_for_chunks(pool, range, sched, |chunk: Range<usize>| {
+        let mut local = 0.0f64;
+        for i in chunk {
+            local = local.max(f(i).abs());
+        }
         let mut cur = best.load(Ordering::Relaxed);
-        while v > f64::from_bits(cur) {
+        while local > f64::from_bits(cur) {
             match best.compare_exchange_weak(
                 cur,
-                v.to_bits(),
+                local.to_bits(),
                 Ordering::Relaxed,
                 Ordering::Relaxed,
             ) {
@@ -146,6 +155,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use parloop_core::par_for;
 
     #[test]
     fn unsafe_slice_disjoint_writes() {

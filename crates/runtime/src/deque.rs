@@ -21,9 +21,7 @@
 use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
 use std::sync::atomic::{fence, AtomicI64, AtomicPtr, Ordering};
-use std::sync::Arc;
-
-use parking_lot::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// Initial buffer capacity (must be a power of two).
 const MIN_CAP: usize = 64;
@@ -84,7 +82,7 @@ impl<T> Drop for Inner<T> {
         // so there is nothing to drop inside them.
         let live = self.buffer.load(Ordering::Relaxed);
         unsafe { drop(Box::from_raw(live)) };
-        for &p in self.retired.lock().iter() {
+        for &p in self.retired.lock().unwrap().iter() {
             unsafe { drop(Box::from_raw(p)) };
         }
     }
@@ -218,7 +216,7 @@ impl<T: Copy + Send> Worker<T> {
         }
         // Publish the new buffer before it is used; thieves load it Acquire.
         self.inner.buffer.store(new, Ordering::Release);
-        self.inner.retired.lock().push(old);
+        self.inner.retired.lock().unwrap().push(old);
         new
     }
 }
@@ -236,11 +234,7 @@ impl<T: Copy + Send> Stealer<T> {
             // it; if it fails the value is discarded (T: Copy, harmless).
             let buf = inner.buffer.load(Ordering::Acquire);
             let value = unsafe { (*buf).read(t) };
-            if inner
-                .top
-                .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
-                .is_ok()
-            {
+            if inner.top.compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed).is_ok() {
                 Steal::Success(value)
             } else {
                 Steal::Retry

@@ -7,9 +7,7 @@
 //! a private mutex/condvar instead.
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
-
-use parking_lot::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 
 use crate::sleep::Sleep;
 
@@ -125,9 +123,9 @@ impl LockLatch {
 
     /// Block the calling thread until `set` is called.
     pub fn wait(&self) {
-        let mut done = self.done.lock();
+        let mut done = self.done.lock().unwrap();
         while !*done {
-            self.cv.wait(&mut done);
+            done = self.cv.wait(done).unwrap();
         }
     }
 }
@@ -140,7 +138,7 @@ impl Default for LockLatch {
 
 impl Latch for LockLatch {
     fn set(&self) {
-        let mut done = self.done.lock();
+        let mut done = self.done.lock().unwrap();
         *done = true;
         self.cv.notify_all();
     }
@@ -148,7 +146,7 @@ impl Latch for LockLatch {
 
 impl Probe for LockLatch {
     fn probe(&self) -> bool {
-        *self.done.lock()
+        *self.done.lock().unwrap()
     }
 }
 

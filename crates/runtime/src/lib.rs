@@ -42,9 +42,10 @@ mod unwind;
 
 mod join;
 mod scope;
+pub mod util;
 
 pub use join::join;
 pub use latch::{CountLatch, Latch, LockLatch, Probe, SpinLatch};
 pub use registry::{current_worker_index, PoolStats, ThreadPool, ThreadPoolBuilder, WorkerToken};
 pub use scope::{scope, Scope};
-
+pub use util::CachePadded;

@@ -14,9 +14,7 @@ use std::collections::VecDeque;
 use std::marker::PhantomData;
 use std::ptr;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
-
-use parking_lot::Mutex;
+use std::sync::{Arc, Mutex};
 
 use crate::deque::{self, Steal, Stealer};
 use crate::job::{HeapJob, JobRef, StackJob};
@@ -67,7 +65,7 @@ impl Mailbox {
     }
 
     fn post(&self, job: JobRef) {
-        self.queue.lock().push_back(job);
+        self.queue.lock().unwrap().push_back(job);
         self.len.fetch_add(1, Ordering::SeqCst);
     }
 
@@ -75,7 +73,7 @@ impl Mailbox {
         if self.len.load(Ordering::SeqCst) == 0 {
             return None;
         }
-        let job = self.queue.lock().pop_front();
+        let job = self.queue.lock().unwrap().pop_front();
         if job.is_some() {
             self.len.fetch_sub(1, Ordering::SeqCst);
         }
@@ -122,7 +120,7 @@ impl Registry {
     }
 
     pub(crate) fn inject(&self, job: JobRef) {
-        self.injected.lock().push_back(job);
+        self.injected.lock().unwrap().push_back(job);
         self.injected_len.fetch_add(1, Ordering::SeqCst);
         self.stats.injected.fetch_add(1, Ordering::Relaxed);
         self.sleep.notify_all();
@@ -132,7 +130,7 @@ impl Registry {
         if self.injected_len.load(Ordering::SeqCst) == 0 {
             return None;
         }
-        let job = self.injected.lock().pop_front();
+        let job = self.injected.lock().unwrap().pop_front();
         if job.is_some() {
             self.injected_len.fetch_sub(1, Ordering::SeqCst);
         }
@@ -482,7 +480,7 @@ impl ThreadPool {
                     let latch = unsafe { latch_ptr.get() };
                     let panics = unsafe { panic_ptr.get() };
                     if let Err(p) = unwind::halt_unwinding(|| body(w)) {
-                        panics.lock().get_or_insert(p);
+                        panics.lock().unwrap().get_or_insert(p);
                     }
                     latch.set();
                 });
@@ -496,7 +494,7 @@ impl ThreadPool {
             if let Err(p) = own {
                 unwind::resume_unwinding(p);
             }
-            let team_panic = panic_slot.lock().take();
+            let team_panic = panic_slot.lock().unwrap().take();
             if let Some(p) = team_panic {
                 unwind::resume_unwinding(p);
             }

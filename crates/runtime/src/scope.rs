@@ -10,9 +10,7 @@
 use std::any::Any;
 use std::marker::PhantomData;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
-
-use parking_lot::Mutex;
+use std::sync::{Arc, Mutex};
 
 use crate::job::HeapJob;
 use crate::latch::{CountLatch, Latch, LockLatch, Probe};
@@ -70,7 +68,7 @@ pub fn scope<'scope, R>(body: impl FnOnce(&Scope<'scope>) -> R) -> R {
     match result {
         Err(p) => unwind::resume_unwinding(p),
         Ok(r) => {
-            if let Some(p) = s.panic.lock().take() {
+            if let Some(p) = s.panic.lock().unwrap().take() {
                 unwind::resume_unwinding(p);
             }
             r
@@ -104,7 +102,7 @@ impl<'scope> Scope<'scope> {
         let job = HeapJob::new(move || {
             let scope: &Scope<'static> = unsafe { p.get() };
             if let Err(panic) = unwind::halt_unwinding(|| boxed(scope)) {
-                scope.panic.lock().get_or_insert(panic);
+                scope.panic.lock().unwrap().get_or_insert(panic);
                 scope.poisoned.store(true, Ordering::Release);
             }
             scope.pending.set();

@@ -9,9 +9,8 @@
 //! percent of wake latency).
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
 use std::time::Duration;
-
-use parking_lot::{Condvar, Mutex};
 
 /// Maximum time a worker sleeps before re-checking for work.
 const SLEEP_TIMEOUT: Duration = Duration::from_micros(500);
@@ -33,9 +32,9 @@ impl Sleep {
     pub(crate) fn sleep(&self, has_work: impl Fn() -> bool) {
         self.sleepers.fetch_add(1, Ordering::SeqCst);
         {
-            let mut guard = self.lock.lock();
+            let guard = self.lock.lock().unwrap();
             if !has_work() {
-                self.cv.wait_for(&mut guard, SLEEP_TIMEOUT);
+                let _ = self.cv.wait_timeout(guard, SLEEP_TIMEOUT).unwrap();
             }
         }
         self.sleepers.fetch_sub(1, Ordering::SeqCst);
@@ -44,7 +43,7 @@ impl Sleep {
     /// Wake all sleeping workers (cheap no-op when none sleep).
     pub(crate) fn notify_all(&self) {
         if self.sleepers.load(Ordering::SeqCst) > 0 {
-            let _guard = self.lock.lock();
+            let _guard = self.lock.lock().unwrap();
             self.cv.notify_all();
         }
     }

@@ -1,0 +1,71 @@
+//! Small dependency-free utilities shared across the workspace.
+
+/// Pads and aligns a value to (at least) one cache line, preventing false
+/// sharing between adjacent slots of per-worker arrays.
+///
+/// 128 bytes covers the spatial-prefetcher pairing on modern x86 (adjacent
+/// 64-byte lines are fetched together) and the 128-byte lines of some
+/// aarch64 parts — the same constant crossbeam's `CachePadded` uses on
+/// those targets. The wrapper derefs to its contents, so it is a drop-in
+/// shell around accumulator and flag cells.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+#[repr(align(128))]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    /// Wrap `value` in a cache-line-padded cell.
+    pub const fn new(value: T) -> Self {
+        CachePadded { value }
+    }
+
+    /// Unwrap, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T> std::ops::Deref for CachePadded<T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> std::ops::DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+impl<T> From<T> for CachePadded<T> {
+    fn from(value: T) -> Self {
+        CachePadded::new(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn padded_cells_do_not_share_lines() {
+        let v: Vec<CachePadded<u64>> = (0..4u64).map(CachePadded::new).collect();
+        assert!(std::mem::size_of::<CachePadded<u64>>() >= 128);
+        assert_eq!(std::mem::align_of::<CachePadded<u64>>(), 128);
+        let a = &*v[0] as *const u64 as usize;
+        let b = &*v[1] as *const u64 as usize;
+        assert!(b - a >= 128);
+    }
+
+    #[test]
+    fn deref_and_into_inner() {
+        let mut c = CachePadded::new(41u32);
+        *c += 1;
+        assert_eq!(*c, 42);
+        assert_eq!(c.into_inner(), 42);
+        assert_eq!(*CachePadded::from(7u8), 7);
+    }
+}

@@ -60,11 +60,7 @@ impl SimResult {
         if total == 0 {
             return 1.0;
         }
-        self.affinity
-            .iter()
-            .zip(&app.loops)
-            .map(|(a, l)| a * l.n as f64 / total as f64)
-            .sum()
+        self.affinity.iter().zip(&app.loops).map(|(a, l)| a * l.n as f64 / total as f64).sum()
     }
 }
 
@@ -247,11 +243,7 @@ fn run_one_loop(
         .map(|w| {
             start
                 + jitter(w)
-                + if kind.is_team() {
-                    cfg.cost.team_fork
-                } else {
-                    cfg.cost.arrival(w)
-                }
+                + if kind.is_team() { cfg.cost.team_fork } else { cfg.cost.arrival(w) }
         })
         .collect();
     let mut finished = vec![false; p];
@@ -378,11 +370,7 @@ mod tests {
         let ts = sequential_time(&app, &cfg);
         for kind in PolicyKind::roster() {
             let t1 = simulate(&app, kind, 1, &cfg).total_cycles;
-            assert!(
-                ts <= t1 * 1.001,
-                "{}: Ts {ts:.0} must not exceed T1 {t1:.0}",
-                kind.name()
-            );
+            assert!(ts <= t1 * 1.001, "{}: Ts {ts:.0} must not exceed T1 {t1:.0}", kind.name());
         }
     }
 
@@ -418,13 +406,11 @@ mod tests {
         let st = simulate(&app, PolicyKind::Static, 8, &cfg).total_cycles;
         let hy = simulate(&app, PolicyKind::Hybrid, 8, &cfg).total_cycles;
         // Hybrid load balances; static is gated by the largest block.
-        assert!(
-            hy < st,
-            "hybrid {hy:.0} should beat static {st:.0} on unbalanced work"
-        );
+        assert!(hy < st, "hybrid {hy:.0} should beat static {st:.0} on unbalanced work");
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)]
     fn traced_run_matches_untraced_and_covers_iterations() {
         let app = tiny_app(false, 2);
         let cfg = SimConfig::xeon();

@@ -12,7 +12,9 @@
 
 use std::sync::Arc;
 
-use crate::workload::{weighted_offsets, AccessPattern, AddressSpace, AppModel, CostProfile, LoopModel};
+use crate::workload::{
+    weighted_offsets, AccessPattern, AddressSpace, AppModel, CostProfile, LoopModel,
+};
 
 /// Cycles of CPU work per 8-byte element per pass (address arithmetic +
 /// the modulo-stride computation of the paper's kernel).
@@ -48,13 +50,7 @@ impl MicroParams {
 
     /// A scaled-down instance for fast tests.
     pub fn small_for_tests(balanced: bool) -> Self {
-        MicroParams {
-            working_set: 1 << 20,
-            iterations: 64,
-            passes: 1,
-            outer: 4,
-            balanced,
-        }
+        MicroParams { working_set: 1 << 20, iterations: 64, passes: 1, outer: 4, balanced }
     }
 
     /// The unbalance ratio (largest block / smallest block).

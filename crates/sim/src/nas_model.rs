@@ -23,7 +23,9 @@
 
 use std::sync::Arc;
 
-use crate::workload::{blocked_offsets, AccessPattern, AddressSpace, AppModel, CostProfile, LoopModel};
+use crate::workload::{
+    blocked_offsets, AccessPattern, AddressSpace, AppModel, CostProfile, LoopModel,
+};
 
 /// The five NAS kernels the paper evaluates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -36,13 +38,8 @@ pub enum NasKernel {
 }
 
 impl NasKernel {
-    pub const ALL: [NasKernel; 5] = [
-        NasKernel::Mg,
-        NasKernel::Ft,
-        NasKernel::Ep,
-        NasKernel::Is,
-        NasKernel::Cg,
-    ];
+    pub const ALL: [NasKernel; 5] =
+        [NasKernel::Mg, NasKernel::Ft, NasKernel::Ep, NasKernel::Is, NasKernel::Cg];
 
     pub fn name(self) -> &'static str {
         match self {
@@ -76,10 +73,7 @@ pub fn nas_app(kernel: NasKernel) -> AppModel {
 /// Look a kernel up by its paper name ("mg", "ft", "ep", "is", "cg") and
 /// build its model shrunk by `shrink`.
 pub fn nas_app_scaled_from_name(name: &str, shrink: usize) -> Option<AppModel> {
-    NasKernel::ALL
-        .into_iter()
-        .find(|k| k.name() == name)
-        .map(|k| nas_app_scaled(k, shrink))
+    NasKernel::ALL.into_iter().find(|k| k.name() == name).map(|k| nas_app_scaled(k, shrink))
 }
 
 /// Build the workload model shrunk by `shrink` (arrays, loop lengths and
@@ -165,7 +159,12 @@ pub fn nas_app_scaled(kernel: NasKernel, shrink: usize) -> AppModel {
                         passes: 1,
                         write: false,
                     },
-                    AccessPattern::SharedSample { array: xvec, touches: 48, write: false, salt: 0x51 },
+                    AccessPattern::SharedSample {
+                        array: xvec,
+                        touches: 48,
+                        write: false,
+                        salt: 0x51,
+                    },
                 ],
             }];
             for (name, salt) in [("cg-axpy", 0x52u64), ("cg-dot", 0x53)] {

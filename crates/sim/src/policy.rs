@@ -282,11 +282,7 @@ impl Policy for StaticSharingPolicy {
             self.next_block += 1;
             let r = block_bounds(self.n, self.p, b);
             if !r.is_empty() {
-                return Action::Run {
-                    lo: r.start,
-                    hi: r.end,
-                    overhead: self.cost.grab(self.p),
-                };
+                return Action::Run { lo: r.start, hi: r.end, overhead: self.cost.grab(self.p) };
             }
         }
         Action::Finished
@@ -459,6 +455,7 @@ mod tests {
 
     /// Drive a policy round-robin (all workers at equal pace) and collect
     /// which iterations ran where; checks exactly-once coverage.
+    #[allow(clippy::needless_range_loop)]
     fn drive(kind: PolicyKind, n: usize, p: usize) -> Vec<Option<usize>> {
         let mut pol = make_policy(kind, n, p, 16, CostModel::xeon(), 7);
         let mut owner = vec![None; n];
@@ -507,6 +504,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)]
     fn static_matches_block_bounds() {
         let n = 103;
         let p = 4;
@@ -540,6 +538,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)]
     fn hybrid_round_robin_gives_every_worker_its_partition() {
         // With all workers advancing in lockstep, worker w should execute
         // (most of) partition w — the affinity property.
@@ -607,6 +606,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)]
     fn static_cyclic_deals_round_robin() {
         let n = 64;
         let p = 4;

@@ -35,15 +35,9 @@ pub struct Sweep {
 
 impl Sweep {
     /// Run the sweep (the expensive part: `kinds × workers` simulations).
-    pub fn run(
-        app: &AppModel,
-        kinds: &[PolicyKind],
-        workers: &[usize],
-        cfg: &SimConfig,
-    ) -> Sweep {
+    pub fn run(app: &AppModel, kinds: &[PolicyKind], workers: &[usize], cfg: &SimConfig) -> Sweep {
         let ts = sequential_time(app, cfg);
-        let t1: Vec<f64> =
-            kinds.iter().map(|&k| simulate(app, k, 1, cfg).total_cycles).collect();
+        let t1: Vec<f64> = kinds.iter().map(|&k| simulate(app, k, 1, cfg).total_cycles).collect();
         let cells = kinds
             .iter()
             .map(|&kind| {

@@ -118,22 +118,11 @@ pub enum AccessPattern {
     },
     /// Iteration `i` touches `count` lines at `i·start_mul + k·step_lines`
     /// (mod array lines) — strided/transposed traversals (FT dimensions).
-    Gather {
-        array: ArraySpec,
-        start_mul: u64,
-        step_lines: u64,
-        count: u32,
-        write: bool,
-    },
+    Gather { array: ArraySpec, start_mul: u64, step_lines: u64, count: u32, write: bool },
     /// Iteration `i` touches `touches` pseudo-random lines of `array`
     /// (hash of `(i, k, salt)`) — shared structures like IS buckets or
     /// CG's source vector.
-    SharedSample {
-        array: ArraySpec,
-        touches: u32,
-        write: bool,
-        salt: u64,
-    },
+    SharedSample { array: ArraySpec, touches: u32, write: bool, salt: u64 },
 }
 
 impl AccessPattern {
@@ -260,13 +249,7 @@ pub fn blocked_offsets(total_bytes: usize, n: usize, ramp: f64) -> Arc<Vec<(u64,
     assert!(n > 0 && ramp >= 1.0);
     // weights w_i = 1 + (ramp-1) * i/(n-1), scaled to sum to total.
     let weights: Vec<f64> = (0..n)
-        .map(|i| {
-            if n == 1 {
-                1.0
-            } else {
-                1.0 + (ramp - 1.0) * i as f64 / (n - 1) as f64
-            }
-        })
+        .map(|i| if n == 1 { 1.0 } else { 1.0 + (ramp - 1.0) * i as f64 / (n - 1) as f64 })
         .collect();
     weighted_offsets(total_bytes, &weights)
 }
@@ -282,7 +265,10 @@ pub fn weighted_offsets(total_bytes: usize, weights: &[f64]) -> Arc<Vec<(u64, u3
     let mut off = 0u64;
     for (i, w) in weights.iter().enumerate() {
         let mut bytes = ((total_bytes as f64) * w / wsum / 64.0).round() as u64 * 64;
-        // Last block absorbs rounding so the whole array is covered.
+        // Never overshoot the array: per-block round-up across many small
+        // blocks can otherwise push `off` past `total_bytes`. The last
+        // block absorbs whatever rounding slack remains.
+        bytes = bytes.min(total_bytes as u64 - off);
         if i == n - 1 {
             bytes = total_bytes as u64 - off;
         }
@@ -332,6 +318,22 @@ mod tests {
                 expect += bytes as u64;
             }
             assert_eq!(expect, 1 << 20);
+        }
+    }
+
+    #[test]
+    fn blocked_offsets_roundup_does_not_overshoot() {
+        // Many equal blocks whose ideal size rounds up (10240/63/64 ≈ 2.54
+        // → 3 lines each): the cumulative offset used to run past the end
+        // of the array and underflow in the final block.
+        for (total, n) in [(10240usize, 63usize), (8192, 63), (130048, 63), (9216, 5)] {
+            let offs = blocked_offsets(total, n, 1.0);
+            let mut expect = 0u64;
+            for &(off, bytes) in offs.iter() {
+                assert_eq!(off, expect);
+                expect += bytes as u64;
+            }
+            assert_eq!(expect, total as u64, "total {total} n {n}");
         }
     }
 
@@ -409,8 +411,7 @@ mod tests {
     fn shared_sample_is_deterministic() {
         let mut sp = AddressSpace::new();
         let arr = sp.alloc(1 << 16);
-        let pat =
-            AccessPattern::SharedSample { array: arr, touches: 50, write: false, salt: 99 };
+        let pat = AccessPattern::SharedSample { array: arr, touches: 50, write: false, salt: 99 };
         let mut m1 = MemoryHierarchy::xeon();
         let mut m2 = MemoryHierarchy::xeon();
         let c1 = pat.mem_cost(3, 0, &mut m1);
@@ -435,12 +436,7 @@ mod tests {
         };
         assert_eq!(lm.cpu_total(), 80.0);
         assert_eq!(lm.total_accesses(), 64);
-        let app = AppModel {
-            name: "app".into(),
-            loops: vec![lm],
-            outer: 3,
-            seq_between: 0.0,
-        };
+        let app = AppModel { name: "app".into(), loops: vec![lm], outer: 3, seq_between: 0.0 };
         assert_eq!(app.total_iterations(), 24);
     }
 }

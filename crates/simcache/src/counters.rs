@@ -55,10 +55,7 @@ impl AccessCounts {
 
     #[inline]
     fn slot(level: AccessLevel) -> usize {
-        AccessLevel::ALL
-            .iter()
-            .position(|&l| l == level)
-            .expect("level present in ALL")
+        AccessLevel::ALL.iter().position(|&l| l == level).expect("level present in ALL")
     }
 }
 

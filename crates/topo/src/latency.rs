@@ -90,11 +90,7 @@ impl LatencyTable {
     /// The paper's *inferred latency* metric: sum of per-level counts times
     /// per-level latency. `counts` must be in [`AccessLevel::ALL`] order.
     pub fn inferred_latency(&self, counts: &[u64; 6]) -> f64 {
-        AccessLevel::ALL
-            .iter()
-            .zip(counts)
-            .map(|(&lvl, &n)| self.cycles(lvl) * n as f64)
-            .sum()
+        AccessLevel::ALL.iter().zip(counts).map(|(&lvl, &n)| self.cycles(lvl) * n as f64).sum()
     }
 
     /// Inferred latency excluding the L1 column.

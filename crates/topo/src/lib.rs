@@ -18,4 +18,4 @@ mod pinning;
 
 pub use latency::{AccessLevel, LatencyTable};
 pub use machine::{CacheGeometry, MachineSpec, NumaPolicy};
-pub use pinning::{PinningPolicy, pin_order};
+pub use pinning::{pin_order, PinningPolicy};

@@ -51,9 +51,8 @@ mod tests {
     #[test]
     fn scatter_spreads_across_sockets() {
         let m = MachineSpec::xeon_e5_4620();
-        let sockets: Vec<_> = (0..4)
-            .map(|w| m.socket_of(pin_order(&m, PinningPolicy::Scatter, w)))
-            .collect();
+        let sockets: Vec<_> =
+            (0..4).map(|w| m.socket_of(pin_order(&m, PinningPolicy::Scatter, w))).collect();
         assert_eq!(sockets, vec![0, 1, 2, 3]);
     }
 

@@ -30,14 +30,14 @@ fn step(cur: &[f64], next: &mut [f64], pool: &ThreadPool, sched: Schedule, probe
     impl Rows {
         /// # Safety
         /// Row `r` must be written by at most one loop iteration.
-        unsafe fn row(&self, r: usize) -> &mut [f64] {
-            std::slice::from_raw_parts_mut(self.0.add(r * W), W)
+        unsafe fn row(&self, r: usize) -> *mut f64 {
+            self.0.add(r * W)
         }
     }
     let base = Rows(next.as_mut_ptr());
 
     par_for_tracked(pool, 0..H, sched, probe, |r| {
-        let row = unsafe { base.row(r) };
+        let row = unsafe { std::slice::from_raw_parts_mut(base.row(r), W) };
         for c in 0..W {
             let up = cur[r.saturating_sub(1) * W + c];
             let down = cur[(r + 1).min(H - 1) * W + c];
@@ -80,12 +80,9 @@ fn main() {
     let pool = ThreadPool::new(4);
     println!("2D Jacobi heat diffusion, {W}x{H}, {STEPS} steps, 4 workers\n");
     println!("{:<12} {:>9} {:>10}", "schedule", "time (s)", "affinity");
-    for sched in [
-        Schedule::hybrid(),
-        Schedule::omp_static(),
-        Schedule::vanilla(),
-        Schedule::omp_guided(),
-    ] {
+    for sched in
+        [Schedule::hybrid(), Schedule::omp_static(), Schedule::vanilla(), Schedule::omp_guided()]
+    {
         let (secs, affinity) = run(&pool, sched);
         println!("{:<12} {:>9.3} {:>9.1}%", sched.name(), secs, affinity * 100.0);
     }

@@ -7,7 +7,7 @@
 //! cargo run --release --example mandelbrot
 //! ```
 
-use parloop::core::{par_for, Schedule};
+use parloop::core::{par_for_chunks, Schedule};
 use parloop::runtime::ThreadPool;
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::time::Instant;
@@ -30,11 +30,13 @@ fn escape_time(cx: f64, cy: f64) -> u32 {
 
 fn render(pool: &ThreadPool, sched: Schedule, img: &[AtomicU32]) -> f64 {
     let t0 = Instant::now();
-    par_for(pool, 0..H, sched, |row| {
-        for col in 0..W {
-            let cx = -2.2 + 3.0 * col as f64 / W as f64;
-            let cy = -1.2 + 2.4 * row as f64 / H as f64;
-            img[row * W + col].store(escape_time(cx, cy), Ordering::Relaxed);
+    par_for_chunks(pool, 0..H, sched, |rows| {
+        for row in rows {
+            for col in 0..W {
+                let cx = -2.2 + 3.0 * col as f64 / W as f64;
+                let cy = -1.2 + 2.4 * row as f64 / H as f64;
+                img[row * W + col].store(escape_time(cx, cy), Ordering::Relaxed);
+            }
         }
     });
     t0.elapsed().as_secs_f64()
@@ -46,12 +48,9 @@ fn main() {
 
     println!("Mandelbrot {W}x{H}, max {MAX_ITER} iterations, 4 workers\n");
     let mut reference: Option<Vec<u32>> = None;
-    for sched in [
-        Schedule::hybrid(),
-        Schedule::omp_static(),
-        Schedule::omp_guided(),
-        Schedule::vanilla(),
-    ] {
+    for sched in
+        [Schedule::hybrid(), Schedule::omp_static(), Schedule::omp_guided(), Schedule::vanilla()]
+    {
         let secs = render(&pool, sched, &img);
         let frame: Vec<u32> = img.iter().map(|p| p.load(Ordering::Relaxed)).collect();
         match &reference {

@@ -18,10 +18,7 @@ fn main() {
     let pool = ThreadPool::new(4);
 
     println!("NAS kernels at {class:?} size, 4 workers\n");
-    println!(
-        "{:<4} {:<12} {:>9}  {:<8} metric",
-        "bench", "schedule", "time (s)", "verified"
-    );
+    println!("{:<4} {:<12} {:>9}  {:<8} metric", "bench", "schedule", "time (s)", "verified");
 
     let schedules =
         [Schedule::hybrid(), Schedule::omp_static(), Schedule::omp_guided(), Schedule::vanilla()];

@@ -4,7 +4,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use parloop::core::{hybrid_for_with_stats, par_for, Schedule};
+use parloop::core::{hybrid_for_with_stats, par_for_chunks, Schedule};
 use parloop::runtime::ThreadPool;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -13,14 +13,17 @@ fn main() {
     let pool = ThreadPool::new(4);
     let n = 1 << 16;
 
-    // Any `Fn(usize) + Sync` body works; here: a parallel square-sum.
+    // Any `Fn(Range<usize>) + Sync` chunk body works; here: a parallel
+    // square-sum folding each scheduler chunk locally before one shared
+    // atomic add (per-index `par_for` is also available).
     let expected: u64 = (0..n as u64).map(|i| i * i).sum();
 
     println!("parallel square-sum of 0..{n} under every scheduler:");
     for sched in Schedule::roster(n, pool.num_workers()) {
         let sum = AtomicU64::new(0);
-        par_for(&pool, 0..n, sched, |i| {
-            sum.fetch_add((i * i) as u64, Ordering::Relaxed);
+        par_for_chunks(&pool, 0..n, sched, |chunk| {
+            let partial: u64 = chunk.map(|i| (i * i) as u64).sum();
+            sum.fetch_add(partial, Ordering::Relaxed);
         });
         let got = sum.load(Ordering::Relaxed);
         println!(

@@ -30,8 +30,7 @@ fn main() {
         if balanced { "balanced" } else { "unbalanced" }
     );
 
-    for kind in [PolicyKind::Hybrid, PolicyKind::Static, PolicyKind::Stealing, PolicyKind::Guided]
-    {
+    for kind in [PolicyKind::Hybrid, PolicyKind::Static, PolicyKind::Stealing, PolicyKind::Guided] {
         let (result, traces) = simulate_traced(&app, kind, p, &cfg);
         // Use the last (warm) loop instance.
         let t = traces.last().expect("at least one traced loop");

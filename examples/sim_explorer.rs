@@ -29,8 +29,9 @@ fn main() {
             p.iterations = 256;
             micro_app(p)
         }
-        name => nas_app_scaled_from_name(name, 4)
-            .unwrap_or_else(|| panic!("unknown workload '{name}'")),
+        name => {
+            nas_app_scaled_from_name(name, 4).unwrap_or_else(|| panic!("unknown workload '{name}'"))
+        }
     };
 
     let ts = sequential_time(&app, &cfg);

@@ -49,12 +49,7 @@ fn main() {
                 assert!(rel < 1e-9, "{}: zeta diverged by {rel}", sched.name());
             }
         }
-        println!(
-            "  {:<12} zeta={:.12}  rnorm={:.2e}  ({secs:.3}s)",
-            sched.name(),
-            r.zeta,
-            r.rnorm
-        );
+        println!("  {:<12} zeta={:.12}  rnorm={:.2e}  ({secs:.3}s)", sched.name(), r.zeta, r.rnorm);
     }
     println!("\nAll schedulers agree on zeta to 1e-9 relative tolerance.");
 }

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything a change must pass before it lands.
+# Runs fully offline — the workspace has no external dependencies.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --all --check
+
+echo "== cargo build --release =="
+cargo build --release --offline --workspace
+
+echo "== cargo test -q =="
+cargo test -q --offline --workspace
+
+echo "verify.sh: all gates passed"

@@ -24,5 +24,5 @@ pub use parloop_sim as sim;
 pub use parloop_simcache as simcache;
 pub use parloop_topo as topo;
 
-pub use parloop_core::{par_for, Schedule};
+pub use parloop_core::{par_for, par_for_chunks, par_for_dyn, par_for_tracked, Schedule};
 pub use parloop_runtime::{join, scope, ThreadPool, ThreadPoolBuilder};

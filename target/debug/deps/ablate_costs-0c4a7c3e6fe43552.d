@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablate_costs-0c4a7c3e6fe43552.d: crates/bench/src/bin/ablate_costs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablate_costs-0c4a7c3e6fe43552.rmeta: crates/bench/src/bin/ablate_costs.rs Cargo.toml
+
+crates/bench/src/bin/ablate_costs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablate_costs-8a0da57108d30409.d: crates/bench/src/bin/ablate_costs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablate_costs-8a0da57108d30409.rmeta: crates/bench/src/bin/ablate_costs.rs Cargo.toml
+
+crates/bench/src/bin/ablate_costs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_costs-e07e469ae5408aef.d: crates/bench/src/bin/ablate_costs.rs
+
+/root/repo/target/debug/deps/ablate_costs-e07e469ae5408aef: crates/bench/src/bin/ablate_costs.rs
+
+crates/bench/src/bin/ablate_costs.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablate_oversub-7a1d62afafcc1895.d: crates/bench/src/bin/ablate_oversub.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablate_oversub-7a1d62afafcc1895.rmeta: crates/bench/src/bin/ablate_oversub.rs Cargo.toml
+
+crates/bench/src/bin/ablate_oversub.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

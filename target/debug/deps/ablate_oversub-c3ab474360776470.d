@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablate_oversub-c3ab474360776470.d: crates/bench/src/bin/ablate_oversub.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablate_oversub-c3ab474360776470.rmeta: crates/bench/src/bin/ablate_oversub.rs Cargo.toml
+
+crates/bench/src/bin/ablate_oversub.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

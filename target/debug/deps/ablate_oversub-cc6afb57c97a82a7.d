@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_oversub-cc6afb57c97a82a7.d: crates/bench/src/bin/ablate_oversub.rs
+
+/root/repo/target/debug/deps/ablate_oversub-cc6afb57c97a82a7: crates/bench/src/bin/ablate_oversub.rs
+
+crates/bench/src/bin/ablate_oversub.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_pinning-68668267a32c0cad.d: crates/bench/src/bin/ablate_pinning.rs
+
+/root/repo/target/debug/deps/ablate_pinning-68668267a32c0cad: crates/bench/src/bin/ablate_pinning.rs
+
+crates/bench/src/bin/ablate_pinning.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablate_pinning-99e38951c6f09b7d.d: crates/bench/src/bin/ablate_pinning.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablate_pinning-99e38951c6f09b7d.rmeta: crates/bench/src/bin/ablate_pinning.rs Cargo.toml
+
+crates/bench/src/bin/ablate_pinning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

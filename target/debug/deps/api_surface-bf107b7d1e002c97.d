@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/api_surface-bf107b7d1e002c97.d: tests/api_surface.rs Cargo.toml
+
+/root/repo/target/debug/deps/libapi_surface-bf107b7d1e002c97.rmeta: tests/api_surface.rs Cargo.toml
+
+tests/api_surface.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/api_surface-d562c35bd6f80c64.d: tests/api_surface.rs
+
+/root/repo/target/debug/deps/api_surface-d562c35bd6f80c64: tests/api_surface.rs
+
+tests/api_surface.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chunk_layer-1e06eaaf1d20d9a8.d: tests/chunk_layer.rs
+
+/root/repo/target/debug/deps/chunk_layer-1e06eaaf1d20d9a8: tests/chunk_layer.rs
+
+tests/chunk_layer.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/chunk_layer-9ef6a41c20d02d53.d: tests/chunk_layer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchunk_layer-9ef6a41c20d02d53.rmeta: tests/chunk_layer.rs Cargo.toml
+
+tests/chunk_layer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/claim_bench-36681f5d52be3cb4.d: crates/bench/src/bin/claim_bench.rs Cargo.toml
+
+/root/repo/target/debug/deps/libclaim_bench-36681f5d52be3cb4.rmeta: crates/bench/src/bin/claim_bench.rs Cargo.toml
+
+crates/bench/src/bin/claim_bench.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

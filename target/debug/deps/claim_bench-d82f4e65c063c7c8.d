@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/claim_bench-d82f4e65c063c7c8.d: crates/bench/src/bin/claim_bench.rs
+
+/root/repo/target/debug/deps/claim_bench-d82f4e65c063c7c8: crates/bench/src/bin/claim_bench.rs
+
+crates/bench/src/bin/claim_bench.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/claim_bench-da513fb325e67116.d: crates/bench/src/bin/claim_bench.rs Cargo.toml
+
+/root/repo/target/debug/deps/libclaim_bench-da513fb325e67116.rmeta: crates/bench/src/bin/claim_bench.rs Cargo.toml
+
+crates/bench/src/bin/claim_bench.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

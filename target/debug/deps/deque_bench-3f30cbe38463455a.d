@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/deque_bench-3f30cbe38463455a.d: crates/bench/src/bin/deque_bench.rs
+
+/root/repo/target/debug/deps/deque_bench-3f30cbe38463455a: crates/bench/src/bin/deque_bench.rs
+
+crates/bench/src/bin/deque_bench.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/deque_bench-8c062a5e2f53bed2.d: crates/bench/src/bin/deque_bench.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdeque_bench-8c062a5e2f53bed2.rmeta: crates/bench/src/bin/deque_bench.rs Cargo.toml
+
+crates/bench/src/bin/deque_bench.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

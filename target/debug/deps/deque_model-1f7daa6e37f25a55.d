@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/deque_model-1f7daa6e37f25a55.d: tests/deque_model.rs tests/common/mod.rs
+
+/root/repo/target/debug/deps/deque_model-1f7daa6e37f25a55: tests/deque_model.rs tests/common/mod.rs
+
+tests/deque_model.rs:
+tests/common/mod.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/deque_model-c7e6053350e176ae.d: tests/deque_model.rs tests/common/mod.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdeque_model-c7e6053350e176ae.rmeta: tests/deque_model.rs tests/common/mod.rs Cargo.toml
+
+tests/deque_model.rs:
+tests/common/mod.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

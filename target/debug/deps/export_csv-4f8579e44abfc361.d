@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/export_csv-4f8579e44abfc361.d: crates/bench/src/bin/export_csv.rs
+
+/root/repo/target/debug/deps/export_csv-4f8579e44abfc361: crates/bench/src/bin/export_csv.rs
+
+crates/bench/src/bin/export_csv.rs:

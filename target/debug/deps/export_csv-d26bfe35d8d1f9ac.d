@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/export_csv-d26bfe35d8d1f9ac.d: crates/bench/src/bin/export_csv.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexport_csv-d26bfe35d8d1f9ac.rmeta: crates/bench/src/bin/export_csv.rs Cargo.toml
+
+crates/bench/src/bin/export_csv.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

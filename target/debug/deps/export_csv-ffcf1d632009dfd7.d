@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/export_csv-ffcf1d632009dfd7.d: crates/bench/src/bin/export_csv.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexport_csv-ffcf1d632009dfd7.rmeta: crates/bench/src/bin/export_csv.rs Cargo.toml
+
+crates/bench/src/bin/export_csv.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig1_micro-2f36c833fcb1d7de.d: crates/bench/src/bin/fig1_micro.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig1_micro-2f36c833fcb1d7de.rmeta: crates/bench/src/bin/fig1_micro.rs Cargo.toml
+
+crates/bench/src/bin/fig1_micro.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

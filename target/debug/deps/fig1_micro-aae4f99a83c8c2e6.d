@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_micro-aae4f99a83c8c2e6.d: crates/bench/src/bin/fig1_micro.rs
+
+/root/repo/target/debug/deps/fig1_micro-aae4f99a83c8c2e6: crates/bench/src/bin/fig1_micro.rs
+
+crates/bench/src/bin/fig1_micro.rs:

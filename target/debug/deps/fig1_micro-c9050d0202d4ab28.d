@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig1_micro-c9050d0202d4ab28.d: crates/bench/src/bin/fig1_micro.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig1_micro-c9050d0202d4ab28.rmeta: crates/bench/src/bin/fig1_micro.rs Cargo.toml
+
+crates/bench/src/bin/fig1_micro.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

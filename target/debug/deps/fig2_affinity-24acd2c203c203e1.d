@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2_affinity-24acd2c203c203e1.d: crates/bench/src/bin/fig2_affinity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2_affinity-24acd2c203c203e1.rmeta: crates/bench/src/bin/fig2_affinity.rs Cargo.toml
+
+crates/bench/src/bin/fig2_affinity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_affinity-b17341666e7ee9b1.d: crates/bench/src/bin/fig2_affinity.rs
+
+/root/repo/target/debug/deps/fig2_affinity-b17341666e7ee9b1: crates/bench/src/bin/fig2_affinity.rs
+
+crates/bench/src/bin/fig2_affinity.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2_affinity-f4f99391fac3af20.d: crates/bench/src/bin/fig2_affinity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2_affinity-f4f99391fac3af20.rmeta: crates/bench/src/bin/fig2_affinity.rs Cargo.toml
+
+crates/bench/src/bin/fig2_affinity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_nas-246dca7669b25b0a.d: crates/bench/src/bin/fig3_nas.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_nas-246dca7669b25b0a.rmeta: crates/bench/src/bin/fig3_nas.rs Cargo.toml
+
+crates/bench/src/bin/fig3_nas.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

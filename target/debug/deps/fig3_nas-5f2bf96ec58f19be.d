@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_nas-5f2bf96ec58f19be.d: crates/bench/src/bin/fig3_nas.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_nas-5f2bf96ec58f19be.rmeta: crates/bench/src/bin/fig3_nas.rs Cargo.toml
+
+crates/bench/src/bin/fig3_nas.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_nas-a17f57d642a8ebb5.d: crates/bench/src/bin/fig3_nas.rs
+
+/root/repo/target/debug/deps/fig3_nas-a17f57d642a8ebb5: crates/bench/src/bin/fig3_nas.rs
+
+crates/bench/src/bin/fig3_nas.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_counters-0d5da958a0b04c23.d: crates/bench/src/bin/fig4_counters.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_counters-0d5da958a0b04c23.rmeta: crates/bench/src/bin/fig4_counters.rs Cargo.toml
+
+crates/bench/src/bin/fig4_counters.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

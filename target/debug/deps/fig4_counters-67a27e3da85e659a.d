@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_counters-67a27e3da85e659a.d: crates/bench/src/bin/fig4_counters.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_counters-67a27e3da85e659a.rmeta: crates/bench/src/bin/fig4_counters.rs Cargo.toml
+
+crates/bench/src/bin/fig4_counters.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

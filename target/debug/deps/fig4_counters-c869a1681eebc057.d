@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_counters-c869a1681eebc057.d: crates/bench/src/bin/fig4_counters.rs
+
+/root/repo/target/debug/deps/fig4_counters-c869a1681eebc057: crates/bench/src/bin/fig4_counters.rs
+
+crates/bench/src/bin/fig4_counters.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_latency-35d4513889b09f76.d: crates/bench/src/bin/fig5_latency.rs
+
+/root/repo/target/debug/deps/fig5_latency-35d4513889b09f76: crates/bench/src/bin/fig5_latency.rs
+
+crates/bench/src/bin/fig5_latency.rs:

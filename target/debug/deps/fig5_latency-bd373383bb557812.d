@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_latency-bd373383bb557812.d: crates/bench/src/bin/fig5_latency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_latency-bd373383bb557812.rmeta: crates/bench/src/bin/fig5_latency.rs Cargo.toml
+
+crates/bench/src/bin/fig5_latency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/hybrid_theory-09cd36584686dfb6.d: tests/hybrid_theory.rs tests/common/mod.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhybrid_theory-09cd36584686dfb6.rmeta: tests/hybrid_theory.rs tests/common/mod.rs Cargo.toml
+
+tests/hybrid_theory.rs:
+tests/common/mod.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/hybrid_theory-0e052fde013e266d.d: tests/hybrid_theory.rs tests/common/mod.rs
+
+/root/repo/target/debug/deps/hybrid_theory-0e052fde013e266d: tests/hybrid_theory.rs tests/common/mod.rs
+
+tests/hybrid_theory.rs:
+tests/common/mod.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/kernels_bench-e8cbade83dd15df7.d: crates/bench/src/bin/kernels_bench.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkernels_bench-e8cbade83dd15df7.rmeta: crates/bench/src/bin/kernels_bench.rs Cargo.toml
+
+crates/bench/src/bin/kernels_bench.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

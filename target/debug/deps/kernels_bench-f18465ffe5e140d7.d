@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kernels_bench-f18465ffe5e140d7.d: crates/bench/src/bin/kernels_bench.rs
+
+/root/repo/target/debug/deps/kernels_bench-f18465ffe5e140d7: crates/bench/src/bin/kernels_bench.rs
+
+crates/bench/src/bin/kernels_bench.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/kernels_bench-fbc9b4bb738ce03c.d: crates/bench/src/bin/kernels_bench.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkernels_bench-fbc9b4bb738ce03c.rmeta: crates/bench/src/bin/kernels_bench.rs Cargo.toml
+
+crates/bench/src/bin/kernels_bench.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/make_report-2e7ce6496a4b9f3f.d: crates/bench/src/bin/make_report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmake_report-2e7ce6496a4b9f3f.rmeta: crates/bench/src/bin/make_report.rs Cargo.toml
+
+crates/bench/src/bin/make_report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/make_report-e6802dd29640a888.d: crates/bench/src/bin/make_report.rs
+
+/root/repo/target/debug/deps/make_report-e6802dd29640a888: crates/bench/src/bin/make_report.rs
+
+crates/bench/src/bin/make_report.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/nas_validation-16d22a5193d7056c.d: tests/nas_validation.rs
+
+/root/repo/target/debug/deps/nas_validation-16d22a5193d7056c: tests/nas_validation.rs
+
+tests/nas_validation.rs:

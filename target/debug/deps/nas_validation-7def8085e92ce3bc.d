@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/nas_validation-7def8085e92ce3bc.d: tests/nas_validation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnas_validation-7def8085e92ce3bc.rmeta: tests/nas_validation.rs Cargo.toml
+
+tests/nas_validation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

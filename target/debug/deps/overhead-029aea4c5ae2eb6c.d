@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/overhead-029aea4c5ae2eb6c.d: crates/bench/src/bin/overhead.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboverhead-029aea4c5ae2eb6c.rmeta: crates/bench/src/bin/overhead.rs Cargo.toml
+
+crates/bench/src/bin/overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

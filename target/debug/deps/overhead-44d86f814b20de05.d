@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/overhead-44d86f814b20de05.d: crates/bench/src/bin/overhead.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboverhead-44d86f814b20de05.rmeta: crates/bench/src/bin/overhead.rs Cargo.toml
+
+crates/bench/src/bin/overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

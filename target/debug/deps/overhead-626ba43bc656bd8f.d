@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/overhead-626ba43bc656bd8f.d: crates/bench/src/bin/overhead.rs
+
+/root/repo/target/debug/deps/overhead-626ba43bc656bd8f: crates/bench/src/bin/overhead.rs
+
+crates/bench/src/bin/overhead.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/overhead_chunks-91153cfa8b5af553.d: crates/bench/src/bin/overhead_chunks.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboverhead_chunks-91153cfa8b5af553.rmeta: crates/bench/src/bin/overhead_chunks.rs Cargo.toml
+
+crates/bench/src/bin/overhead_chunks.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

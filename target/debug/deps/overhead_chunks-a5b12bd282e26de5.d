@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/overhead_chunks-a5b12bd282e26de5.d: crates/bench/src/bin/overhead_chunks.rs
+
+/root/repo/target/debug/deps/overhead_chunks-a5b12bd282e26de5: crates/bench/src/bin/overhead_chunks.rs
+
+crates/bench/src/bin/overhead_chunks.rs:

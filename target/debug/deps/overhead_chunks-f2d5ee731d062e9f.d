@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/overhead_chunks-f2d5ee731d062e9f.d: crates/bench/src/bin/overhead_chunks.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboverhead_chunks-f2d5ee731d062e9f.rmeta: crates/bench/src/bin/overhead_chunks.rs Cargo.toml
+
+crates/bench/src/bin/overhead_chunks.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parloop-0d685aab1904be60.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparloop-0d685aab1904be60.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

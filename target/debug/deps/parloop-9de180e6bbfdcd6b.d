@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/parloop-9de180e6bbfdcd6b.d: src/lib.rs
+
+/root/repo/target/debug/deps/libparloop-9de180e6bbfdcd6b.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libparloop-9de180e6bbfdcd6b.rmeta: src/lib.rs
+
+src/lib.rs:

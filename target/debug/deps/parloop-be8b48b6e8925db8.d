@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parloop-be8b48b6e8925db8.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparloop-be8b48b6e8925db8.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parloop-e5d9e0d7ebf5b611.d: src/lib.rs
+
+/root/repo/target/debug/deps/parloop-e5d9e0d7ebf5b611: src/lib.rs
+
+src/lib.rs:

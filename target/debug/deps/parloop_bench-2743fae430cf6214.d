@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parloop_bench-2743fae430cf6214.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/parloop_bench-2743fae430cf6214: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

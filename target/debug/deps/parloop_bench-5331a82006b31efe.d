@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parloop_bench-5331a82006b31efe.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparloop_bench-5331a82006b31efe.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

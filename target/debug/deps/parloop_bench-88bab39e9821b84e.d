@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/parloop_bench-88bab39e9821b84e.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libparloop_bench-88bab39e9821b84e.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libparloop_bench-88bab39e9821b84e.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parloop_bench-e24e9c2bf0970d7f.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparloop_bench-e24e9c2bf0970d7f.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/parloop_core-a35f9231e85f03a7.d: crates/core/src/lib.rs crates/core/src/affinity.rs crates/core/src/claim.rs crates/core/src/hybrid.rs crates/core/src/range.rs crates/core/src/reduce.rs crates/core/src/schedule.rs crates/core/src/sharing.rs crates/core/src/static_part.rs crates/core/src/stealing.rs crates/core/src/util.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparloop_core-a35f9231e85f03a7.rmeta: crates/core/src/lib.rs crates/core/src/affinity.rs crates/core/src/claim.rs crates/core/src/hybrid.rs crates/core/src/range.rs crates/core/src/reduce.rs crates/core/src/schedule.rs crates/core/src/sharing.rs crates/core/src/static_part.rs crates/core/src/stealing.rs crates/core/src/util.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/affinity.rs:
+crates/core/src/claim.rs:
+crates/core/src/hybrid.rs:
+crates/core/src/range.rs:
+crates/core/src/reduce.rs:
+crates/core/src/schedule.rs:
+crates/core/src/sharing.rs:
+crates/core/src/static_part.rs:
+crates/core/src/stealing.rs:
+crates/core/src/util.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/parloop_core-fd18547f99cbf2bc.d: crates/core/src/lib.rs crates/core/src/affinity.rs crates/core/src/claim.rs crates/core/src/hybrid.rs crates/core/src/range.rs crates/core/src/reduce.rs crates/core/src/schedule.rs crates/core/src/sharing.rs crates/core/src/static_part.rs crates/core/src/stealing.rs crates/core/src/util.rs
+
+/root/repo/target/debug/deps/libparloop_core-fd18547f99cbf2bc.rlib: crates/core/src/lib.rs crates/core/src/affinity.rs crates/core/src/claim.rs crates/core/src/hybrid.rs crates/core/src/range.rs crates/core/src/reduce.rs crates/core/src/schedule.rs crates/core/src/sharing.rs crates/core/src/static_part.rs crates/core/src/stealing.rs crates/core/src/util.rs
+
+/root/repo/target/debug/deps/libparloop_core-fd18547f99cbf2bc.rmeta: crates/core/src/lib.rs crates/core/src/affinity.rs crates/core/src/claim.rs crates/core/src/hybrid.rs crates/core/src/range.rs crates/core/src/reduce.rs crates/core/src/schedule.rs crates/core/src/sharing.rs crates/core/src/static_part.rs crates/core/src/stealing.rs crates/core/src/util.rs
+
+crates/core/src/lib.rs:
+crates/core/src/affinity.rs:
+crates/core/src/claim.rs:
+crates/core/src/hybrid.rs:
+crates/core/src/range.rs:
+crates/core/src/reduce.rs:
+crates/core/src/schedule.rs:
+crates/core/src/sharing.rs:
+crates/core/src/static_part.rs:
+crates/core/src/stealing.rs:
+crates/core/src/util.rs:

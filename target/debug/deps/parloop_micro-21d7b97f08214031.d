@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parloop_micro-21d7b97f08214031.d: crates/micro/src/lib.rs
+
+/root/repo/target/debug/deps/parloop_micro-21d7b97f08214031: crates/micro/src/lib.rs
+
+crates/micro/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parloop_micro-6a78100d3482bd8c.d: crates/micro/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparloop_micro-6a78100d3482bd8c.rmeta: crates/micro/src/lib.rs Cargo.toml
+
+crates/micro/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

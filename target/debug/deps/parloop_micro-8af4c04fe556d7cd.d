@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/parloop_micro-8af4c04fe556d7cd.d: crates/micro/src/lib.rs
+
+/root/repo/target/debug/deps/libparloop_micro-8af4c04fe556d7cd.rlib: crates/micro/src/lib.rs
+
+/root/repo/target/debug/deps/libparloop_micro-8af4c04fe556d7cd.rmeta: crates/micro/src/lib.rs
+
+crates/micro/src/lib.rs:

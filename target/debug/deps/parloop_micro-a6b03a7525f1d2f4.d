@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parloop_micro-a6b03a7525f1d2f4.d: crates/micro/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparloop_micro-a6b03a7525f1d2f4.rmeta: crates/micro/src/lib.rs Cargo.toml
+
+crates/micro/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/parloop_nas-df59f71c8f8d3fdc.d: crates/nas/src/lib.rs crates/nas/src/cg.rs crates/nas/src/ep.rs crates/nas/src/ft.rs crates/nas/src/is.rs crates/nas/src/mg.rs crates/nas/src/randdp.rs crates/nas/src/util.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparloop_nas-df59f71c8f8d3fdc.rmeta: crates/nas/src/lib.rs crates/nas/src/cg.rs crates/nas/src/ep.rs crates/nas/src/ft.rs crates/nas/src/is.rs crates/nas/src/mg.rs crates/nas/src/randdp.rs crates/nas/src/util.rs Cargo.toml
+
+crates/nas/src/lib.rs:
+crates/nas/src/cg.rs:
+crates/nas/src/ep.rs:
+crates/nas/src/ft.rs:
+crates/nas/src/is.rs:
+crates/nas/src/mg.rs:
+crates/nas/src/randdp.rs:
+crates/nas/src/util.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

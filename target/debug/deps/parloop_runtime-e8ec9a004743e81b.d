@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/parloop_runtime-e8ec9a004743e81b.d: crates/runtime/src/lib.rs crates/runtime/src/deque.rs crates/runtime/src/job.rs crates/runtime/src/latch.rs crates/runtime/src/registry.rs crates/runtime/src/rng.rs crates/runtime/src/sleep.rs crates/runtime/src/unwind.rs crates/runtime/src/join.rs crates/runtime/src/scope.rs crates/runtime/src/util.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparloop_runtime-e8ec9a004743e81b.rmeta: crates/runtime/src/lib.rs crates/runtime/src/deque.rs crates/runtime/src/job.rs crates/runtime/src/latch.rs crates/runtime/src/registry.rs crates/runtime/src/rng.rs crates/runtime/src/sleep.rs crates/runtime/src/unwind.rs crates/runtime/src/join.rs crates/runtime/src/scope.rs crates/runtime/src/util.rs Cargo.toml
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/deque.rs:
+crates/runtime/src/job.rs:
+crates/runtime/src/latch.rs:
+crates/runtime/src/registry.rs:
+crates/runtime/src/rng.rs:
+crates/runtime/src/sleep.rs:
+crates/runtime/src/unwind.rs:
+crates/runtime/src/join.rs:
+crates/runtime/src/scope.rs:
+crates/runtime/src/util.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

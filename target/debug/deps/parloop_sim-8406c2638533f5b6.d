@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/parloop_sim-8406c2638533f5b6.d: crates/sim/src/lib.rs crates/sim/src/costs.rs crates/sim/src/engine.rs crates/sim/src/micro_model.rs crates/sim/src/nas_model.rs crates/sim/src/policy.rs crates/sim/src/sweep.rs crates/sim/src/workload.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparloop_sim-8406c2638533f5b6.rmeta: crates/sim/src/lib.rs crates/sim/src/costs.rs crates/sim/src/engine.rs crates/sim/src/micro_model.rs crates/sim/src/nas_model.rs crates/sim/src/policy.rs crates/sim/src/sweep.rs crates/sim/src/workload.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/costs.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/micro_model.rs:
+crates/sim/src/nas_model.rs:
+crates/sim/src/policy.rs:
+crates/sim/src/sweep.rs:
+crates/sim/src/workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

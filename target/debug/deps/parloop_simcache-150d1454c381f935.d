@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/parloop_simcache-150d1454c381f935.d: crates/simcache/src/lib.rs crates/simcache/src/counters.rs crates/simcache/src/hierarchy.rs crates/simcache/src/lru.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparloop_simcache-150d1454c381f935.rmeta: crates/simcache/src/lib.rs crates/simcache/src/counters.rs crates/simcache/src/hierarchy.rs crates/simcache/src/lru.rs Cargo.toml
+
+crates/simcache/src/lib.rs:
+crates/simcache/src/counters.rs:
+crates/simcache/src/hierarchy.rs:
+crates/simcache/src/lru.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/parloop_simcache-198a12d215567681.d: crates/simcache/src/lib.rs crates/simcache/src/counters.rs crates/simcache/src/hierarchy.rs crates/simcache/src/lru.rs
+
+/root/repo/target/debug/deps/libparloop_simcache-198a12d215567681.rlib: crates/simcache/src/lib.rs crates/simcache/src/counters.rs crates/simcache/src/hierarchy.rs crates/simcache/src/lru.rs
+
+/root/repo/target/debug/deps/libparloop_simcache-198a12d215567681.rmeta: crates/simcache/src/lib.rs crates/simcache/src/counters.rs crates/simcache/src/hierarchy.rs crates/simcache/src/lru.rs
+
+crates/simcache/src/lib.rs:
+crates/simcache/src/counters.rs:
+crates/simcache/src/hierarchy.rs:
+crates/simcache/src/lru.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/parloop_topo-558e451a14e7db06.d: crates/topo/src/lib.rs crates/topo/src/latency.rs crates/topo/src/machine.rs crates/topo/src/pinning.rs
+
+/root/repo/target/debug/deps/parloop_topo-558e451a14e7db06: crates/topo/src/lib.rs crates/topo/src/latency.rs crates/topo/src/machine.rs crates/topo/src/pinning.rs
+
+crates/topo/src/lib.rs:
+crates/topo/src/latency.rs:
+crates/topo/src/machine.rs:
+crates/topo/src/pinning.rs:

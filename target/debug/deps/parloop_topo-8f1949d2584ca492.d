@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/parloop_topo-8f1949d2584ca492.d: crates/topo/src/lib.rs crates/topo/src/latency.rs crates/topo/src/machine.rs crates/topo/src/pinning.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparloop_topo-8f1949d2584ca492.rmeta: crates/topo/src/lib.rs crates/topo/src/latency.rs crates/topo/src/machine.rs crates/topo/src/pinning.rs Cargo.toml
+
+crates/topo/src/lib.rs:
+crates/topo/src/latency.rs:
+crates/topo/src/machine.rs:
+crates/topo/src/pinning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/parloop_topo-9bd2166fe73b9a49.d: crates/topo/src/lib.rs crates/topo/src/latency.rs crates/topo/src/machine.rs crates/topo/src/pinning.rs
+
+/root/repo/target/debug/deps/libparloop_topo-9bd2166fe73b9a49.rlib: crates/topo/src/lib.rs crates/topo/src/latency.rs crates/topo/src/machine.rs crates/topo/src/pinning.rs
+
+/root/repo/target/debug/deps/libparloop_topo-9bd2166fe73b9a49.rmeta: crates/topo/src/lib.rs crates/topo/src/latency.rs crates/topo/src/machine.rs crates/topo/src/pinning.rs
+
+crates/topo/src/lib.rs:
+crates/topo/src/latency.rs:
+crates/topo/src/machine.rs:
+crates/topo/src/pinning.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/runtime_stress-7aa1f504ce479d8e.d: tests/runtime_stress.rs Cargo.toml
+
+/root/repo/target/debug/deps/libruntime_stress-7aa1f504ce479d8e.rmeta: tests/runtime_stress.rs Cargo.toml
+
+tests/runtime_stress.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

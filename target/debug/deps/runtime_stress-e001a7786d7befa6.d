@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/runtime_stress-e001a7786d7befa6.d: tests/runtime_stress.rs
+
+/root/repo/target/debug/deps/runtime_stress-e001a7786d7befa6: tests/runtime_stress.rs
+
+tests/runtime_stress.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/schedulers_integration-e342475ba77b5b10.d: tests/schedulers_integration.rs
+
+/root/repo/target/debug/deps/schedulers_integration-e342475ba77b5b10: tests/schedulers_integration.rs
+
+tests/schedulers_integration.rs:

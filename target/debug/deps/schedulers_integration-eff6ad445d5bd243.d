@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/schedulers_integration-eff6ad445d5bd243.d: tests/schedulers_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libschedulers_integration-eff6ad445d5bd243.rmeta: tests/schedulers_integration.rs Cargo.toml
+
+tests/schedulers_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sim_figures-310d94e693d74bef.d: tests/sim_figures.rs
+
+/root/repo/target/debug/deps/sim_figures-310d94e693d74bef: tests/sim_figures.rs
+
+tests/sim_figures.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sim_figures-54a9e2a7c9c29a70.d: tests/sim_figures.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsim_figures-54a9e2a7c9c29a70.rmeta: tests/sim_figures.rs Cargo.toml
+
+tests/sim_figures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/sim_props-b3d831ce2e1c67c5.d: tests/sim_props.rs tests/common/mod.rs
+
+/root/repo/target/debug/deps/sim_props-b3d831ce2e1c67c5: tests/sim_props.rs tests/common/mod.rs
+
+tests/sim_props.rs:
+tests/common/mod.rs:

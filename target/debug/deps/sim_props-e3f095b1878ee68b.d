@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/sim_props-e3f095b1878ee68b.d: tests/sim_props.rs tests/common/mod.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsim_props-e3f095b1878ee68b.rmeta: tests/sim_props.rs tests/common/mod.rs Cargo.toml
+
+tests/sim_props.rs:
+tests/common/mod.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/simcache_props-09fabe60fe3b4207.d: tests/simcache_props.rs tests/common/mod.rs
+
+/root/repo/target/debug/deps/simcache_props-09fabe60fe3b4207: tests/simcache_props.rs tests/common/mod.rs
+
+tests/simcache_props.rs:
+tests/common/mod.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/simcache_props-0dbd950d1e063967.d: tests/simcache_props.rs tests/common/mod.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimcache_props-0dbd950d1e063967.rmeta: tests/simcache_props.rs tests/common/mod.rs Cargo.toml
+
+tests/simcache_props.rs:
+tests/common/mod.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/heat_stencil-5a11f6a69663e17b.d: examples/heat_stencil.rs
+
+/root/repo/target/debug/examples/heat_stencil-5a11f6a69663e17b: examples/heat_stencil.rs
+
+examples/heat_stencil.rs:

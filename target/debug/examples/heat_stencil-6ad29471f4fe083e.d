@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/heat_stencil-6ad29471f4fe083e.d: examples/heat_stencil.rs Cargo.toml
+
+/root/repo/target/debug/examples/libheat_stencil-6ad29471f4fe083e.rmeta: examples/heat_stencil.rs Cargo.toml
+
+examples/heat_stencil.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

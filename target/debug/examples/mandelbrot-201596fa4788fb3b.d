@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mandelbrot-201596fa4788fb3b.d: examples/mandelbrot.rs
+
+/root/repo/target/debug/examples/mandelbrot-201596fa4788fb3b: examples/mandelbrot.rs
+
+examples/mandelbrot.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/mandelbrot-a17a5c568ffa8186.d: examples/mandelbrot.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmandelbrot-a17a5c568ffa8186.rmeta: examples/mandelbrot.rs Cargo.toml
+
+examples/mandelbrot.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/nas_runner-dbf56151f350707c.d: examples/nas_runner.rs
+
+/root/repo/target/debug/examples/nas_runner-dbf56151f350707c: examples/nas_runner.rs
+
+examples/nas_runner.rs:

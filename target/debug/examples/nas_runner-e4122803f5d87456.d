@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/nas_runner-e4122803f5d87456.d: examples/nas_runner.rs Cargo.toml
+
+/root/repo/target/debug/examples/libnas_runner-e4122803f5d87456.rmeta: examples/nas_runner.rs Cargo.toml
+
+examples/nas_runner.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

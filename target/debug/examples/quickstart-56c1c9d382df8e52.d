@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-56c1c9d382df8e52.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-56c1c9d382df8e52.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-f1f8cdf1dc773ca0.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-f1f8cdf1dc773ca0: examples/quickstart.rs
+
+examples/quickstart.rs:

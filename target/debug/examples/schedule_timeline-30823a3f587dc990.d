@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/schedule_timeline-30823a3f587dc990.d: examples/schedule_timeline.rs
+
+/root/repo/target/debug/examples/schedule_timeline-30823a3f587dc990: examples/schedule_timeline.rs
+
+examples/schedule_timeline.rs:

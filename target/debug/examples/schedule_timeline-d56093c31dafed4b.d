@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/schedule_timeline-d56093c31dafed4b.d: examples/schedule_timeline.rs Cargo.toml
+
+/root/repo/target/debug/examples/libschedule_timeline-d56093c31dafed4b.rmeta: examples/schedule_timeline.rs Cargo.toml
+
+examples/schedule_timeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

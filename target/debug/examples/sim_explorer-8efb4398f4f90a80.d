@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sim_explorer-8efb4398f4f90a80.d: examples/sim_explorer.rs
+
+/root/repo/target/debug/examples/sim_explorer-8efb4398f4f90a80: examples/sim_explorer.rs
+
+examples/sim_explorer.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/sim_explorer-c28f33d59ea9f98f.d: examples/sim_explorer.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsim_explorer-c28f33d59ea9f98f.rmeta: examples/sim_explorer.rs Cargo.toml
+
+examples/sim_explorer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sparse_matvec-0e7a5fae27f64b93.d: examples/sparse_matvec.rs
+
+/root/repo/target/debug/examples/sparse_matvec-0e7a5fae27f64b93: examples/sparse_matvec.rs
+
+examples/sparse_matvec.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/sparse_matvec-be67445e8654334f.d: examples/sparse_matvec.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsparse_matvec-be67445e8654334f.rmeta: examples/sparse_matvec.rs Cargo.toml
+
+examples/sparse_matvec.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablate_costs-1dbc5e5655cb1f33.d: crates/bench/src/bin/ablate_costs.rs
+
+/root/repo/target/release/deps/ablate_costs-1dbc5e5655cb1f33: crates/bench/src/bin/ablate_costs.rs
+
+crates/bench/src/bin/ablate_costs.rs:

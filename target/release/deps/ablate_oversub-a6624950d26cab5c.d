@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablate_oversub-a6624950d26cab5c.d: crates/bench/src/bin/ablate_oversub.rs
+
+/root/repo/target/release/deps/ablate_oversub-a6624950d26cab5c: crates/bench/src/bin/ablate_oversub.rs
+
+crates/bench/src/bin/ablate_oversub.rs:

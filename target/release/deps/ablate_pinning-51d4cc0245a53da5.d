@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablate_pinning-51d4cc0245a53da5.d: crates/bench/src/bin/ablate_pinning.rs
+
+/root/repo/target/release/deps/ablate_pinning-51d4cc0245a53da5: crates/bench/src/bin/ablate_pinning.rs
+
+crates/bench/src/bin/ablate_pinning.rs:

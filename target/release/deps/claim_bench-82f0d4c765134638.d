@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/claim_bench-82f0d4c765134638.d: crates/bench/src/bin/claim_bench.rs
+
+/root/repo/target/release/deps/claim_bench-82f0d4c765134638: crates/bench/src/bin/claim_bench.rs
+
+crates/bench/src/bin/claim_bench.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/deque_bench-cf8735353627bd8a.d: crates/bench/src/bin/deque_bench.rs
+
+/root/repo/target/release/deps/deque_bench-cf8735353627bd8a: crates/bench/src/bin/deque_bench.rs
+
+crates/bench/src/bin/deque_bench.rs:

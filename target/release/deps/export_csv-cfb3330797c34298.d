@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/export_csv-cfb3330797c34298.d: crates/bench/src/bin/export_csv.rs
+
+/root/repo/target/release/deps/export_csv-cfb3330797c34298: crates/bench/src/bin/export_csv.rs
+
+crates/bench/src/bin/export_csv.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2_affinity-4a56601fd6cb522e.d: crates/bench/src/bin/fig2_affinity.rs
+
+/root/repo/target/release/deps/fig2_affinity-4a56601fd6cb522e: crates/bench/src/bin/fig2_affinity.rs
+
+crates/bench/src/bin/fig2_affinity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_nas-13b285257553c0ab.d: crates/bench/src/bin/fig3_nas.rs
+
+/root/repo/target/release/deps/fig3_nas-13b285257553c0ab: crates/bench/src/bin/fig3_nas.rs
+
+crates/bench/src/bin/fig3_nas.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_counters-48746d3ca35a65f8.d: crates/bench/src/bin/fig4_counters.rs
+
+/root/repo/target/release/deps/fig4_counters-48746d3ca35a65f8: crates/bench/src/bin/fig4_counters.rs
+
+crates/bench/src/bin/fig4_counters.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_latency-f2e8326176dfa949.d: crates/bench/src/bin/fig5_latency.rs
+
+/root/repo/target/release/deps/fig5_latency-f2e8326176dfa949: crates/bench/src/bin/fig5_latency.rs
+
+crates/bench/src/bin/fig5_latency.rs:

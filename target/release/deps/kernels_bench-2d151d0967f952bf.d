@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/kernels_bench-2d151d0967f952bf.d: crates/bench/src/bin/kernels_bench.rs
+
+/root/repo/target/release/deps/kernels_bench-2d151d0967f952bf: crates/bench/src/bin/kernels_bench.rs
+
+crates/bench/src/bin/kernels_bench.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/make_report-8e9de50c89d505bf.d: crates/bench/src/bin/make_report.rs
+
+/root/repo/target/release/deps/make_report-8e9de50c89d505bf: crates/bench/src/bin/make_report.rs
+
+crates/bench/src/bin/make_report.rs:

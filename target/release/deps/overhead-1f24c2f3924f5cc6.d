@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/overhead-1f24c2f3924f5cc6.d: crates/bench/src/bin/overhead.rs
+
+/root/repo/target/release/deps/overhead-1f24c2f3924f5cc6: crates/bench/src/bin/overhead.rs
+
+crates/bench/src/bin/overhead.rs:

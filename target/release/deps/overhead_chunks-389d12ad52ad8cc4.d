@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/overhead_chunks-389d12ad52ad8cc4.d: crates/bench/src/bin/overhead_chunks.rs
+
+/root/repo/target/release/deps/overhead_chunks-389d12ad52ad8cc4: crates/bench/src/bin/overhead_chunks.rs
+
+crates/bench/src/bin/overhead_chunks.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parloop-22e98a6771682d56.d: src/lib.rs
+
+/root/repo/target/release/deps/libparloop-22e98a6771682d56.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libparloop-22e98a6771682d56.rmeta: src/lib.rs
+
+src/lib.rs:

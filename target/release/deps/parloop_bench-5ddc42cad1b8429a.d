@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parloop_bench-5ddc42cad1b8429a.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libparloop_bench-5ddc42cad1b8429a.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libparloop_bench-5ddc42cad1b8429a.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/parloop_core-24f043fec11f89ab.d: crates/core/src/lib.rs crates/core/src/affinity.rs crates/core/src/claim.rs crates/core/src/hybrid.rs crates/core/src/range.rs crates/core/src/reduce.rs crates/core/src/schedule.rs crates/core/src/sharing.rs crates/core/src/static_part.rs crates/core/src/stealing.rs crates/core/src/util.rs
+
+/root/repo/target/release/deps/libparloop_core-24f043fec11f89ab.rlib: crates/core/src/lib.rs crates/core/src/affinity.rs crates/core/src/claim.rs crates/core/src/hybrid.rs crates/core/src/range.rs crates/core/src/reduce.rs crates/core/src/schedule.rs crates/core/src/sharing.rs crates/core/src/static_part.rs crates/core/src/stealing.rs crates/core/src/util.rs
+
+/root/repo/target/release/deps/libparloop_core-24f043fec11f89ab.rmeta: crates/core/src/lib.rs crates/core/src/affinity.rs crates/core/src/claim.rs crates/core/src/hybrid.rs crates/core/src/range.rs crates/core/src/reduce.rs crates/core/src/schedule.rs crates/core/src/sharing.rs crates/core/src/static_part.rs crates/core/src/stealing.rs crates/core/src/util.rs
+
+crates/core/src/lib.rs:
+crates/core/src/affinity.rs:
+crates/core/src/claim.rs:
+crates/core/src/hybrid.rs:
+crates/core/src/range.rs:
+crates/core/src/reduce.rs:
+crates/core/src/schedule.rs:
+crates/core/src/sharing.rs:
+crates/core/src/static_part.rs:
+crates/core/src/stealing.rs:
+crates/core/src/util.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parloop_micro-df02dd741cef7d35.d: crates/micro/src/lib.rs
+
+/root/repo/target/release/deps/libparloop_micro-df02dd741cef7d35.rlib: crates/micro/src/lib.rs
+
+/root/repo/target/release/deps/libparloop_micro-df02dd741cef7d35.rmeta: crates/micro/src/lib.rs
+
+crates/micro/src/lib.rs:

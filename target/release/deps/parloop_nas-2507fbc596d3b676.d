@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/parloop_nas-2507fbc596d3b676.d: crates/nas/src/lib.rs crates/nas/src/cg.rs crates/nas/src/ep.rs crates/nas/src/ft.rs crates/nas/src/is.rs crates/nas/src/mg.rs crates/nas/src/randdp.rs crates/nas/src/util.rs
+
+/root/repo/target/release/deps/libparloop_nas-2507fbc596d3b676.rlib: crates/nas/src/lib.rs crates/nas/src/cg.rs crates/nas/src/ep.rs crates/nas/src/ft.rs crates/nas/src/is.rs crates/nas/src/mg.rs crates/nas/src/randdp.rs crates/nas/src/util.rs
+
+/root/repo/target/release/deps/libparloop_nas-2507fbc596d3b676.rmeta: crates/nas/src/lib.rs crates/nas/src/cg.rs crates/nas/src/ep.rs crates/nas/src/ft.rs crates/nas/src/is.rs crates/nas/src/mg.rs crates/nas/src/randdp.rs crates/nas/src/util.rs
+
+crates/nas/src/lib.rs:
+crates/nas/src/cg.rs:
+crates/nas/src/ep.rs:
+crates/nas/src/ft.rs:
+crates/nas/src/is.rs:
+crates/nas/src/mg.rs:
+crates/nas/src/randdp.rs:
+crates/nas/src/util.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/parloop_runtime-7d75be2189cdad83.d: crates/runtime/src/lib.rs crates/runtime/src/deque.rs crates/runtime/src/job.rs crates/runtime/src/latch.rs crates/runtime/src/registry.rs crates/runtime/src/rng.rs crates/runtime/src/sleep.rs crates/runtime/src/unwind.rs crates/runtime/src/join.rs crates/runtime/src/scope.rs crates/runtime/src/util.rs
+
+/root/repo/target/release/deps/libparloop_runtime-7d75be2189cdad83.rlib: crates/runtime/src/lib.rs crates/runtime/src/deque.rs crates/runtime/src/job.rs crates/runtime/src/latch.rs crates/runtime/src/registry.rs crates/runtime/src/rng.rs crates/runtime/src/sleep.rs crates/runtime/src/unwind.rs crates/runtime/src/join.rs crates/runtime/src/scope.rs crates/runtime/src/util.rs
+
+/root/repo/target/release/deps/libparloop_runtime-7d75be2189cdad83.rmeta: crates/runtime/src/lib.rs crates/runtime/src/deque.rs crates/runtime/src/job.rs crates/runtime/src/latch.rs crates/runtime/src/registry.rs crates/runtime/src/rng.rs crates/runtime/src/sleep.rs crates/runtime/src/unwind.rs crates/runtime/src/join.rs crates/runtime/src/scope.rs crates/runtime/src/util.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/deque.rs:
+crates/runtime/src/job.rs:
+crates/runtime/src/latch.rs:
+crates/runtime/src/registry.rs:
+crates/runtime/src/rng.rs:
+crates/runtime/src/sleep.rs:
+crates/runtime/src/unwind.rs:
+crates/runtime/src/join.rs:
+crates/runtime/src/scope.rs:
+crates/runtime/src/util.rs:

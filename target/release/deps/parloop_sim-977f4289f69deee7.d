@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/parloop_sim-977f4289f69deee7.d: crates/sim/src/lib.rs crates/sim/src/costs.rs crates/sim/src/engine.rs crates/sim/src/micro_model.rs crates/sim/src/nas_model.rs crates/sim/src/policy.rs crates/sim/src/sweep.rs crates/sim/src/workload.rs
+
+/root/repo/target/release/deps/libparloop_sim-977f4289f69deee7.rlib: crates/sim/src/lib.rs crates/sim/src/costs.rs crates/sim/src/engine.rs crates/sim/src/micro_model.rs crates/sim/src/nas_model.rs crates/sim/src/policy.rs crates/sim/src/sweep.rs crates/sim/src/workload.rs
+
+/root/repo/target/release/deps/libparloop_sim-977f4289f69deee7.rmeta: crates/sim/src/lib.rs crates/sim/src/costs.rs crates/sim/src/engine.rs crates/sim/src/micro_model.rs crates/sim/src/nas_model.rs crates/sim/src/policy.rs crates/sim/src/sweep.rs crates/sim/src/workload.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/costs.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/micro_model.rs:
+crates/sim/src/nas_model.rs:
+crates/sim/src/policy.rs:
+crates/sim/src/sweep.rs:
+crates/sim/src/workload.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/parloop_simcache-21e12b20436d1f7e.d: crates/simcache/src/lib.rs crates/simcache/src/counters.rs crates/simcache/src/hierarchy.rs crates/simcache/src/lru.rs
+
+/root/repo/target/release/deps/libparloop_simcache-21e12b20436d1f7e.rlib: crates/simcache/src/lib.rs crates/simcache/src/counters.rs crates/simcache/src/hierarchy.rs crates/simcache/src/lru.rs
+
+/root/repo/target/release/deps/libparloop_simcache-21e12b20436d1f7e.rmeta: crates/simcache/src/lib.rs crates/simcache/src/counters.rs crates/simcache/src/hierarchy.rs crates/simcache/src/lru.rs
+
+crates/simcache/src/lib.rs:
+crates/simcache/src/counters.rs:
+crates/simcache/src/hierarchy.rs:
+crates/simcache/src/lru.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/parloop_topo-bc1a93068d1e3cb2.d: crates/topo/src/lib.rs crates/topo/src/latency.rs crates/topo/src/machine.rs crates/topo/src/pinning.rs
+
+/root/repo/target/release/deps/libparloop_topo-bc1a93068d1e3cb2.rlib: crates/topo/src/lib.rs crates/topo/src/latency.rs crates/topo/src/machine.rs crates/topo/src/pinning.rs
+
+/root/repo/target/release/deps/libparloop_topo-bc1a93068d1e3cb2.rmeta: crates/topo/src/lib.rs crates/topo/src/latency.rs crates/topo/src/machine.rs crates/topo/src/pinning.rs
+
+crates/topo/src/lib.rs:
+crates/topo/src/latency.rs:
+crates/topo/src/machine.rs:
+crates/topo/src/pinning.rs:

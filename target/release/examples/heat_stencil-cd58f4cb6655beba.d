@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/heat_stencil-cd58f4cb6655beba.d: examples/heat_stencil.rs
+
+/root/repo/target/release/examples/heat_stencil-cd58f4cb6655beba: examples/heat_stencil.rs
+
+examples/heat_stencil.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/mandelbrot-87258a8fd8896ba2.d: examples/mandelbrot.rs
+
+/root/repo/target/release/examples/mandelbrot-87258a8fd8896ba2: examples/mandelbrot.rs
+
+examples/mandelbrot.rs:

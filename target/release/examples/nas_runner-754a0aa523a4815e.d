@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/nas_runner-754a0aa523a4815e.d: examples/nas_runner.rs
+
+/root/repo/target/release/examples/nas_runner-754a0aa523a4815e: examples/nas_runner.rs
+
+examples/nas_runner.rs:

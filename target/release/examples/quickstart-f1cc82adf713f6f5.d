@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-f1cc82adf713f6f5.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-f1cc82adf713f6f5: examples/quickstart.rs
+
+examples/quickstart.rs:

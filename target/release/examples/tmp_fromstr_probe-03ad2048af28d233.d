@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/tmp_fromstr_probe-03ad2048af28d233.d: examples/tmp_fromstr_probe.rs
+
+/root/repo/target/release/examples/tmp_fromstr_probe-03ad2048af28d233: examples/tmp_fromstr_probe.rs
+
+examples/tmp_fromstr_probe.rs:

@@ -1,0 +1,1 @@
+/root/repo/target/release/libparloop_topo.rlib: /root/repo/crates/topo/src/latency.rs /root/repo/crates/topo/src/lib.rs /root/repo/crates/topo/src/machine.rs /root/repo/crates/topo/src/pinning.rs

@@ -124,11 +124,7 @@ fn sim_free_cost_model_static_is_ideal() {
 #[test]
 fn pinning_valid_for_odd_machines() {
     for (sockets, cps) in [(1usize, 1usize), (1, 7), (3, 5), (4, 8)] {
-        let m = MachineSpec {
-            sockets,
-            cores_per_socket: cps,
-            ..MachineSpec::xeon_e5_4620()
-        };
+        let m = MachineSpec { sockets, cores_per_socket: cps, ..MachineSpec::xeon_e5_4620() };
         for policy in [PinningPolicy::Compact, PinningPolicy::Scatter] {
             let mut seen = vec![false; m.cores()];
             for w in 0..m.cores() {

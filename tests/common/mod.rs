@@ -1,0 +1,84 @@
+//! Dependency-free randomized-case generator shared by the property-test
+//! suites (a small stand-in for the former proptest harness).
+//!
+//! Each property runs a fixed number of cases; every case gets its own
+//! deterministic xorshift64* stream derived from a per-test seed and the
+//! case index, so failures reproduce exactly and runs never flake.
+
+#![allow(dead_code)]
+
+/// xorshift64* PRNG — tiny, fast, and good enough for test-case shapes.
+pub struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    pub fn new(seed: u64) -> Self {
+        // Mix the seed through splitmix64 so consecutive seeds (case
+        // indices) do not produce correlated streams; avoid the all-zero
+        // fixed point.
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        Self { state: z | 1 }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform in `[lo, hi)`. Panics if the range is empty.
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo + (self.next_u64() % (hi - lo) as u64) as usize
+    }
+
+    /// Uniform in `[lo, hi)` as f64.
+    pub fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        lo + unit * (hi - lo)
+    }
+
+    pub fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// Pick an index with the given relative weights (proptest's
+    /// `prop_oneof!` with weights).
+    pub fn weighted(&mut self, weights: &[u32]) -> usize {
+        let total: u32 = weights.iter().sum();
+        let mut roll = (self.next_u64() % total as u64) as u32;
+        for (i, &w) in weights.iter().enumerate() {
+            if roll < w {
+                return i;
+            }
+            roll -= w;
+        }
+        unreachable!("weights must be non-empty and non-zero")
+    }
+
+    pub fn bools(&mut self, len: usize) -> Vec<bool> {
+        (0..len).map(|_| self.bool()).collect()
+    }
+
+    pub fn usizes_in(&mut self, len: usize, lo: usize, hi: usize) -> Vec<usize> {
+        (0..len).map(|_| self.usize_in(lo, hi)).collect()
+    }
+}
+
+/// Run `cases` deterministic randomized cases of a property. The `test_seed`
+/// must be unique per property (hash of its name works; a hand-picked
+/// constant is fine) so different properties explore different streams.
+pub fn run_cases(test_seed: u64, cases: usize, mut property: impl FnMut(&mut XorShift64)) {
+    for case in 0..cases {
+        let mut rng =
+            XorShift64::new(test_seed ^ (case as u64).wrapping_mul(0xA076_1D64_78BD_642F));
+        property(&mut rng);
+    }
+}

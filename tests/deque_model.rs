@@ -5,8 +5,10 @@
 //! stress test inside `parloop-runtime`; this file pins the sequential
 //! semantics, which the concurrent protocol must linearize to.
 
+mod common;
+
+use common::{run_cases, XorShift64};
 use parloop::runtime::deque::{deque, Steal};
-use proptest::prelude::*;
 use std::collections::VecDeque;
 
 #[derive(Debug, Clone, Copy)]
@@ -16,19 +18,21 @@ enum Op {
     Steal,
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        3 => any::<u64>().prop_map(Op::Push),
-        2 => Just(Op::Pop),
-        2 => Just(Op::Steal),
-    ]
+fn random_op(rng: &mut XorShift64) -> Op {
+    match rng.weighted(&[3, 2, 2]) {
+        0 => Op::Push(rng.next_u64()),
+        1 => Op::Pop,
+        _ => Op::Steal,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn matches_reference_deque(ops in prop::collection::vec(op_strategy(), 0..512)) {
+#[test]
+fn matches_reference_deque() {
+    run_cases(0xDE01, 256, |rng| {
+        let ops: Vec<Op> = {
+            let len = rng.usize_in(0, 512);
+            (0..len).map(|_| random_op(rng)).collect()
+        };
         let (w, s) = deque::<u64>();
         let mut model: VecDeque<u64> = VecDeque::new();
 
@@ -39,38 +43,39 @@ proptest! {
                     model.push_back(v);
                 }
                 Op::Pop => {
-                    prop_assert_eq!(w.pop(), model.pop_back());
+                    assert_eq!(w.pop(), model.pop_back());
                 }
                 Op::Steal => {
                     let got = match s.steal() {
                         Steal::Success(v) => Some(v),
                         Steal::Empty => None,
-                        Steal::Retry => {
-                            // No concurrency here: Retry must not happen.
-                            prop_assert!(false, "spurious Retry in sequential use");
-                            None
-                        }
+                        // No concurrency here: Retry must not happen.
+                        Steal::Retry => panic!("spurious Retry in sequential use"),
                     };
-                    prop_assert_eq!(got, model.pop_front());
+                    assert_eq!(got, model.pop_front());
                 }
             }
-            prop_assert_eq!(w.len(), model.len());
-            prop_assert_eq!(w.is_empty(), model.is_empty());
+            assert_eq!(w.len(), model.len());
+            assert_eq!(w.is_empty(), model.is_empty());
         }
 
         // Drain and compare the remainder (steals take the front).
         while let Some(want) = model.pop_front() {
             match s.steal() {
-                Steal::Success(v) => prop_assert_eq!(v, want),
-                other => prop_assert!(false, "expected Success({want}), got {other:?}"),
+                Steal::Success(v) => assert_eq!(v, want),
+                other => panic!("expected Success({want}), got {other:?}"),
             }
         }
-        prop_assert!(w.pop().is_none());
-    }
+        assert!(w.pop().is_none());
+    });
+}
 
-    /// Growth boundary: interleave around the initial capacity (64).
-    #[test]
-    fn growth_preserves_fifo_order(extra in 0usize..200, steal_every in 1usize..8) {
+/// Growth boundary: interleave around the initial capacity (64).
+#[test]
+fn growth_preserves_fifo_order() {
+    run_cases(0xDE02, 256, |rng| {
+        let extra = rng.usize_in(0, 200);
+        let steal_every = rng.usize_in(1, 8);
         let (w, s) = deque::<u64>();
         let mut model: VecDeque<u64> = VecDeque::new();
         for i in 0..(64 + extra) as u64 {
@@ -78,11 +83,11 @@ proptest! {
             model.push_back(i);
             if (i as usize).is_multiple_of(steal_every) {
                 let got = s.steal().success();
-                prop_assert_eq!(got, model.pop_front());
+                assert_eq!(got, model.pop_front());
             }
         }
         while let Some(want) = model.pop_back() {
-            prop_assert_eq!(w.pop(), Some(want));
+            assert_eq!(w.pop(), Some(want));
         }
-    }
+    });
 }

@@ -1,19 +1,15 @@
 //! Property tests for the paper's theory results (Section IV), driven by
-//! proptest over partition counts, worker sets, interleavings, and
+//! randomized cases over partition counts, worker sets, interleavings, and
 //! adversarial pre-claimed states.
 
-use parloop::core::{
-    index_group, partition_group, run_claim_heuristic, ClaimTable, ClaimWalker,
-};
-use proptest::prelude::*;
+mod common;
+
+use common::run_cases;
+use parloop::core::{index_group, partition_group, run_claim_heuristic, ClaimTable, ClaimWalker};
 
 /// Drive a set of walkers under an arbitrary interleaving (a sequence of
 /// indices into the walker set); returns the execution order per worker.
-fn run_interleaved(
-    r_total: usize,
-    workers: &[usize],
-    schedule: &[usize],
-) -> Vec<Vec<usize>> {
+fn run_interleaved(r_total: usize, workers: &[usize], schedule: &[usize]) -> Vec<Vec<usize>> {
     let table = ClaimTable::new(r_total);
     let mut walkers: Vec<ClaimWalker> =
         workers.iter().map(|&w| ClaimWalker::new(w, r_total)).collect();
@@ -34,15 +30,16 @@ fn run_interleaved(
     executed
 }
 
-proptest! {
-    /// Theorem 3: every partition executes exactly once, for any worker
-    /// subset and any interleaving.
-    #[test]
-    fn theorem3_exactly_once(
-        k in 0u32..6,
-        worker_mask in 1u64..,
-        schedule in prop::collection::vec(0usize..8, 0..256),
-    ) {
+/// Theorem 3: every partition executes exactly once, for any worker
+/// subset and any interleaving.
+#[test]
+fn theorem3_exactly_once() {
+    run_cases(0x7E03, 256, |rng| {
+        let k = rng.usize_in(0, 6) as u32;
+        let worker_mask = rng.next_u64() | 1;
+        let sched_len = rng.usize_in(0, 256);
+        let schedule = rng.usizes_in(sched_len, 0, 8);
+
         let r_total = 1usize << k;
         let workers: Vec<usize> =
             (0..r_total).filter(|&w| worker_mask >> (w % 64) & 1 == 1).collect();
@@ -55,80 +52,107 @@ proptest! {
                 seen[p] += 1;
             }
         }
-        prop_assert!(seen.iter().all(|&c| c == 1), "counts {seen:?}");
-    }
+        assert!(seen.iter().all(|&c| c == 1), "counts {seen:?}");
+    });
+}
 
-    /// Lemma 4: at most lg R consecutive unsuccessful claims per worker,
-    /// under adversarial pre-claimed partitions.
-    #[test]
-    fn lemma4_failed_run_bound(
-        k in 0u32..10,
-        w in 0usize..1024,
-        preclaim in prop::collection::vec(any::<bool>(), 1024),
-    ) {
-        let r_total = 1usize << k;
-        let w = w % r_total;
-        let table = ClaimTable::new(r_total);
-        for (r, &pre) in preclaim.iter().enumerate().take(r_total) {
-            if pre {
-                table.try_claim(r);
-            }
+/// Exercise Lemma 4 for one adversarial pre-claimed state.
+fn check_lemma4(k: u32, w: usize, preclaim: &[bool]) {
+    let r_total = 1usize << k;
+    let w = w % r_total;
+    let table = ClaimTable::new(r_total);
+    for (r, &pre) in preclaim.iter().enumerate().take(r_total) {
+        if pre {
+            table.try_claim(r);
         }
-        let stats = run_claim_heuristic(&table, w, |_| {});
-        // Lemma 4: at most lg R failures before a success *or a return*;
-        // the single failure at i = 0 that exits immediately makes the
-        // tight run bound max(lg R, 1).
-        let bound = (k as usize).max(1);
-        prop_assert!(
-            stats.max_failed_run <= bound,
-            "failed run {} exceeds max(lg R, 1) = {bound}",
-            stats.max_failed_run
-        );
     }
+    let stats = run_claim_heuristic(&table, w, |_| {});
+    // Lemma 4: at most lg R failures before a success *or a return*;
+    // the single failure at i = 0 that exits immediately makes the
+    // tight run bound max(lg R, 1).
+    let bound = (k as usize).max(1);
+    assert!(
+        stats.max_failed_run <= bound,
+        "failed run {} exceeds max(lg R, 1) = {bound}",
+        stats.max_failed_run
+    );
+}
 
-    /// A worker's claim sequence starts at its earmarked partition and is
-    /// a permutation prefix: all claimed partitions are distinct.
-    #[test]
-    fn claim_sequence_starts_at_earmark(k in 0u32..8, w_raw in any::<usize>()) {
+/// Lemma 4: at most lg R consecutive unsuccessful claims per worker,
+/// under adversarial pre-claimed partitions.
+#[test]
+fn lemma4_failed_run_bound() {
+    run_cases(0x7E04, 256, |rng| {
+        let k = rng.usize_in(0, 10) as u32;
+        let w = rng.usize_in(0, 1024);
+        let preclaim = rng.bools(1024);
+        check_lemma4(k, w, &preclaim);
+    });
+}
+
+/// Saved shrunk case from the former proptest run: R = 1, worker 0, and
+/// the single partition already claimed. The lone failed claim at i = 0
+/// is exactly the max(lg R, 1) = 1 bound.
+#[test]
+fn lemma4_regression_single_partition_preclaimed() {
+    let mut preclaim = vec![false; 1024];
+    preclaim[0] = true;
+    check_lemma4(0, 0, &preclaim);
+}
+
+/// A worker's claim sequence starts at its earmarked partition and is
+/// a permutation prefix: all claimed partitions are distinct.
+#[test]
+fn claim_sequence_starts_at_earmark() {
+    run_cases(0x7E05, 256, |rng| {
+        let k = rng.usize_in(0, 8) as u32;
+        let w_raw = rng.next_u64() as usize;
         let r_total = 1usize << k;
         let w = w_raw % r_total;
         let table = ClaimTable::new(r_total);
         let mut order = Vec::new();
         run_claim_heuristic(&table, w, |r| order.push(r));
-        prop_assert_eq!(order[0], w, "first claim must be the earmarked partition");
+        assert_eq!(order[0], w, "first claim must be the earmarked partition");
         let set: std::collections::HashSet<_> = order.iter().collect();
-        prop_assert_eq!(set.len(), order.len());
+        assert_eq!(set.len(), order.len());
         // A lone worker claims everything.
-        prop_assert_eq!(order.len(), r_total);
-    }
+        assert_eq!(order.len(), r_total);
+    });
+}
 
-    /// Index-group recursion: I(x, n) = I(2x, n-1) ∪ I(2x+1, n-1), and
-    /// partition groups are XOR images of index groups (Lemma 2 scaffolding).
-    #[test]
-    fn index_group_recursion(n in 1u32..8, x_raw in any::<usize>()) {
-        let x = x_raw % (1usize << (8 - n));
+/// Index-group recursion: I(x, n) = I(2x, n-1) ∪ I(2x+1, n-1), and
+/// partition groups are XOR images of index groups (Lemma 2 scaffolding).
+#[test]
+fn index_group_recursion() {
+    run_cases(0x7E06, 256, |rng| {
+        let n = rng.usize_in(1, 8) as u32;
+        let x = (rng.next_u64() as usize) % (1usize << (8 - n));
         let parent: Vec<usize> = index_group(x, n).collect();
         let mut children: Vec<usize> = index_group(2 * x, n - 1).collect();
         children.extend(index_group(2 * x + 1, n - 1));
-        prop_assert_eq!(parent, children);
-    }
+        assert_eq!(parent, children);
+    });
+}
 
-    /// Partition groups of the same level form a partition of 0..R for
-    /// every worker (bijectivity of XOR).
-    #[test]
-    fn partition_groups_tile_the_space(k in 1u32..8, w_raw in any::<usize>(), n in 0u32..8) {
-        let n = n % (k + 1);
+/// Partition groups of the same level form a partition of 0..R for
+/// every worker (bijectivity of XOR).
+#[test]
+fn partition_groups_tile_the_space() {
+    run_cases(0x7E07, 256, |rng| {
+        let k = rng.usize_in(1, 8) as u32;
+        let w_raw = rng.next_u64() as usize;
+        let n = rng.usize_in(0, 8) as u32 % (k + 1);
         let r_total = 1usize << k;
         let w = w_raw % r_total;
         let mut seen = vec![false; r_total];
         for x in 0..(r_total >> n) {
             for part in partition_group(w, x, n) {
-                prop_assert!(!seen[part], "partition {part} in two groups");
+                assert!(!seen[part], "partition {part} in two groups");
                 seen[part] = true;
             }
         }
-        prop_assert!(seen.iter().all(|&s| s));
-    }
+        assert!(seen.iter().all(|&s| s));
+    });
 }
 
 #[test]

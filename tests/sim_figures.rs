@@ -37,7 +37,9 @@ fn fig1_unbalanced_non_static_schemes_win() {
     let app = quick_micro(false);
     let t32 = |kind| simulate(&app, kind, 32, &cfg).total_cycles;
     let statics = t32(PolicyKind::Static);
-    for dynamic in [PolicyKind::Hybrid, PolicyKind::WorkSharing, PolicyKind::Guided, PolicyKind::Stealing] {
+    for dynamic in
+        [PolicyKind::Hybrid, PolicyKind::WorkSharing, PolicyKind::Guided, PolicyKind::Stealing]
+    {
         let t = t32(dynamic);
         assert!(t < statics, "{} {t:.0} should beat omp_static {statics:.0}", dynamic.name());
     }
@@ -101,11 +103,8 @@ fn fig3_hybrid_competitive_on_all_kernels() {
             .map(|kind| (kind, ts / simulate(&app, kind, 16, &cfg).total_cycles))
             .collect();
         let best = speedups.iter().map(|&(_, s)| s).fold(0.0, f64::max);
-        let hybrid = speedups
-            .iter()
-            .find(|(k, _)| *k == PolicyKind::Hybrid)
-            .map(|&(_, s)| s)
-            .unwrap();
+        let hybrid =
+            speedups.iter().find(|(k, _)| *k == PolicyKind::Hybrid).map(|&(_, s)| s).unwrap();
         let rank = speedups.iter().filter(|&&(_, s)| s > hybrid).count();
         // The paper's Figure 3 result: hybrid wins ft/is/ep, and is
         // *second best* on mg and cg where OpenMP leads. So accept either
@@ -116,10 +115,7 @@ fn fig3_hybrid_competitive_on_all_kernels() {
             rank <= 1 || hybrid >= 0.85 * best,
             "{}: hybrid {hybrid:.2} not within 15% of best {best:.2}: {:?}",
             kernel.name(),
-            speedups
-                .iter()
-                .map(|(k, s)| format!("{}={s:.2}", k.name()))
-                .collect::<Vec<_>>()
+            speedups.iter().map(|(k, s)| format!("{}={s:.2}", k.name())).collect::<Vec<_>>()
         );
     }
 }

@@ -1,9 +1,11 @@
 //! Property tests for the memory-hierarchy simulator: conservation laws
 //! and monotonicity properties that must hold for *any* access stream.
 
+mod common;
+
+use common::{run_cases, XorShift64};
 use parloop::simcache::{AllocInfo, MemoryHierarchy};
 use parloop::topo::{AccessLevel, LatencyTable, MachineSpec};
-use proptest::prelude::*;
 
 fn tiny_hierarchy() -> MemoryHierarchy {
     MemoryHierarchy::new(MachineSpec::tiny_for_tests(), LatencyTable::xeon_e5_4620())
@@ -16,76 +18,94 @@ struct Access {
     write: bool,
 }
 
-fn access_strategy() -> impl Strategy<Value = Access> {
-    (0usize..4, 0u64..256, any::<bool>())
-        .prop_map(|(core, line, write)| Access { core, line, write })
+fn random_stream(rng: &mut XorShift64, lo: usize, hi: usize) -> Vec<Access> {
+    let len = rng.usize_in(lo, hi);
+    (0..len)
+        .map(|_| Access {
+            core: rng.usize_in(0, 4),
+            line: rng.usize_in(0, 256) as u64,
+            write: rng.bool(),
+        })
+        .collect()
 }
 
 const ALLOC: AllocInfo = AllocInfo { base: 0, len: 1 << 16 };
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Conservation: total counted accesses equals issued accesses, and
-    /// every access lands in exactly one level.
-    #[test]
-    fn counts_conserve_accesses(stream in prop::collection::vec(access_strategy(), 1..800)) {
+/// Conservation: total counted accesses equals issued accesses, and
+/// every access lands in exactly one level.
+#[test]
+fn counts_conserve_accesses() {
+    run_cases(0xCA01, 128, |rng| {
+        let stream = random_stream(rng, 1, 800);
         let mut h = tiny_hierarchy();
         for a in &stream {
             h.access(a.core, a.line * 64, a.write, ALLOC);
         }
-        prop_assert_eq!(h.total_counts().total(), stream.len() as u64);
-    }
+        assert_eq!(h.total_counts().total(), stream.len() as u64);
+    });
+}
 
-    /// Re-reading the same line immediately must hit L1 (no write from
-    /// another core in between).
-    #[test]
-    fn immediate_reuse_hits_l1(core in 0usize..4, line in 0u64..1000) {
+/// Re-reading the same line immediately must hit L1 (no write from
+/// another core in between).
+#[test]
+fn immediate_reuse_hits_l1() {
+    run_cases(0xCA02, 128, |rng| {
+        let core = rng.usize_in(0, 4);
+        let line = rng.usize_in(0, 1000) as u64;
         let mut h = tiny_hierarchy();
         h.access(core, line * 64, false, ALLOC);
         let lvl = h.access(core, line * 64, false, ALLOC);
-        prop_assert_eq!(lvl, AccessLevel::L1);
-    }
+        assert_eq!(lvl, AccessLevel::L1);
+    });
+}
 
-    /// The directory stays consistent with cache contents under arbitrary
-    /// access streams (fills, evictions, invalidations).
-    #[test]
-    fn directory_never_drifts(stream in prop::collection::vec(access_strategy(), 1..500)) {
+/// The directory stays consistent with cache contents under arbitrary
+/// access streams (fills, evictions, invalidations).
+#[test]
+fn directory_never_drifts() {
+    run_cases(0xCA03, 128, |rng| {
+        let stream = random_stream(rng, 1, 500);
         let mut h = tiny_hierarchy();
         for a in &stream {
             h.access(a.core, a.line * 64, a.write, ALLOC);
         }
         for probe in 0..256u64 {
-            prop_assert!(h.debug_check_line(probe), "directory drift at line {probe}");
+            assert!(h.debug_check_line(probe), "directory drift at line {probe}");
         }
-    }
+    });
+}
 
-    /// A write by one core invalidates every other core's copy: the next
-    /// read from a *different socket* core cannot hit its private caches.
-    #[test]
-    fn write_invalidation_is_global(line in 0u64..100) {
+/// A write by one core invalidates every other core's copy: the next
+/// read from a *different socket* core cannot hit its private caches.
+#[test]
+fn write_invalidation_is_global() {
+    run_cases(0xCA04, 128, |rng| {
+        let line = rng.usize_in(0, 100) as u64;
         let mut h = tiny_hierarchy();
         // Core 2 (socket 1) caches the line, core 0 (socket 0) writes it.
         h.access(2, line * 64, false, ALLOC);
         h.access(0, line * 64, true, ALLOC);
         let lvl = h.access(2, line * 64, false, ALLOC);
-        prop_assert!(
+        assert!(
             !matches!(lvl, AccessLevel::L1 | AccessLevel::L2),
             "stale private hit at {lvl:?} after remote write"
         );
-    }
+    });
+}
 
-    /// Inferred latency is monotone: adding accesses never decreases it.
-    #[test]
-    fn inferred_latency_monotone(stream in prop::collection::vec(access_strategy(), 2..200)) {
+/// Inferred latency is monotone: adding accesses never decreases it.
+#[test]
+fn inferred_latency_monotone() {
+    run_cases(0xCA05, 128, |rng| {
+        let stream = random_stream(rng, 2, 200);
         let lat = LatencyTable::xeon_e5_4620();
         let mut h = tiny_hierarchy();
         let mut last = 0.0;
         for a in &stream {
             h.access(a.core, a.line * 64, a.write, ALLOC);
             let now = h.total_counts().inferred_latency(&lat);
-            prop_assert!(now > last, "latency did not increase");
+            assert!(now > last, "latency did not increase");
             last = now;
         }
-    }
+    });
 }
