@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_costs-7ea3a43a6591dec9.d: crates/bench/src/bin/ablate_costs.rs
+
+/root/repo/target/debug/deps/libablate_costs-7ea3a43a6591dec9.rmeta: crates/bench/src/bin/ablate_costs.rs
+
+crates/bench/src/bin/ablate_costs.rs:

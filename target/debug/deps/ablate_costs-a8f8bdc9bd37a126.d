@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_costs-a8f8bdc9bd37a126.d: crates/bench/src/bin/ablate_costs.rs
+
+/root/repo/target/debug/deps/libablate_costs-a8f8bdc9bd37a126.rmeta: crates/bench/src/bin/ablate_costs.rs
+
+crates/bench/src/bin/ablate_costs.rs:

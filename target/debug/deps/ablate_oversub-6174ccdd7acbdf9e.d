@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_oversub-6174ccdd7acbdf9e.d: crates/bench/src/bin/ablate_oversub.rs
+
+/root/repo/target/debug/deps/libablate_oversub-6174ccdd7acbdf9e.rmeta: crates/bench/src/bin/ablate_oversub.rs
+
+crates/bench/src/bin/ablate_oversub.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_oversub-dca27729988cd947.d: crates/bench/src/bin/ablate_oversub.rs
+
+/root/repo/target/debug/deps/libablate_oversub-dca27729988cd947.rmeta: crates/bench/src/bin/ablate_oversub.rs
+
+crates/bench/src/bin/ablate_oversub.rs:

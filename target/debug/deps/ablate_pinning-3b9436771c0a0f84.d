@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_pinning-3b9436771c0a0f84.d: crates/bench/src/bin/ablate_pinning.rs
+
+/root/repo/target/debug/deps/libablate_pinning-3b9436771c0a0f84.rmeta: crates/bench/src/bin/ablate_pinning.rs
+
+crates/bench/src/bin/ablate_pinning.rs:

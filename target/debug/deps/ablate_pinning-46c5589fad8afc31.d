@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablate_pinning-46c5589fad8afc31.d: crates/bench/src/bin/ablate_pinning.rs
+
+/root/repo/target/debug/deps/libablate_pinning-46c5589fad8afc31.rmeta: crates/bench/src/bin/ablate_pinning.rs
+
+crates/bench/src/bin/ablate_pinning.rs:

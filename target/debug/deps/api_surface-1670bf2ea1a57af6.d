@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/api_surface-1670bf2ea1a57af6.d: tests/api_surface.rs
+
+/root/repo/target/debug/deps/libapi_surface-1670bf2ea1a57af6.rmeta: tests/api_surface.rs
+
+tests/api_surface.rs:

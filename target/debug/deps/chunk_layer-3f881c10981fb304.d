@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chunk_layer-3f881c10981fb304.d: tests/chunk_layer.rs
+
+/root/repo/target/debug/deps/libchunk_layer-3f881c10981fb304.rmeta: tests/chunk_layer.rs
+
+tests/chunk_layer.rs:

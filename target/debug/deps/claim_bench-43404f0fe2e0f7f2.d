@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/claim_bench-43404f0fe2e0f7f2.d: crates/bench/src/bin/claim_bench.rs
+
+/root/repo/target/debug/deps/libclaim_bench-43404f0fe2e0f7f2.rmeta: crates/bench/src/bin/claim_bench.rs
+
+crates/bench/src/bin/claim_bench.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/claim_bench-9825663321b5da20.d: crates/bench/src/bin/claim_bench.rs
+
+/root/repo/target/debug/deps/libclaim_bench-9825663321b5da20.rmeta: crates/bench/src/bin/claim_bench.rs
+
+crates/bench/src/bin/claim_bench.rs:

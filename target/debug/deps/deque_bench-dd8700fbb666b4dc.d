@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/deque_bench-dd8700fbb666b4dc.d: crates/bench/src/bin/deque_bench.rs
+
+/root/repo/target/debug/deps/libdeque_bench-dd8700fbb666b4dc.rmeta: crates/bench/src/bin/deque_bench.rs
+
+crates/bench/src/bin/deque_bench.rs:

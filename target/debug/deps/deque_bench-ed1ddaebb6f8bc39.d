@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/deque_bench-ed1ddaebb6f8bc39.d: crates/bench/src/bin/deque_bench.rs
+
+/root/repo/target/debug/deps/libdeque_bench-ed1ddaebb6f8bc39.rmeta: crates/bench/src/bin/deque_bench.rs
+
+crates/bench/src/bin/deque_bench.rs:

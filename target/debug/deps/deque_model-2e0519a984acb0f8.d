@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/deque_model-2e0519a984acb0f8.d: tests/deque_model.rs tests/common/mod.rs
+
+/root/repo/target/debug/deps/libdeque_model-2e0519a984acb0f8.rmeta: tests/deque_model.rs tests/common/mod.rs
+
+tests/deque_model.rs:
+tests/common/mod.rs:

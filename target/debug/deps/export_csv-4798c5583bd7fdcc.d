@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/export_csv-4798c5583bd7fdcc.d: crates/bench/src/bin/export_csv.rs
+
+/root/repo/target/debug/deps/libexport_csv-4798c5583bd7fdcc.rmeta: crates/bench/src/bin/export_csv.rs
+
+crates/bench/src/bin/export_csv.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/export_csv-a35816d08aafd689.d: crates/bench/src/bin/export_csv.rs
+
+/root/repo/target/debug/deps/libexport_csv-a35816d08aafd689.rmeta: crates/bench/src/bin/export_csv.rs
+
+crates/bench/src/bin/export_csv.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_micro-690012abb78484e3.d: crates/bench/src/bin/fig1_micro.rs
+
+/root/repo/target/debug/deps/libfig1_micro-690012abb78484e3.rmeta: crates/bench/src/bin/fig1_micro.rs
+
+crates/bench/src/bin/fig1_micro.rs:

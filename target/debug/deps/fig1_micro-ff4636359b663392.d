@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_micro-ff4636359b663392.d: crates/bench/src/bin/fig1_micro.rs
+
+/root/repo/target/debug/deps/libfig1_micro-ff4636359b663392.rmeta: crates/bench/src/bin/fig1_micro.rs
+
+crates/bench/src/bin/fig1_micro.rs:

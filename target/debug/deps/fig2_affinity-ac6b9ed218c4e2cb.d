@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_affinity-ac6b9ed218c4e2cb.d: crates/bench/src/bin/fig2_affinity.rs
+
+/root/repo/target/debug/deps/libfig2_affinity-ac6b9ed218c4e2cb.rmeta: crates/bench/src/bin/fig2_affinity.rs
+
+crates/bench/src/bin/fig2_affinity.rs:

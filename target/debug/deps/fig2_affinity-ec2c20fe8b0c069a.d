@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_affinity-ec2c20fe8b0c069a.d: crates/bench/src/bin/fig2_affinity.rs
+
+/root/repo/target/debug/deps/libfig2_affinity-ec2c20fe8b0c069a.rmeta: crates/bench/src/bin/fig2_affinity.rs
+
+crates/bench/src/bin/fig2_affinity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_nas-47a53fa658c1c1a8.d: crates/bench/src/bin/fig3_nas.rs
+
+/root/repo/target/debug/deps/libfig3_nas-47a53fa658c1c1a8.rmeta: crates/bench/src/bin/fig3_nas.rs
+
+crates/bench/src/bin/fig3_nas.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_nas-d65cccf05f3241e9.d: crates/bench/src/bin/fig3_nas.rs
+
+/root/repo/target/debug/deps/libfig3_nas-d65cccf05f3241e9.rmeta: crates/bench/src/bin/fig3_nas.rs
+
+crates/bench/src/bin/fig3_nas.rs:

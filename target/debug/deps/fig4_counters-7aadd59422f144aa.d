@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_counters-7aadd59422f144aa.d: crates/bench/src/bin/fig4_counters.rs
+
+/root/repo/target/debug/deps/libfig4_counters-7aadd59422f144aa.rmeta: crates/bench/src/bin/fig4_counters.rs
+
+crates/bench/src/bin/fig4_counters.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_counters-9f0218bb63aceafd.d: crates/bench/src/bin/fig4_counters.rs
+
+/root/repo/target/debug/deps/libfig4_counters-9f0218bb63aceafd.rmeta: crates/bench/src/bin/fig4_counters.rs
+
+crates/bench/src/bin/fig4_counters.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_latency-2dc29bc1c1da0e14.d: crates/bench/src/bin/fig5_latency.rs
+
+/root/repo/target/debug/deps/libfig5_latency-2dc29bc1c1da0e14.rmeta: crates/bench/src/bin/fig5_latency.rs
+
+crates/bench/src/bin/fig5_latency.rs:

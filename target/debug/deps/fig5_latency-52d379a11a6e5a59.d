@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_latency-52d379a11a6e5a59.d: crates/bench/src/bin/fig5_latency.rs
+
+/root/repo/target/debug/deps/libfig5_latency-52d379a11a6e5a59.rmeta: crates/bench/src/bin/fig5_latency.rs
+
+crates/bench/src/bin/fig5_latency.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/hybrid_theory-cb12badb5facb98d.d: tests/hybrid_theory.rs tests/common/mod.rs
+
+/root/repo/target/debug/deps/libhybrid_theory-cb12badb5facb98d.rmeta: tests/hybrid_theory.rs tests/common/mod.rs
+
+tests/hybrid_theory.rs:
+tests/common/mod.rs:

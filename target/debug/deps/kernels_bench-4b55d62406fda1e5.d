@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kernels_bench-4b55d62406fda1e5.d: crates/bench/src/bin/kernels_bench.rs
+
+/root/repo/target/debug/deps/libkernels_bench-4b55d62406fda1e5.rmeta: crates/bench/src/bin/kernels_bench.rs
+
+crates/bench/src/bin/kernels_bench.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kernels_bench-a6f1aba79a80c3ca.d: crates/bench/src/bin/kernels_bench.rs
+
+/root/repo/target/debug/deps/libkernels_bench-a6f1aba79a80c3ca.rmeta: crates/bench/src/bin/kernels_bench.rs
+
+crates/bench/src/bin/kernels_bench.rs:

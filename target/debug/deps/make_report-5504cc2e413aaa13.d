@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/make_report-5504cc2e413aaa13.d: crates/bench/src/bin/make_report.rs
+
+/root/repo/target/debug/deps/libmake_report-5504cc2e413aaa13.rmeta: crates/bench/src/bin/make_report.rs
+
+crates/bench/src/bin/make_report.rs:

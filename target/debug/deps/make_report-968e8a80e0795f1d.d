@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/make_report-968e8a80e0795f1d.d: crates/bench/src/bin/make_report.rs
+
+/root/repo/target/debug/deps/libmake_report-968e8a80e0795f1d.rmeta: crates/bench/src/bin/make_report.rs
+
+crates/bench/src/bin/make_report.rs:

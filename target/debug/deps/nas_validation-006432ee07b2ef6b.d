@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/nas_validation-006432ee07b2ef6b.d: tests/nas_validation.rs
+
+/root/repo/target/debug/deps/libnas_validation-006432ee07b2ef6b.rmeta: tests/nas_validation.rs
+
+tests/nas_validation.rs:

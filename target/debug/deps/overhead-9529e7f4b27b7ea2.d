@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/overhead-9529e7f4b27b7ea2.d: crates/bench/src/bin/overhead.rs
+
+/root/repo/target/debug/deps/liboverhead-9529e7f4b27b7ea2.rmeta: crates/bench/src/bin/overhead.rs
+
+crates/bench/src/bin/overhead.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/overhead-ba08bb3f50590b7c.d: crates/bench/src/bin/overhead.rs
+
+/root/repo/target/debug/deps/liboverhead-ba08bb3f50590b7c.rmeta: crates/bench/src/bin/overhead.rs
+
+crates/bench/src/bin/overhead.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/overhead_chunks-0cdb57d2fc2460f6.d: crates/bench/src/bin/overhead_chunks.rs
+
+/root/repo/target/debug/deps/liboverhead_chunks-0cdb57d2fc2460f6.rmeta: crates/bench/src/bin/overhead_chunks.rs
+
+crates/bench/src/bin/overhead_chunks.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/overhead_chunks-356cde5efe1b0dc1.d: crates/bench/src/bin/overhead_chunks.rs
+
+/root/repo/target/debug/deps/liboverhead_chunks-356cde5efe1b0dc1.rmeta: crates/bench/src/bin/overhead_chunks.rs
+
+crates/bench/src/bin/overhead_chunks.rs:

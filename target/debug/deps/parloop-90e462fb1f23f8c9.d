@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parloop-90e462fb1f23f8c9.d: src/lib.rs
+
+/root/repo/target/debug/deps/libparloop-90e462fb1f23f8c9.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parloop-d0d093ad2861b5cb.d: src/lib.rs
+
+/root/repo/target/debug/deps/libparloop-d0d093ad2861b5cb.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parloop_bench-b6ede1fcfed6392d.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libparloop_bench-b6ede1fcfed6392d.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parloop_bench-dcd043cff3861c1c.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libparloop_bench-dcd043cff3861c1c.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/parloop_core-38adaf3b62fd983f.d: crates/core/src/lib.rs crates/core/src/affinity.rs crates/core/src/claim.rs crates/core/src/hybrid.rs crates/core/src/range.rs crates/core/src/reduce.rs crates/core/src/schedule.rs crates/core/src/sharing.rs crates/core/src/static_part.rs crates/core/src/stealing.rs crates/core/src/util.rs
+
+/root/repo/target/debug/deps/libparloop_core-38adaf3b62fd983f.rmeta: crates/core/src/lib.rs crates/core/src/affinity.rs crates/core/src/claim.rs crates/core/src/hybrid.rs crates/core/src/range.rs crates/core/src/reduce.rs crates/core/src/schedule.rs crates/core/src/sharing.rs crates/core/src/static_part.rs crates/core/src/stealing.rs crates/core/src/util.rs
+
+crates/core/src/lib.rs:
+crates/core/src/affinity.rs:
+crates/core/src/claim.rs:
+crates/core/src/hybrid.rs:
+crates/core/src/range.rs:
+crates/core/src/reduce.rs:
+crates/core/src/schedule.rs:
+crates/core/src/sharing.rs:
+crates/core/src/static_part.rs:
+crates/core/src/stealing.rs:
+crates/core/src/util.rs:

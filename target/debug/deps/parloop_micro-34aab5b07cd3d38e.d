@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parloop_micro-34aab5b07cd3d38e.d: crates/micro/src/lib.rs
+
+/root/repo/target/debug/deps/libparloop_micro-34aab5b07cd3d38e.rmeta: crates/micro/src/lib.rs
+
+crates/micro/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parloop_micro-4fc7020ac3caa830.d: crates/micro/src/lib.rs
+
+/root/repo/target/debug/deps/libparloop_micro-4fc7020ac3caa830.rmeta: crates/micro/src/lib.rs
+
+crates/micro/src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/parloop_nas-f5f03792f96c095c.d: crates/nas/src/lib.rs crates/nas/src/cg.rs crates/nas/src/ep.rs crates/nas/src/ft.rs crates/nas/src/is.rs crates/nas/src/mg.rs crates/nas/src/randdp.rs crates/nas/src/util.rs
+
+/root/repo/target/debug/deps/libparloop_nas-f5f03792f96c095c.rmeta: crates/nas/src/lib.rs crates/nas/src/cg.rs crates/nas/src/ep.rs crates/nas/src/ft.rs crates/nas/src/is.rs crates/nas/src/mg.rs crates/nas/src/randdp.rs crates/nas/src/util.rs
+
+crates/nas/src/lib.rs:
+crates/nas/src/cg.rs:
+crates/nas/src/ep.rs:
+crates/nas/src/ft.rs:
+crates/nas/src/is.rs:
+crates/nas/src/mg.rs:
+crates/nas/src/randdp.rs:
+crates/nas/src/util.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/parloop_runtime-1b4d640a58ff24f5.d: crates/runtime/src/lib.rs crates/runtime/src/deque.rs crates/runtime/src/job.rs crates/runtime/src/latch.rs crates/runtime/src/registry.rs crates/runtime/src/rng.rs crates/runtime/src/sleep.rs crates/runtime/src/unwind.rs crates/runtime/src/join.rs crates/runtime/src/scope.rs crates/runtime/src/util.rs
+
+/root/repo/target/debug/deps/libparloop_runtime-1b4d640a58ff24f5.rmeta: crates/runtime/src/lib.rs crates/runtime/src/deque.rs crates/runtime/src/job.rs crates/runtime/src/latch.rs crates/runtime/src/registry.rs crates/runtime/src/rng.rs crates/runtime/src/sleep.rs crates/runtime/src/unwind.rs crates/runtime/src/join.rs crates/runtime/src/scope.rs crates/runtime/src/util.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/deque.rs:
+crates/runtime/src/job.rs:
+crates/runtime/src/latch.rs:
+crates/runtime/src/registry.rs:
+crates/runtime/src/rng.rs:
+crates/runtime/src/sleep.rs:
+crates/runtime/src/unwind.rs:
+crates/runtime/src/join.rs:
+crates/runtime/src/scope.rs:
+crates/runtime/src/util.rs:

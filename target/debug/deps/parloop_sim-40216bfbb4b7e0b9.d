@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/parloop_sim-40216bfbb4b7e0b9.d: crates/sim/src/lib.rs crates/sim/src/costs.rs crates/sim/src/engine.rs crates/sim/src/micro_model.rs crates/sim/src/nas_model.rs crates/sim/src/policy.rs crates/sim/src/sweep.rs crates/sim/src/workload.rs
+
+/root/repo/target/debug/deps/libparloop_sim-40216bfbb4b7e0b9.rmeta: crates/sim/src/lib.rs crates/sim/src/costs.rs crates/sim/src/engine.rs crates/sim/src/micro_model.rs crates/sim/src/nas_model.rs crates/sim/src/policy.rs crates/sim/src/sweep.rs crates/sim/src/workload.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/costs.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/micro_model.rs:
+crates/sim/src/nas_model.rs:
+crates/sim/src/policy.rs:
+crates/sim/src/sweep.rs:
+crates/sim/src/workload.rs:

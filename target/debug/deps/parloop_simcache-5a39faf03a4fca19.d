@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/parloop_simcache-5a39faf03a4fca19.d: crates/simcache/src/lib.rs crates/simcache/src/counters.rs crates/simcache/src/hierarchy.rs crates/simcache/src/lru.rs
+
+/root/repo/target/debug/deps/libparloop_simcache-5a39faf03a4fca19.rmeta: crates/simcache/src/lib.rs crates/simcache/src/counters.rs crates/simcache/src/hierarchy.rs crates/simcache/src/lru.rs
+
+crates/simcache/src/lib.rs:
+crates/simcache/src/counters.rs:
+crates/simcache/src/hierarchy.rs:
+crates/simcache/src/lru.rs:

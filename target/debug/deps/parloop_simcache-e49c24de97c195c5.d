@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/parloop_simcache-e49c24de97c195c5.d: crates/simcache/src/lib.rs crates/simcache/src/counters.rs crates/simcache/src/hierarchy.rs crates/simcache/src/lru.rs
+
+/root/repo/target/debug/deps/libparloop_simcache-e49c24de97c195c5.rmeta: crates/simcache/src/lib.rs crates/simcache/src/counters.rs crates/simcache/src/hierarchy.rs crates/simcache/src/lru.rs
+
+crates/simcache/src/lib.rs:
+crates/simcache/src/counters.rs:
+crates/simcache/src/hierarchy.rs:
+crates/simcache/src/lru.rs:

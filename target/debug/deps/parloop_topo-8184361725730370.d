@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/parloop_topo-8184361725730370.d: crates/topo/src/lib.rs crates/topo/src/latency.rs crates/topo/src/machine.rs crates/topo/src/pinning.rs
+
+/root/repo/target/debug/deps/libparloop_topo-8184361725730370.rmeta: crates/topo/src/lib.rs crates/topo/src/latency.rs crates/topo/src/machine.rs crates/topo/src/pinning.rs
+
+crates/topo/src/lib.rs:
+crates/topo/src/latency.rs:
+crates/topo/src/machine.rs:
+crates/topo/src/pinning.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/runtime_stress-7765eb53ff71af2c.d: tests/runtime_stress.rs
+
+/root/repo/target/debug/deps/libruntime_stress-7765eb53ff71af2c.rmeta: tests/runtime_stress.rs
+
+tests/runtime_stress.rs:

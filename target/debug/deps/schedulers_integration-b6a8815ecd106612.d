@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/schedulers_integration-b6a8815ecd106612.d: tests/schedulers_integration.rs
+
+/root/repo/target/debug/deps/libschedulers_integration-b6a8815ecd106612.rmeta: tests/schedulers_integration.rs
+
+tests/schedulers_integration.rs:

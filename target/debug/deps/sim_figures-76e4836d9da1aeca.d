@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sim_figures-76e4836d9da1aeca.d: tests/sim_figures.rs
+
+/root/repo/target/debug/deps/libsim_figures-76e4836d9da1aeca.rmeta: tests/sim_figures.rs
+
+tests/sim_figures.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/sim_props-b92fdb0f416fc02a.d: tests/sim_props.rs tests/common/mod.rs
+
+/root/repo/target/debug/deps/libsim_props-b92fdb0f416fc02a.rmeta: tests/sim_props.rs tests/common/mod.rs
+
+tests/sim_props.rs:
+tests/common/mod.rs:

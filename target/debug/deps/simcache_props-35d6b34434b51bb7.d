@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/simcache_props-35d6b34434b51bb7.d: tests/simcache_props.rs tests/common/mod.rs
+
+/root/repo/target/debug/deps/libsimcache_props-35d6b34434b51bb7.rmeta: tests/simcache_props.rs tests/common/mod.rs
+
+tests/simcache_props.rs:
+tests/common/mod.rs:

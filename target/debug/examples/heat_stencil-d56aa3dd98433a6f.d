@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/heat_stencil-d56aa3dd98433a6f.d: examples/heat_stencil.rs
+
+/root/repo/target/debug/examples/libheat_stencil-d56aa3dd98433a6f.rmeta: examples/heat_stencil.rs
+
+examples/heat_stencil.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mandelbrot-3ec8e7c3c1d5f955.d: examples/mandelbrot.rs
+
+/root/repo/target/debug/examples/libmandelbrot-3ec8e7c3c1d5f955.rmeta: examples/mandelbrot.rs
+
+examples/mandelbrot.rs:

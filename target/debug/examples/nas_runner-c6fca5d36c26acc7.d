@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/nas_runner-c6fca5d36c26acc7.d: examples/nas_runner.rs
+
+/root/repo/target/debug/examples/libnas_runner-c6fca5d36c26acc7.rmeta: examples/nas_runner.rs
+
+examples/nas_runner.rs:

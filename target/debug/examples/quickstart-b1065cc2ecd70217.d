@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-b1065cc2ecd70217.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/libquickstart-b1065cc2ecd70217.rmeta: examples/quickstart.rs
+
+examples/quickstart.rs:

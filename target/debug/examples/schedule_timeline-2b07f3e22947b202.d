@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/schedule_timeline-2b07f3e22947b202.d: examples/schedule_timeline.rs
+
+/root/repo/target/debug/examples/libschedule_timeline-2b07f3e22947b202.rmeta: examples/schedule_timeline.rs
+
+examples/schedule_timeline.rs:

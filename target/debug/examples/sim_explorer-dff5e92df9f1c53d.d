@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sim_explorer-dff5e92df9f1c53d.d: examples/sim_explorer.rs
+
+/root/repo/target/debug/examples/libsim_explorer-dff5e92df9f1c53d.rmeta: examples/sim_explorer.rs
+
+examples/sim_explorer.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sparse_matvec-d81078ccf0603204.d: examples/sparse_matvec.rs
+
+/root/repo/target/debug/examples/libsparse_matvec-d81078ccf0603204.rmeta: examples/sparse_matvec.rs
+
+examples/sparse_matvec.rs:

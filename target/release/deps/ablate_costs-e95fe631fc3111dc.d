@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablate_costs-e95fe631fc3111dc.d: crates/bench/src/bin/ablate_costs.rs
+
+/root/repo/target/release/deps/ablate_costs-e95fe631fc3111dc: crates/bench/src/bin/ablate_costs.rs
+
+crates/bench/src/bin/ablate_costs.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablate_oversub-09a36b13a4a5af09.d: crates/bench/src/bin/ablate_oversub.rs
+
+/root/repo/target/release/deps/ablate_oversub-09a36b13a4a5af09: crates/bench/src/bin/ablate_oversub.rs
+
+crates/bench/src/bin/ablate_oversub.rs:

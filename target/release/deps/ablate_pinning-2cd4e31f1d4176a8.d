@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablate_pinning-2cd4e31f1d4176a8.d: crates/bench/src/bin/ablate_pinning.rs
+
+/root/repo/target/release/deps/ablate_pinning-2cd4e31f1d4176a8: crates/bench/src/bin/ablate_pinning.rs
+
+crates/bench/src/bin/ablate_pinning.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/api_surface-31fff52f6145cc63.d: tests/api_surface.rs
+
+/root/repo/target/release/deps/api_surface-31fff52f6145cc63: tests/api_surface.rs
+
+tests/api_surface.rs:

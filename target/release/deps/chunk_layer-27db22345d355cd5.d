@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/chunk_layer-27db22345d355cd5.d: tests/chunk_layer.rs
+
+/root/repo/target/release/deps/chunk_layer-27db22345d355cd5: tests/chunk_layer.rs
+
+tests/chunk_layer.rs:

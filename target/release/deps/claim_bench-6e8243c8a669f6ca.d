@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/claim_bench-6e8243c8a669f6ca.d: crates/bench/src/bin/claim_bench.rs
+
+/root/repo/target/release/deps/claim_bench-6e8243c8a669f6ca: crates/bench/src/bin/claim_bench.rs
+
+crates/bench/src/bin/claim_bench.rs:

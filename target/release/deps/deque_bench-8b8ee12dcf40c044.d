@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/deque_bench-8b8ee12dcf40c044.d: crates/bench/src/bin/deque_bench.rs
+
+/root/repo/target/release/deps/deque_bench-8b8ee12dcf40c044: crates/bench/src/bin/deque_bench.rs
+
+crates/bench/src/bin/deque_bench.rs:

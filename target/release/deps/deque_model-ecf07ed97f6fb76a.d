@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/deque_model-ecf07ed97f6fb76a.d: tests/deque_model.rs tests/common/mod.rs
+
+/root/repo/target/release/deps/deque_model-ecf07ed97f6fb76a: tests/deque_model.rs tests/common/mod.rs
+
+tests/deque_model.rs:
+tests/common/mod.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/export_csv-e08e4cab3976df05.d: crates/bench/src/bin/export_csv.rs
+
+/root/repo/target/release/deps/export_csv-e08e4cab3976df05: crates/bench/src/bin/export_csv.rs
+
+crates/bench/src/bin/export_csv.rs:

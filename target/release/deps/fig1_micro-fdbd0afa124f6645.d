@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1_micro-fdbd0afa124f6645.d: crates/bench/src/bin/fig1_micro.rs
+
+/root/repo/target/release/deps/fig1_micro-fdbd0afa124f6645: crates/bench/src/bin/fig1_micro.rs
+
+crates/bench/src/bin/fig1_micro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2_affinity-fb7fa6da80102854.d: crates/bench/src/bin/fig2_affinity.rs
+
+/root/repo/target/release/deps/fig2_affinity-fb7fa6da80102854: crates/bench/src/bin/fig2_affinity.rs
+
+crates/bench/src/bin/fig2_affinity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_nas-5c9c48e6e1b94c31.d: crates/bench/src/bin/fig3_nas.rs
+
+/root/repo/target/release/deps/fig3_nas-5c9c48e6e1b94c31: crates/bench/src/bin/fig3_nas.rs
+
+crates/bench/src/bin/fig3_nas.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_counters-2571bc34acfc9cd4.d: crates/bench/src/bin/fig4_counters.rs
+
+/root/repo/target/release/deps/fig4_counters-2571bc34acfc9cd4: crates/bench/src/bin/fig4_counters.rs
+
+crates/bench/src/bin/fig4_counters.rs:

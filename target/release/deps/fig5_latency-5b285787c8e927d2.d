@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_latency-5b285787c8e927d2.d: crates/bench/src/bin/fig5_latency.rs
+
+/root/repo/target/release/deps/fig5_latency-5b285787c8e927d2: crates/bench/src/bin/fig5_latency.rs
+
+crates/bench/src/bin/fig5_latency.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/hybrid_theory-a7b3a3be316bbc06.d: tests/hybrid_theory.rs tests/common/mod.rs
+
+/root/repo/target/release/deps/hybrid_theory-a7b3a3be316bbc06: tests/hybrid_theory.rs tests/common/mod.rs
+
+tests/hybrid_theory.rs:
+tests/common/mod.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/kernels_bench-2b086344c4a29ec6.d: crates/bench/src/bin/kernels_bench.rs
+
+/root/repo/target/release/deps/kernels_bench-2b086344c4a29ec6: crates/bench/src/bin/kernels_bench.rs
+
+crates/bench/src/bin/kernels_bench.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/make_report-512057d05a934f04.d: crates/bench/src/bin/make_report.rs
+
+/root/repo/target/release/deps/make_report-512057d05a934f04: crates/bench/src/bin/make_report.rs
+
+crates/bench/src/bin/make_report.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/nas_validation-706e557441a8fcc0.d: tests/nas_validation.rs
+
+/root/repo/target/release/deps/nas_validation-706e557441a8fcc0: tests/nas_validation.rs
+
+tests/nas_validation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/overhead-3ec7aafdd4a2cace.d: crates/bench/src/bin/overhead.rs
+
+/root/repo/target/release/deps/overhead-3ec7aafdd4a2cace: crates/bench/src/bin/overhead.rs
+
+crates/bench/src/bin/overhead.rs:

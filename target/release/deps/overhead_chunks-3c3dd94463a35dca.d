@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/overhead_chunks-3c3dd94463a35dca.d: crates/bench/src/bin/overhead_chunks.rs
+
+/root/repo/target/release/deps/overhead_chunks-3c3dd94463a35dca: crates/bench/src/bin/overhead_chunks.rs
+
+crates/bench/src/bin/overhead_chunks.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/parloop-a18dd69fcf1d564c.d: src/lib.rs
+
+/root/repo/target/release/deps/parloop-a18dd69fcf1d564c: src/lib.rs
+
+src/lib.rs:

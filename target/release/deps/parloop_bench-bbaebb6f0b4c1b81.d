@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/parloop_bench-bbaebb6f0b4c1b81.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/parloop_bench-bbaebb6f0b4c1b81: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/parloop_micro-9407bd594e75a2a6.d: crates/micro/src/lib.rs
+
+/root/repo/target/release/deps/parloop_micro-9407bd594e75a2a6: crates/micro/src/lib.rs
+
+crates/micro/src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/parloop_nas-aa53f29bae45f6c6.d: crates/nas/src/lib.rs crates/nas/src/cg.rs crates/nas/src/ep.rs crates/nas/src/ft.rs crates/nas/src/is.rs crates/nas/src/mg.rs crates/nas/src/randdp.rs crates/nas/src/util.rs
+
+/root/repo/target/release/deps/parloop_nas-aa53f29bae45f6c6: crates/nas/src/lib.rs crates/nas/src/cg.rs crates/nas/src/ep.rs crates/nas/src/ft.rs crates/nas/src/is.rs crates/nas/src/mg.rs crates/nas/src/randdp.rs crates/nas/src/util.rs
+
+crates/nas/src/lib.rs:
+crates/nas/src/cg.rs:
+crates/nas/src/ep.rs:
+crates/nas/src/ft.rs:
+crates/nas/src/is.rs:
+crates/nas/src/mg.rs:
+crates/nas/src/randdp.rs:
+crates/nas/src/util.rs:

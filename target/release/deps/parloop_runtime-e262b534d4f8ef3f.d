@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/parloop_runtime-e262b534d4f8ef3f.d: crates/runtime/src/lib.rs crates/runtime/src/deque.rs crates/runtime/src/job.rs crates/runtime/src/latch.rs crates/runtime/src/registry.rs crates/runtime/src/rng.rs crates/runtime/src/sleep.rs crates/runtime/src/unwind.rs crates/runtime/src/join.rs crates/runtime/src/scope.rs crates/runtime/src/util.rs
+
+/root/repo/target/release/deps/parloop_runtime-e262b534d4f8ef3f: crates/runtime/src/lib.rs crates/runtime/src/deque.rs crates/runtime/src/job.rs crates/runtime/src/latch.rs crates/runtime/src/registry.rs crates/runtime/src/rng.rs crates/runtime/src/sleep.rs crates/runtime/src/unwind.rs crates/runtime/src/join.rs crates/runtime/src/scope.rs crates/runtime/src/util.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/deque.rs:
+crates/runtime/src/job.rs:
+crates/runtime/src/latch.rs:
+crates/runtime/src/registry.rs:
+crates/runtime/src/rng.rs:
+crates/runtime/src/sleep.rs:
+crates/runtime/src/unwind.rs:
+crates/runtime/src/join.rs:
+crates/runtime/src/scope.rs:
+crates/runtime/src/util.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/parloop_sim-de6edbf20576e277.d: crates/sim/src/lib.rs crates/sim/src/costs.rs crates/sim/src/engine.rs crates/sim/src/micro_model.rs crates/sim/src/nas_model.rs crates/sim/src/policy.rs crates/sim/src/sweep.rs crates/sim/src/workload.rs
+
+/root/repo/target/release/deps/parloop_sim-de6edbf20576e277: crates/sim/src/lib.rs crates/sim/src/costs.rs crates/sim/src/engine.rs crates/sim/src/micro_model.rs crates/sim/src/nas_model.rs crates/sim/src/policy.rs crates/sim/src/sweep.rs crates/sim/src/workload.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/costs.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/micro_model.rs:
+crates/sim/src/nas_model.rs:
+crates/sim/src/policy.rs:
+crates/sim/src/sweep.rs:
+crates/sim/src/workload.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/parloop_simcache-48f98d320c2dbdbd.d: crates/simcache/src/lib.rs crates/simcache/src/counters.rs crates/simcache/src/hierarchy.rs crates/simcache/src/lru.rs
+
+/root/repo/target/release/deps/parloop_simcache-48f98d320c2dbdbd: crates/simcache/src/lib.rs crates/simcache/src/counters.rs crates/simcache/src/hierarchy.rs crates/simcache/src/lru.rs
+
+crates/simcache/src/lib.rs:
+crates/simcache/src/counters.rs:
+crates/simcache/src/hierarchy.rs:
+crates/simcache/src/lru.rs:

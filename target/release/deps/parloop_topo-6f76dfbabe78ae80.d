@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/parloop_topo-6f76dfbabe78ae80.d: crates/topo/src/lib.rs crates/topo/src/latency.rs crates/topo/src/machine.rs crates/topo/src/pinning.rs
+
+/root/repo/target/release/deps/parloop_topo-6f76dfbabe78ae80: crates/topo/src/lib.rs crates/topo/src/latency.rs crates/topo/src/machine.rs crates/topo/src/pinning.rs
+
+crates/topo/src/lib.rs:
+crates/topo/src/latency.rs:
+crates/topo/src/machine.rs:
+crates/topo/src/pinning.rs:

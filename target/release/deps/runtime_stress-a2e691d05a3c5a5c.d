@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/runtime_stress-a2e691d05a3c5a5c.d: tests/runtime_stress.rs
+
+/root/repo/target/release/deps/runtime_stress-a2e691d05a3c5a5c: tests/runtime_stress.rs
+
+tests/runtime_stress.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/schedulers_integration-12f24ab58b3de0cb.d: tests/schedulers_integration.rs
+
+/root/repo/target/release/deps/schedulers_integration-12f24ab58b3de0cb: tests/schedulers_integration.rs
+
+tests/schedulers_integration.rs:

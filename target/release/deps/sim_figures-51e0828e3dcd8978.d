@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sim_figures-51e0828e3dcd8978.d: tests/sim_figures.rs
+
+/root/repo/target/release/deps/sim_figures-51e0828e3dcd8978: tests/sim_figures.rs
+
+tests/sim_figures.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/sim_props-15d0876fed42a9e3.d: tests/sim_props.rs tests/common/mod.rs
+
+/root/repo/target/release/deps/sim_props-15d0876fed42a9e3: tests/sim_props.rs tests/common/mod.rs
+
+tests/sim_props.rs:
+tests/common/mod.rs:

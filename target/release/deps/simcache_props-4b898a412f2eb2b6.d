@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/simcache_props-4b898a412f2eb2b6.d: tests/simcache_props.rs tests/common/mod.rs
+
+/root/repo/target/release/deps/simcache_props-4b898a412f2eb2b6: tests/simcache_props.rs tests/common/mod.rs
+
+tests/simcache_props.rs:
+tests/common/mod.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/schedule_timeline-67a6181953d56753.d: examples/schedule_timeline.rs
+
+/root/repo/target/release/examples/schedule_timeline-67a6181953d56753: examples/schedule_timeline.rs
+
+examples/schedule_timeline.rs:

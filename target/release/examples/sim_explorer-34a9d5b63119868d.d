@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/sim_explorer-34a9d5b63119868d.d: examples/sim_explorer.rs
+
+/root/repo/target/release/examples/sim_explorer-34a9d5b63119868d: examples/sim_explorer.rs
+
+examples/sim_explorer.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/sparse_matvec-ca1b6f3ebef9d423.d: examples/sparse_matvec.rs
+
+/root/repo/target/release/examples/sparse_matvec-ca1b6f3ebef9d423: examples/sparse_matvec.rs
+
+examples/sparse_matvec.rs:
