@@ -122,6 +122,14 @@ impl ClaimWalker {
         self.finished
     }
 
+    /// The current claim index `i` (so observers can tell *where* in the
+    /// walk an attempt happened: `i = 0` is the earmarked partition, and a
+    /// fresh walk always begins at `i = 0`).
+    #[inline]
+    pub fn index(&self) -> usize {
+        self.i
+    }
+
     /// Statistics accumulated so far.
     pub fn stats(&self) -> HeuristicStats {
         self.stats
@@ -272,12 +280,15 @@ mod tests {
         // After failing at i=2 (binary 10), the next index is 4 (skip {2,3}).
         let mut w = ClaimWalker::new(0, 8);
         assert_eq!(w.candidate(), Some(0));
+        assert_eq!(w.index(), 0);
         w.record(true);
         assert_eq!(w.candidate(), Some(1));
+        assert_eq!(w.index(), 1);
         w.record(true);
         assert_eq!(w.candidate(), Some(2));
         w.record(false);
         assert_eq!(w.candidate(), Some(4));
+        assert_eq!(w.index(), 4);
         w.record(false); // i = 4 -> 8 >= R: done
         assert!(w.finished());
         assert_eq!(w.stats().max_failed_run, 2);

@@ -39,7 +39,7 @@ use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
-use parloop_runtime::{CountLatch, Latch, WorkerToken};
+use parloop_runtime::{CountLatch, Latch, TraceEvent, WorkerToken};
 
 use crate::claim::{partitions_oversubscribed, ClaimTable, ClaimWalker};
 use crate::range::block_bounds;
@@ -153,15 +153,15 @@ where
 /// budget (`P` frames per loop) allows. The budget is consumed only by
 /// frames actually published: a CAS loop backs off without spending a slot
 /// once the cap is reached, so `P` rejected attempts cannot starve later
-/// legitimate re-publishes.
-fn publish_frame<F>(token: &WorkerToken, state: &Arc<HybridState<F>>)
+/// legitimate re-publishes. Returns whether a frame was actually pushed.
+fn publish_frame<F>(token: &WorkerToken, state: &Arc<HybridState<F>>) -> bool
 where
     F: Fn(Range<usize>) + Sync,
 {
     let mut cur = state.frames.load(Ordering::Relaxed);
     loop {
         if cur >= state.max_frames {
-            return;
+            return false;
         }
         match state.frames.compare_exchange_weak(cur, cur + 1, Ordering::AcqRel, Ordering::Acquire)
         {
@@ -182,6 +182,7 @@ where
     // `Scope::spawn` in parloop-runtime.
     let frame: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(frame) };
     token.spawn_local(frame);
+    true
 }
 
 /// The `DoHybridLoop` steal-protocol entry point, run by whichever worker
@@ -202,8 +203,11 @@ where
         return;
     }
     state.adoptions.fetch_add(1, Ordering::AcqRel);
+    token.trace(TraceEvent::HybridFrameStolen);
     // Re-instantiate the frame so later thieves can also join.
-    publish_frame(&token, &state);
+    if publish_frame(&token, &state) {
+        token.trace(TraceEvent::FrameReinstantiated);
+    }
     do_hybrid_loop(&token, &state);
 }
 
@@ -213,9 +217,17 @@ where
     F: Fn(Range<usize>) + Sync,
 {
     let w = token.index();
+    let tracing = token.tracing_enabled();
     let mut walker = ClaimWalker::new(w, state.r_parts);
     while let Some(candidate) = walker.candidate() {
         let won = state.table.try_claim(candidate);
+        if tracing {
+            token.trace(TraceEvent::ClaimAttempt {
+                success: won,
+                index: walker.index() as u32,
+                partition: candidate as u32,
+            });
+        }
         if let Some(part) = walker.record(won) {
             execute_partition(state, part);
             state.latch.set();

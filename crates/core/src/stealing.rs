@@ -13,7 +13,29 @@
 
 use std::ops::Range;
 
-use parloop_runtime::join;
+use parloop_runtime::{join, TraceEvent, WorkerToken};
+
+/// Run a leaf chunk, bracketed with `ChunkStart`/`ChunkEnd` trace events
+/// when the executing worker's pool records them. Off-pool, or with
+/// tracing off, this is the plain monomorphized `body` call — the only
+/// extra cost is one thread-local read and one boolean load per *chunk*
+/// (never per iteration).
+#[inline]
+fn run_leaf<F>(range: Range<usize>, body: &F)
+where
+    F: Fn(Range<usize>) + Sync,
+{
+    if let Some(token) = WorkerToken::current() {
+        if token.tracing_enabled() {
+            let (start, len) = (range.start as u64, range.len() as u32);
+            token.trace(TraceEvent::ChunkStart { start, len });
+            body(range);
+            token.trace(TraceEvent::ChunkEnd { start, len });
+            return;
+        }
+    }
+    body(range);
+}
 
 /// Execute `body(chunk)` over `range` with binary splitting; sub-ranges
 /// above `grain` iterations are stealable, and each leaf chunk of at most
@@ -30,7 +52,7 @@ where
         return;
     }
     if range.len() <= grain {
-        body(range);
+        run_leaf(range, body);
         return;
     }
     let mid = range.start + range.len() / 2;

@@ -87,6 +87,9 @@ where
         // first, so the common un-stolen case inlines `b` after draining
         // those, and the stolen case keeps us busy stealing.
         if let Some(job) = wt.pop() {
+            // This pop bypasses `find_work`, so count the execution here
+            // (the pop itself is traced inside `WorkerThread::pop`).
+            wt.note_job_executed();
             job.execute();
         }
         wt.wait_until(&job_b.latch);

@@ -49,3 +49,8 @@ pub use latch::{CountLatch, Latch, LockLatch, Probe, SpinLatch};
 pub use registry::{current_worker_index, PoolStats, ThreadPool, ThreadPoolBuilder, WorkerToken};
 pub use scope::{scope, Scope};
 pub use util::CachePadded;
+
+/// The observability layer this runtime reports into (re-exported so that
+/// downstream crates need not name `parloop-trace` directly).
+pub use parloop_trace as trace;
+pub use parloop_trace::{NoopSink, RingTraceSink, TraceEvent, TraceSink, WorkerStats};

@@ -13,8 +13,10 @@ use std::cell::Cell;
 use std::collections::VecDeque;
 use std::marker::PhantomData;
 use std::ptr;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
+
+use parloop_trace::{CounterBank, NoopSink, TraceEvent, TraceSink, WorkerStats};
 
 use crate::deque::{self, Steal, Stealer};
 use crate::job::{HeapJob, JobRef, StackJob};
@@ -83,6 +85,10 @@ impl Mailbox {
 
 /// Monotonic counters describing scheduler activity (observability for
 /// the overhead ablations; all `Relaxed` — approximate under concurrency).
+///
+/// Totals are sums of the per-worker counters kept in the pool's
+/// [`CounterBank`]; [`ThreadPool::worker_stats`] exposes the per-worker
+/// breakdown the totals are derived from.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PoolStats {
     /// Jobs executed across all workers (frames, team bodies, injections).
@@ -95,14 +101,6 @@ pub struct PoolStats {
     pub injected: u64,
 }
 
-#[derive(Default)]
-struct StatCounters {
-    jobs_executed: AtomicU64,
-    steals: AtomicU64,
-    failed_steal_sweeps: AtomicU64,
-    injected: AtomicU64,
-}
-
 pub(crate) struct Registry {
     stealers: Vec<Stealer<JobRef>>,
     mailboxes: Vec<Mailbox>,
@@ -110,7 +108,12 @@ pub(crate) struct Registry {
     injected_len: AtomicUsize,
     pub(crate) sleep: Arc<Sleep>,
     terminate: AtomicBool,
-    stats: StatCounters,
+    counters: CounterBank,
+    /// Event sink for the observability layer ([`parloop_trace`]).
+    trace: Arc<dyn TraceSink>,
+    /// Cached `trace.enabled()` — the one branch instrumented hot paths
+    /// pay when tracing is off.
+    trace_on: bool,
     n: usize,
 }
 
@@ -122,7 +125,7 @@ impl Registry {
     pub(crate) fn inject(&self, job: JobRef) {
         self.injected.lock().unwrap().push_back(job);
         self.injected_len.fetch_add(1, Ordering::SeqCst);
-        self.stats.injected.fetch_add(1, Ordering::Relaxed);
+        self.counters.note_injected();
         self.sleep.notify_all();
     }
 
@@ -188,13 +191,35 @@ impl WorkerThread {
         &self.registry
     }
 
+    /// Record `event` into the pool's trace sink. With tracing off this is
+    /// one branch on a cached bool — no sink call, no clock read, no
+    /// allocation, no atomics.
+    #[inline]
+    pub(crate) fn trace(&self, event: TraceEvent) {
+        if self.registry.trace_on {
+            self.registry.trace.record(self.index, event);
+        }
+    }
+
+    /// Count one job executed by this worker (jobs acquired outside
+    /// [`find_work`](Self::find_work), e.g. `join`'s inline pop-back path).
+    #[inline]
+    pub(crate) fn note_job_executed(&self) {
+        self.registry.counters.note_job_executed(self.index);
+    }
+
     pub(crate) fn push(&self, job: JobRef) {
         self.deque.push(job);
+        self.trace(TraceEvent::JobPushed);
         self.registry.sleep.notify_all();
     }
 
     pub(crate) fn pop(&self) -> Option<JobRef> {
-        self.deque.pop()
+        let job = self.deque.pop();
+        if job.is_some() {
+            self.trace(TraceEvent::JobPopped);
+        }
+        job
     }
 
     /// One full randomized sweep over all other workers' deques.
@@ -212,7 +237,8 @@ impl WorkerThread {
             loop {
                 match self.registry.stealers[victim].steal() {
                     Steal::Success(job) => {
-                        self.registry.stats.steals.fetch_add(1, Ordering::Relaxed);
+                        self.registry.counters.note_steal(self.index);
+                        self.trace(TraceEvent::Stolen { victim: victim as u32 });
                         return Some(job);
                     }
                     Steal::Empty => break,
@@ -220,7 +246,8 @@ impl WorkerThread {
                 }
             }
         }
-        self.registry.stats.failed_steal_sweeps.fetch_add(1, Ordering::Relaxed);
+        self.registry.counters.note_failed_sweep(self.index);
+        self.trace(TraceEvent::StealFailed);
         None
     }
 
@@ -231,9 +258,16 @@ impl WorkerThread {
             .or_else(|| self.registry.take_injected())
             .or_else(|| self.steal());
         if job.is_some() {
-            self.registry.stats.jobs_executed.fetch_add(1, Ordering::Relaxed);
+            self.note_job_executed();
         }
         job
+    }
+
+    /// Park on the pool's sleep machinery, bracketed with trace events.
+    fn park(&self, has_work: impl Fn() -> bool) {
+        self.trace(TraceEvent::Parked);
+        self.registry.sleep.sleep(has_work);
+        self.trace(TraceEvent::Unparked);
     }
 
     /// Execute jobs until `latch` completes, preferring own work, then
@@ -254,7 +288,7 @@ impl WorkerThread {
                 std::thread::yield_now();
                 if idle >= 16 {
                     let reg = &self.registry;
-                    reg.sleep.sleep(|| latch.probe() || reg.has_visible_work(self.index));
+                    self.park(|| latch.probe() || reg.has_visible_work(self.index));
                 }
             }
         }
@@ -270,7 +304,7 @@ impl WorkerThread {
                 unsafe { job.execute() };
             } else {
                 std::thread::yield_now();
-                reg.sleep.sleep(|| {
+                self.park(|| {
                     reg.terminate.load(Ordering::Acquire) || reg.has_visible_work(self.index)
                 });
             }
@@ -293,6 +327,7 @@ pub struct ThreadPoolBuilder {
     num_workers: usize,
     thread_name_prefix: String,
     stack_size: Option<usize>,
+    trace_sink: Option<Arc<dyn TraceSink>>,
 }
 
 impl ThreadPoolBuilder {
@@ -301,6 +336,7 @@ impl ThreadPoolBuilder {
             num_workers: 4,
             thread_name_prefix: "parloop-worker".into(),
             stack_size: None,
+            trace_sink: None,
         }
     }
 
@@ -324,6 +360,15 @@ impl ThreadPoolBuilder {
         self
     }
 
+    /// Install an event sink for the observability layer (typically a
+    /// [`parloop_trace::RingTraceSink`] sized for this pool's workers).
+    /// Without one the pool uses the no-op sink and instrumented hot paths
+    /// cost a single untaken branch.
+    pub fn trace_sink(mut self, sink: Arc<dyn TraceSink>) -> Self {
+        self.trace_sink = Some(sink);
+        self
+    }
+
     pub fn build(self) -> ThreadPool {
         let n = self.num_workers;
         let mut workers = Vec::with_capacity(n);
@@ -333,6 +378,8 @@ impl ThreadPoolBuilder {
             workers.push(w);
             stealers.push(s);
         }
+        let trace = self.trace_sink.unwrap_or_else(|| Arc::new(NoopSink));
+        let trace_on = trace.enabled();
         let registry = Arc::new(Registry {
             stealers,
             mailboxes: (0..n).map(|_| Mailbox::new()).collect(),
@@ -340,7 +387,9 @@ impl ThreadPoolBuilder {
             injected_len: AtomicUsize::new(0),
             sleep: Arc::new(Sleep::new()),
             terminate: AtomicBool::new(false),
-            stats: StatCounters::default(),
+            counters: CounterBank::new(n),
+            trace,
+            trace_on,
             n,
         });
 
@@ -397,15 +446,27 @@ impl ThreadPool {
         self.registry.num_workers()
     }
 
-    /// Snapshot of the pool's scheduler counters.
+    /// Snapshot of the pool's scheduler counters (totals across workers).
     pub fn stats(&self) -> PoolStats {
-        let s = &self.registry.stats;
+        let t = self.registry.counters.totals();
         PoolStats {
-            jobs_executed: s.jobs_executed.load(Ordering::Relaxed),
-            steals: s.steals.load(Ordering::Relaxed),
-            failed_steal_sweeps: s.failed_steal_sweeps.load(Ordering::Relaxed),
-            injected: s.injected.load(Ordering::Relaxed),
+            jobs_executed: t.jobs_executed,
+            steals: t.steals,
+            failed_steal_sweeps: t.failed_steal_sweeps,
+            injected: self.registry.counters.injected(),
         }
+    }
+
+    /// Per-worker breakdown of the counters behind [`stats`](Self::stats),
+    /// indexed by worker id.
+    pub fn worker_stats(&self) -> Vec<WorkerStats> {
+        self.registry.counters.all_workers()
+    }
+
+    /// Whether this pool records scheduler events (a real sink was
+    /// installed via [`ThreadPoolBuilder::trace_sink`]).
+    pub fn tracing_enabled(&self) -> bool {
+        self.registry.trace_on
     }
 
     /// Spawn a detached job on the pool. It runs at some point before the
@@ -575,6 +636,21 @@ impl WorkerToken {
     /// Work-first wait: execute available jobs until `latch` completes.
     pub fn wait_until<L: Probe>(&self, latch: &L) {
         self.worker().wait_until(latch)
+    }
+
+    /// Record a scheduler event on behalf of this worker. One untaken
+    /// branch when the pool has no trace sink installed.
+    #[inline]
+    pub fn trace(&self, event: TraceEvent) {
+        self.worker().trace(event)
+    }
+
+    /// Whether this worker's pool records scheduler events. Callers that
+    /// emit several events (or compute event payloads) should check this
+    /// once and skip the work when it is `false`.
+    #[inline]
+    pub fn tracing_enabled(&self) -> bool {
+        self.worker().registry().trace_on
     }
 }
 

@@ -29,15 +29,22 @@ impl Sleep {
     /// Block until notified (or the backstop timeout fires), unless
     /// `has_work()` already holds. The check runs under the lock, so a
     /// notification sent after `has_work` becomes true cannot be lost.
-    pub(crate) fn sleep(&self, has_work: impl Fn() -> bool) {
+    ///
+    /// Returns whether the caller actually blocked on the condvar (`false`
+    /// when `has_work` short-circuited the wait) — observability callers
+    /// use this to distinguish real parks from aborted ones.
+    pub(crate) fn sleep(&self, has_work: impl Fn() -> bool) -> bool {
+        let mut blocked = false;
         self.sleepers.fetch_add(1, Ordering::SeqCst);
         {
             let guard = self.lock.lock().unwrap();
             if !has_work() {
+                blocked = true;
                 let _ = self.cv.wait_timeout(guard, SLEEP_TIMEOUT).unwrap();
             }
         }
         self.sleepers.fetch_sub(1, Ordering::SeqCst);
+        blocked
     }
 
     /// Wake all sleeping workers (cheap no-op when none sleep).
@@ -65,7 +72,8 @@ mod tests {
     fn sleep_returns_immediately_when_work_present() {
         let s = Sleep::new();
         let start = std::time::Instant::now();
-        s.sleep(|| true);
+        let blocked = s.sleep(|| true);
+        assert!(!blocked, "must not block when has_work() holds");
         assert!(start.elapsed() < Duration::from_millis(50));
         assert_eq!(s.sleeper_count(), 0);
     }
@@ -92,7 +100,8 @@ mod tests {
         // Even with no notification, sleep() must return within the timeout.
         let s = Sleep::new();
         let start = std::time::Instant::now();
-        s.sleep(|| false);
+        let blocked = s.sleep(|| false);
+        assert!(blocked, "must report a real block when no work exists");
         assert!(start.elapsed() < Duration::from_millis(200));
     }
 }

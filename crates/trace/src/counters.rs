@@ -1,0 +1,135 @@
+//! The cheap, always-on layer under `PoolStats`: per-worker cache-padded
+//! monotonic counters.
+//!
+//! Unlike the event rings these are never off — they replace the old
+//! global `Relaxed` counters the runtime kept, and are *cheaper* than
+//! those: each worker increments its own cache line instead of contending
+//! on a shared one. Totals are sums over workers (racy snapshots, like
+//! before); per-worker breakdowns come for free.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One worker's counters, padded to a cache line so neighbouring workers'
+/// increments never false-share.
+#[repr(align(128))]
+#[derive(Debug, Default)]
+struct PaddedCounters {
+    jobs_executed: AtomicU64,
+    steals: AtomicU64,
+    failed_steal_sweeps: AtomicU64,
+}
+
+/// A point-in-time copy of one worker's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Jobs this worker acquired and executed.
+    pub jobs_executed: u64,
+    /// Successful steals by this worker.
+    pub steals: u64,
+    /// Steal sweeps by this worker that found nothing.
+    pub failed_steal_sweeps: u64,
+}
+
+/// Per-worker scheduler counters plus the pool-global injection count.
+#[derive(Debug, Default)]
+pub struct CounterBank {
+    workers: Box<[PaddedCounters]>,
+    injected: AtomicU64,
+}
+
+impl CounterBank {
+    /// A bank for `num_workers` workers, all counters zero.
+    pub fn new(num_workers: usize) -> Self {
+        CounterBank {
+            workers: (0..num_workers).map(|_| PaddedCounters::default()).collect(),
+            injected: AtomicU64::new(0),
+        }
+    }
+
+    /// Count one job executed by `worker`.
+    #[inline]
+    pub fn note_job_executed(&self, worker: usize) {
+        self.workers[worker].jobs_executed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one successful steal by `worker`.
+    #[inline]
+    pub fn note_steal(&self, worker: usize) {
+        self.workers[worker].steals.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one empty steal sweep by `worker`.
+    #[inline]
+    pub fn note_failed_sweep(&self, worker: usize) {
+        self.workers[worker].failed_steal_sweeps.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one job injected from an external thread.
+    #[inline]
+    pub fn note_injected(&self) {
+        self.injected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Jobs injected from external threads (pool-global).
+    pub fn injected(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of one worker's counters.
+    pub fn worker(&self, worker: usize) -> WorkerStats {
+        let c = &self.workers[worker];
+        WorkerStats {
+            jobs_executed: c.jobs_executed.load(Ordering::Relaxed),
+            steals: c.steals.load(Ordering::Relaxed),
+            failed_steal_sweeps: c.failed_steal_sweeps.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Snapshot of every worker's counters, indexed by worker id.
+    pub fn all_workers(&self) -> Vec<WorkerStats> {
+        (0..self.workers.len()).map(|w| self.worker(w)).collect()
+    }
+
+    /// Sum of all workers' counters (the legacy `PoolStats` totals).
+    pub fn totals(&self) -> WorkerStats {
+        let mut t = WorkerStats::default();
+        for w in 0..self.workers.len() {
+            let s = self.worker(w);
+            t.jobs_executed += s.jobs_executed;
+            t.steals += s.steals;
+            t.failed_steal_sweeps += s.failed_steal_sweeps;
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_sum_per_worker_counts() {
+        let bank = CounterBank::new(3);
+        bank.note_job_executed(0);
+        bank.note_job_executed(0);
+        bank.note_job_executed(2);
+        bank.note_steal(1);
+        bank.note_failed_sweep(2);
+        bank.note_injected();
+        assert_eq!(bank.worker(0).jobs_executed, 2);
+        assert_eq!(bank.worker(1).steals, 1);
+        assert_eq!(bank.worker(2).failed_steal_sweeps, 1);
+        let t = bank.totals();
+        assert_eq!(t.jobs_executed, 3);
+        assert_eq!(t.steals, 1);
+        assert_eq!(t.failed_steal_sweeps, 1);
+        assert_eq!(bank.injected(), 1);
+        assert_eq!(bank.all_workers().len(), 3);
+    }
+
+    #[test]
+    fn padded_counters_do_not_share_lines() {
+        assert!(std::mem::size_of::<PaddedCounters>() >= 128);
+        assert_eq!(std::mem::align_of::<PaddedCounters>(), 128);
+    }
+}

@@ -1,11 +1,19 @@
 //! Visualize how each scheme distributes one loop's chunks over workers —
-//! an ASCII utilization profile from the simulator's chunk trace.
+//! an ASCII utilization profile from the simulator's chunk trace — and
+//! capture a *real* threaded hybrid loop as a Chrome trace
+//! (`results/schedule_timeline.trace.json`, open in `chrome://tracing` or
+//! <https://ui.perfetto.dev>).
 //!
 //! ```text
 //! cargo run --release --example schedule_timeline [balanced|unbalanced]
 //! ```
 
+use std::sync::Arc;
+
+use parloop::core::hybrid_for_with_stats;
 use parloop::sim::{micro_app, simulate_traced, MicroParams, PolicyKind, SimConfig};
+use parloop::trace::{export, metrics, RingTraceSink};
+use parloop::ThreadPoolBuilder;
 
 fn bar(frac: f64, width: usize) -> String {
     let filled = (frac * width as f64).round() as usize;
@@ -57,4 +65,37 @@ fn main() {
     }
     println!("Static shows the raw imbalance; hybrid's stealing evens it out");
     println!("while keeping most chunks on their earmarked workers.");
+
+    emit_real_trace();
+}
+
+/// Run one real threaded hybrid loop with the tracing layer attached and
+/// export the event timeline as Chrome trace JSON.
+fn emit_real_trace() {
+    let p = 4;
+    let n = 1usize << 14;
+    parloop::trace::init_clock();
+    let sink = Arc::new(RingTraceSink::new(p));
+    let pool = ThreadPoolBuilder::new()
+        .num_workers(p)
+        .trace_sink(Arc::<RingTraceSink>::clone(&sink))
+        .build();
+
+    hybrid_for_with_stats(&pool, 0..n, Some(64), |i| {
+        std::hint::black_box(i.wrapping_mul(0x9e37_79b9));
+    });
+
+    let snap = sink.drain();
+    let counts = metrics::event_counts(&snap);
+    std::fs::create_dir_all("results").expect("create results/");
+    let json = export::chrome_trace_json(&snap);
+    std::fs::write("results/schedule_timeline.trace.json", &json).expect("write trace JSON");
+    println!(
+        "\nCaptured a real threaded hybrid loop (P = {p}, n = {n}): {} events, \
+         {} chunks, {} steals.",
+        snap.len(),
+        counts.chunks,
+        counts.steals
+    );
+    println!("Wrote results/schedule_timeline.trace.json — open it in chrome://tracing.");
 }

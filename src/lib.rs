@@ -11,7 +11,10 @@
 //! * [`sim`] — the virtual-time scheduler simulator used to regenerate the
 //!   paper's figures on a modeled 32-core, 4-socket machine;
 //! * [`nas`] — Rust ports of the five NAS parallel benchmark kernels;
-//! * [`micro`] — the paper's balanced/unbalanced iterative microbenchmarks.
+//! * [`micro`] — the paper's balanced/unbalanced iterative microbenchmarks;
+//! * [`trace`] — the observability layer: per-worker lock-free event rings,
+//!   scheduler metrics (steal rate, claim-failure histograms, affinity
+//!   retention) and Chrome-trace/CSV export.
 //!
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
 //! paper-vs-measured record.
@@ -23,6 +26,8 @@ pub use parloop_runtime as runtime;
 pub use parloop_sim as sim;
 pub use parloop_simcache as simcache;
 pub use parloop_topo as topo;
+pub use parloop_trace as trace;
 
 pub use parloop_core::{par_for, par_for_chunks, par_for_dyn, par_for_tracked, Schedule};
 pub use parloop_runtime::{join, scope, ThreadPool, ThreadPoolBuilder};
+pub use parloop_trace::{NoopSink, RingTraceSink, TraceEvent, TraceSink, WorkerStats};
