@@ -39,7 +39,8 @@ use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
-use parloop_runtime::{CountLatch, Latch, TraceEvent, WorkerToken};
+use parloop_runtime::chaos::{chaos_spin, INJECTED_PANIC_MSG};
+use parloop_runtime::{CancelToken, CountLatch, FaultAction, Latch, Site, TraceEvent, WorkerToken};
 
 use crate::claim::{partitions_oversubscribed, ClaimTable, ClaimWalker};
 use crate::range::block_bounds;
@@ -57,6 +58,47 @@ pub struct HybridStats {
     /// Total unsuccessful claims across all participating workers
     /// (Theorem 5 charges `O(R lg R)` work for these).
     pub failed_claims: usize,
+    /// Partitions whose claim was won but whose body was *skipped*: the
+    /// loop was already poisoned by a sibling's panic, or its cancel token
+    /// had fired. These partitions still resolve the completion latch —
+    /// skipping keeps termination alive — but their iterations never ran.
+    pub skipped_partitions: usize,
+}
+
+/// Why a `try_` hybrid loop did not complete normally. Carries the stats
+/// either way, so skipped partitions stay observable in failed runs.
+pub enum HybridError {
+    /// The loop's [`CancelToken`] fired before all partitions executed.
+    Cancelled(HybridStats),
+    /// A loop body (or an injected fault) panicked; `payload` is the first
+    /// captured panic.
+    Panicked {
+        /// Counters up to the loop's resolution.
+        stats: HybridStats,
+        /// The first panic payload recorded by any participant.
+        payload: Box<dyn Any + Send>,
+    },
+}
+
+impl HybridError {
+    /// The scheduling counters, whatever the failure mode.
+    pub fn stats(&self) -> HybridStats {
+        match self {
+            HybridError::Cancelled(stats) => *stats,
+            HybridError::Panicked { stats, .. } => *stats,
+        }
+    }
+}
+
+impl std::fmt::Debug for HybridError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HybridError::Cancelled(stats) => f.debug_tuple("Cancelled").field(stats).finish(),
+            HybridError::Panicked { stats, .. } => {
+                f.debug_struct("Panicked").field("stats", stats).finish_non_exhaustive()
+            }
+        }
+    }
 }
 
 /// Shared per-loop state. `F` is the (chunk) body type; the state never
@@ -78,6 +120,34 @@ struct HybridState<F> {
     failed_claims: AtomicUsize,
     panic: Mutex<Option<Box<dyn Any + Send>>>,
     poisoned: AtomicBool,
+    /// Claimed partitions whose body was skipped (poisoned or cancelled).
+    skipped: AtomicUsize,
+    /// Cooperative cancellation for the `try_` entry points; `None` for the
+    /// infallible API (the common path pays one `Option` check per claim).
+    cancel: Option<CancelToken>,
+}
+
+impl<F> HybridState<F> {
+    #[inline]
+    fn cancelled(&self) -> bool {
+        self.cancel.as_ref().is_some_and(|c| c.is_cancelled())
+    }
+
+    /// Record the *first* panic and poison the loop so sibling partitions
+    /// skip their bodies (still resolving the latch).
+    fn record_panic(&self, payload: Box<dyn Any + Send>) {
+        self.panic.lock().unwrap().get_or_insert(payload);
+        self.poisoned.store(true, Ordering::Release);
+    }
+
+    fn stats_snapshot(&self) -> HybridStats {
+        HybridStats {
+            partitions: self.r_parts,
+            adoptions: self.adoptions.load(Ordering::Acquire),
+            failed_claims: self.failed_claims.load(Ordering::Acquire),
+            skipped_partitions: self.skipped.load(Ordering::Acquire),
+        }
+    }
 }
 
 /// Execute `body` over chunks of `range` with the hybrid scheme. Must be
@@ -106,6 +176,53 @@ pub(crate) fn hybrid_for_oversub<F>(
 where
     F: Fn(Range<usize>) + Sync,
 {
+    match hybrid_for_inner(token, range, grain, oversub, None, body) {
+        Ok(stats) => stats,
+        Err(HybridError::Panicked { payload, .. }) => resume_unwind(payload),
+        Err(HybridError::Cancelled(_)) => {
+            unreachable!("no cancel token was supplied to hybrid_for_oversub")
+        }
+    }
+}
+
+/// Fallible [`hybrid_for_oversub`]: panics are returned rather than
+/// resumed, and the loop observes `cancel` cooperatively.
+///
+/// Exactly-once (Theorem 3) is preserved for the partitions that *did*
+/// run: cancellation/poisoning only ever skips whole partitions whose
+/// claim was won after the token fired, never re-runs one. A cancelled
+/// run still resolves the completion latch — cancelled walkers drain the
+/// remaining unclaimed partitions (claiming them and skipping their
+/// bodies) so the initiator never hangs.
+///
+/// Note: `Err(Cancelled)` means the token was observed fired while
+/// partitions were still outstanding; a token that fires after the last
+/// body finished may still yield `Ok`.
+pub(crate) fn try_hybrid_for_oversub<F>(
+    token: WorkerToken,
+    range: Range<usize>,
+    grain: usize,
+    oversub: usize,
+    cancel: &CancelToken,
+    body: &F,
+) -> Result<HybridStats, HybridError>
+where
+    F: Fn(Range<usize>) + Sync,
+{
+    hybrid_for_inner(token, range, grain, oversub, Some(cancel.clone()), body)
+}
+
+fn hybrid_for_inner<F>(
+    token: WorkerToken,
+    range: Range<usize>,
+    grain: usize,
+    oversub: usize,
+    cancel: Option<CancelToken>,
+    body: &F,
+) -> Result<HybridStats, HybridError>
+where
+    F: Fn(Range<usize>) + Sync,
+{
     let n = range.len();
     let p = token.num_workers();
     let r_parts = partitions_oversubscribed(p, oversub);
@@ -130,23 +247,37 @@ where
         failed_claims: AtomicUsize::new(0),
         panic: Mutex::new(None),
         poisoned: AtomicBool::new(false),
+        skipped: AtomicUsize::new(0),
+        cancel,
     });
 
     // Publish the DoHybridLoop frame for thieves, then run it ourselves.
-    publish_frame(&token, &state);
+    // An injected publish fault must not unwind out of here (the stack
+    // frames the state borrows from are still live), so it is captured
+    // like a body panic.
+    if let Err(payload) = catch_unwind(AssertUnwindSafe(|| publish_frame(&token, &state))) {
+        state.record_panic(payload);
+    }
     do_hybrid_loop(&token, &state);
+    // Under fault injection the walkers above may have been *forced* to
+    // lose claims or abandon their walk (injected claim panics), which
+    // voids Lemma 2's liveness argument. The initiator therefore sweeps
+    // everything still unclaimed before blocking, restoring termination.
+    // Off the chaos path this branch is never taken (Lemma 2 applies).
+    if token.chaos_enabled() || state.cancelled() {
+        sweep_unclaimed(&token, &state);
+    }
     token.wait_until(&state.latch);
 
+    let stats = state.stats_snapshot();
     let maybe_panic = state.panic.lock().unwrap().take();
     if let Some(payload) = maybe_panic {
-        resume_unwind(payload);
+        return Err(HybridError::Panicked { stats, payload });
     }
-
-    HybridStats {
-        partitions: r_parts,
-        adoptions: state.adoptions.load(Ordering::Acquire),
-        failed_claims: state.failed_claims.load(Ordering::Acquire),
+    if state.cancelled() && stats.skipped_partitions > 0 {
+        return Err(HybridError::Cancelled(stats));
     }
+    Ok(stats)
 }
 
 /// Push one adopter frame onto the current worker's deque, if the protocol
@@ -158,6 +289,18 @@ fn publish_frame<F>(token: &WorkerToken, state: &Arc<HybridState<F>>) -> bool
 where
     F: Fn(Range<usize>) + Sync,
 {
+    // Chaos site: a dropped publish models the frame never reaching the
+    // deque (thieves simply cannot join; the initiator's walk — plus the
+    // rescue sweep — still covers every partition). The gate sits before
+    // the CAS so a dropped or panicked publish never burns budget.
+    if token.chaos_enabled() {
+        match token.chaos_decide(Site::FramePublish) {
+            FaultAction::Fail => return false,
+            FaultAction::Delay(spins) => chaos_spin(spins),
+            FaultAction::Panic => panic!("{INJECTED_PANIC_MSG} (frame publish)"),
+            FaultAction::None => {}
+        }
+    }
     let mut cur = state.frames.load(Ordering::Relaxed);
     loop {
         if cur >= state.max_frames {
@@ -204,23 +347,65 @@ where
     }
     state.adoptions.fetch_add(1, Ordering::AcqRel);
     token.trace(TraceEvent::HybridFrameStolen);
-    // Re-instantiate the frame so later thieves can also join.
-    if publish_frame(&token, &state) {
-        token.trace(TraceEvent::FrameReinstantiated);
+    // Re-instantiate the frame so later thieves can also join. Adopter
+    // frames run from the scheduler's own loop, so an injected publish
+    // panic is captured here rather than unwinding into the deque pop.
+    match catch_unwind(AssertUnwindSafe(|| publish_frame(&token, &state))) {
+        Ok(true) => token.trace(TraceEvent::FrameReinstantiated),
+        Ok(false) => {}
+        Err(payload) => state.record_panic(payload),
     }
     do_hybrid_loop(&token, &state);
 }
 
-/// Algorithm 3: the claim walk plus partition execution.
+/// Algorithm 3: the claim walk plus partition execution. Panics escaping
+/// the walk (injected claim faults) are captured into the loop state —
+/// unwinding past this frame would strand the adopter machinery — and the
+/// walker drains leftover partitions when its cancel token has fired.
 fn do_hybrid_loop<F>(token: &WorkerToken, state: &Arc<HybridState<F>>)
+where
+    F: Fn(Range<usize>) + Sync,
+{
+    if let Err(payload) = catch_unwind(AssertUnwindSafe(|| claim_walk(token, state))) {
+        state.record_panic(payload);
+    }
+    // A cancelled walker must not leave unclaimed partitions behind: every
+    // participant drains on its way out, so whichever observes the token
+    // last resolves the remaining latch counts.
+    if state.cancelled() {
+        sweep_unclaimed(token, state);
+    }
+}
+
+/// The semi-deterministic claim walk itself (separated from
+/// [`do_hybrid_loop`] so injected panics have a single catch point).
+fn claim_walk<F>(token: &WorkerToken, state: &Arc<HybridState<F>>)
 where
     F: Fn(Range<usize>) + Sync,
 {
     let w = token.index();
     let tracing = token.tracing_enabled();
+    let chaos = token.chaos_enabled();
     let mut walker = ClaimWalker::new(w, state.r_parts);
     while let Some(candidate) = walker.candidate() {
-        let won = state.table.try_claim(candidate);
+        if state.cancelled() {
+            break;
+        }
+        // Chaos site: a forced loss makes the walker behave exactly as if
+        // another worker had won the `fetch_or` race — the skip structure
+        // (and with it Lemma 4's failed-run bound) must hold for arbitrary
+        // claim outcomes, which is precisely what this exercises. The
+        // `fetch_or` itself is skipped so the partition stays claimable.
+        let mut forced_loss = false;
+        if chaos {
+            match token.chaos_decide(Site::Claim) {
+                FaultAction::Fail => forced_loss = true,
+                FaultAction::Delay(spins) => chaos_spin(spins),
+                FaultAction::Panic => panic!("{INJECTED_PANIC_MSG} (claim)"),
+                FaultAction::None => {}
+            }
+        }
+        let won = !forced_loss && state.table.try_claim(candidate);
         if tracing {
             token.trace(TraceEvent::ClaimAttempt {
                 success: won,
@@ -229,21 +414,44 @@ where
             });
         }
         if let Some(part) = walker.record(won) {
-            execute_partition(state, part);
+            execute_partition(token, state, part);
             state.latch.set();
         }
     }
     state.failed_claims.fetch_add(walker.stats().failed, Ordering::AcqRel);
 }
 
-/// Run the iterations of partition `part` as a stealable inner loop.
-fn execute_partition<F>(state: &Arc<HybridState<F>>, part: usize)
+/// Claim-and-resolve every partition still unclaimed. Used as the rescue
+/// path when fault injection has forced claim losses or walk abandonment
+/// (voiding Lemma 2's liveness argument) and as the drain path after
+/// cancellation. Claims here go straight through `fetch_or` — no fault is
+/// ever injected into the sweep — so exactly-once still holds: a swept
+/// partition is executed (or skip-counted) only by its winning claimer.
+fn sweep_unclaimed<F>(token: &WorkerToken, state: &Arc<HybridState<F>>)
 where
     F: Fn(Range<usize>) + Sync,
 {
-    if state.poisoned.load(Ordering::Acquire) {
-        // A sibling partition panicked: skip the body but keep the claim
-        // walk and latch accounting alive so the loop still terminates.
+    for part in 0..state.r_parts {
+        if state.table.all_claimed() {
+            break;
+        }
+        if state.table.try_claim(part) {
+            execute_partition(token, state, part);
+            state.latch.set();
+        }
+    }
+}
+
+/// Run the iterations of partition `part` as a stealable inner loop.
+fn execute_partition<F>(token: &WorkerToken, state: &Arc<HybridState<F>>, part: usize)
+where
+    F: Fn(Range<usize>) + Sync,
+{
+    if state.poisoned.load(Ordering::Acquire) || state.cancelled() {
+        // A sibling partition panicked (or the loop was cancelled): skip
+        // the body but keep the claim walk and latch accounting alive so
+        // the loop still terminates.
+        state.skipped.fetch_add(1, Ordering::AcqRel);
         return;
     }
     let rel = block_bounds(state.n, state.r_parts, part);
@@ -252,10 +460,20 @@ where
     // executed; every deref of `body` happens before its partition's
     // `latch.set()`, hence before `hybrid_for` returns.
     let body = unsafe { state.body.get() };
-    if let Err(payload) = catch_unwind(AssertUnwindSafe(|| ws_for_chunks(range, state.grain, body)))
-    {
-        state.panic.lock().unwrap().get_or_insert(payload);
-        state.poisoned.store(true, Ordering::Release);
+    let chaos = token.chaos_enabled();
+    if let Err(payload) = catch_unwind(AssertUnwindSafe(|| {
+        // Chaos site: faults *inside* the partition body, caught by the
+        // same net as a user-code panic.
+        if chaos {
+            match token.chaos_decide(Site::PartitionBody) {
+                FaultAction::Delay(spins) => chaos_spin(spins),
+                FaultAction::Panic => panic!("{INJECTED_PANIC_MSG} (partition body)"),
+                FaultAction::Fail | FaultAction::None => {}
+            }
+        }
+        ws_for_chunks(range, state.grain, body)
+    })) {
+        state.record_panic(payload);
     }
 }
 
@@ -361,6 +579,30 @@ mod tests {
             sum.fetch_add(i, Ordering::Relaxed);
         });
         assert_eq!(sum.load(Ordering::Relaxed), 45);
+
+        // The poisoned fast path now *counts* what it skips. On a 1-worker
+        // pool with R=4 oversubscribed partitions the walk is sequential:
+        // the first claimed partition panics, poisoning the loop, so the
+        // remaining three are claimed but skipped — deterministically.
+        let single = ThreadPool::new(1);
+        let err = single
+            .install(|| {
+                let token = WorkerToken::current().unwrap();
+                hybrid_for_inner(token, 0..64, 4, 4, None, &|_chunk: Range<usize>| {
+                    panic!("first partition dies");
+                })
+            })
+            .expect_err("poisoned loop must report the panic");
+        match err {
+            HybridError::Panicked { stats, .. } => {
+                assert_eq!(stats.partitions, 4);
+                assert_eq!(
+                    stats.skipped_partitions, 3,
+                    "all partitions after the poisoning one must be skip-counted"
+                );
+            }
+            other => panic!("expected Panicked, got {other:?}"),
+        }
     }
 
     #[test]
@@ -428,6 +670,8 @@ mod tests {
                 failed_claims: AtomicUsize::new(0),
                 panic: Mutex::new(None),
                 poisoned: AtomicBool::new(false),
+                skipped: AtomicUsize::new(0),
+                cancel: None,
             });
             // Claim everything so the published frames are inert no-ops.
             state.table.try_claim(0);

@@ -48,11 +48,12 @@ pub use claim::{
     index_group, partition_group, partitions_for_workers, partitions_oversubscribed,
     run_claim_heuristic, ClaimTable, ClaimWalker, HeuristicStats,
 };
-pub use hybrid::HybridStats;
+pub use hybrid::{HybridError, HybridStats};
 pub use range::{block_bounds, block_of, default_grain};
 pub use reduce::{par_max_f64, par_reduce, par_sum_f64, par_sum_u64};
 pub use schedule::{
-    hybrid_for_with_stats, par_for, par_for_chunks, par_for_dyn, par_for_tracked, Schedule,
+    hybrid_for_with_stats, par_for, par_for_chunks, par_for_dyn, par_for_tracked, try_hybrid_for,
+    try_par_for_chunks, Schedule,
 };
 pub use static_part::{static_cyclic_owner, static_owner};
 pub use stealing::{ws_for, ws_for_chunks};

@@ -9,11 +9,14 @@
 //! iteration — the overhead the chunk layer exists to kill).
 
 use std::ops::Range;
+use std::panic::resume_unwind;
 
-use parloop_runtime::{current_worker_index, ThreadPool, WorkerToken};
+use parloop_runtime::{current_worker_index, CancelToken, Cancelled, ThreadPool, WorkerToken};
 
 use crate::affinity::AffinityProbe;
-use crate::hybrid::{hybrid_for, hybrid_for_oversub, HybridStats};
+use crate::hybrid::{
+    hybrid_for, hybrid_for_oversub, try_hybrid_for_oversub, HybridError, HybridStats,
+};
 use crate::range::default_grain;
 use crate::sharing::{sharing_for, static_sharing_for, SharingPolicy};
 use crate::static_part::static_for;
@@ -268,6 +271,86 @@ pub fn par_for_tracked<F>(
     });
 }
 
+/// Cancellable [`par_for_chunks`]: stops scheduling new chunk bodies once
+/// `cancel` fires and returns `Err(Cancelled)`.
+///
+/// Chunks whose body already started (or finished) before the token was
+/// observed are *not* rolled back — exactly-once execution is preserved
+/// for everything that ran; cancellation only prevents *future* bodies.
+/// Under [`Schedule::Hybrid`] this is the deep integration (cancelled
+/// walkers drain the claim table so the loop's latch still resolves); the
+/// other schedules gate each chunk on the token cooperatively. Panics in
+/// the body are re-thrown, exactly as in [`par_for_chunks`].
+pub fn try_par_for_chunks<F>(
+    pool: &ThreadPool,
+    range: Range<usize>,
+    sched: Schedule,
+    cancel: &CancelToken,
+    body: F,
+) -> Result<(), Cancelled>
+where
+    F: Fn(Range<usize>) + Sync,
+{
+    if cancel.is_cancelled() {
+        return Err(Cancelled);
+    }
+    match sched {
+        Schedule::Hybrid { grain, oversub } => {
+            let n = range.len();
+            let p = pool.num_workers();
+            let grain = grain.unwrap_or_else(|| default_grain(n, p));
+            let res = pool.install(|| {
+                let token = WorkerToken::current().expect("install puts us on a worker");
+                try_hybrid_for_oversub(token, range, grain, oversub, cancel, &body)
+            });
+            match res {
+                Ok(_) => Ok(()),
+                Err(HybridError::Cancelled(_)) => Err(Cancelled),
+                Err(HybridError::Panicked { payload, .. }) => resume_unwind(payload),
+            }
+        }
+        other => {
+            par_for_chunks(pool, range, other, |chunk: Range<usize>| {
+                if !cancel.is_cancelled() {
+                    body(chunk);
+                }
+            });
+            if cancel.is_cancelled() {
+                Err(Cancelled)
+            } else {
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Cancellable, fallible hybrid loop: like [`hybrid_for_with_stats`] but
+/// panics come back as [`HybridError::Panicked`] (payload included) and a
+/// fired `cancel` token yields [`HybridError::Cancelled`] — both carrying
+/// the scheduling counters, so skipped partitions stay observable.
+pub fn try_hybrid_for<F>(
+    pool: &ThreadPool,
+    range: Range<usize>,
+    grain: Option<usize>,
+    cancel: &CancelToken,
+    body: F,
+) -> Result<HybridStats, HybridError>
+where
+    F: Fn(usize) + Sync,
+{
+    let n = range.len();
+    let p = pool.num_workers();
+    let grain = grain.unwrap_or_else(|| default_grain(n, p));
+    pool.install(|| {
+        let token = WorkerToken::current().expect("install puts us on a worker");
+        try_hybrid_for_oversub(token, range, grain, 1, cancel, &|chunk: Range<usize>| {
+            for i in chunk {
+                body(i);
+            }
+        })
+    })
+}
+
 /// Run a hybrid loop and return its scheduling counters (tests, benches).
 pub fn hybrid_for_with_stats<F>(
     pool: &ThreadPool,
@@ -385,6 +468,58 @@ mod tests {
             hits[i].fetch_add(1, Ordering::Relaxed);
         });
         assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn try_apis_complete_when_token_never_fires() {
+        let n = 500;
+        let pool = ThreadPool::new(3);
+        for sched in all_schedules(n, 3) {
+            let cancel = CancelToken::new();
+            let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+            try_par_for_chunks(&pool, 0..n, sched, &cancel, |chunk| {
+                for i in chunk {
+                    hits[i].fetch_add(1, Ordering::Relaxed);
+                }
+            })
+            .unwrap_or_else(|_| panic!("{}: spuriously cancelled", sched.name()));
+            assert!(
+                hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                "{}: not exactly-once",
+                sched.name()
+            );
+        }
+        let cancel = CancelToken::new();
+        let stats = try_hybrid_for(&pool, 0..n, None, &cancel, |_| {}).unwrap();
+        assert_eq!(stats.partitions, 4);
+        assert_eq!(stats.skipped_partitions, 0);
+    }
+
+    #[test]
+    fn try_apis_reject_a_pre_fired_token() {
+        let pool = ThreadPool::new(2);
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let ran = AtomicUsize::new(0);
+        for sched in all_schedules(100, 2) {
+            let r = try_par_for_chunks(&pool, 0..100, sched, &cancel, |_| {
+                ran.fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(r.is_err(), "{}: must observe the fired token", sched.name());
+        }
+        assert_eq!(ran.load(Ordering::Relaxed), 0, "no body may run after cancellation");
+
+        let err = try_hybrid_for(&pool, 0..100, None, &cancel, |_| {
+            ran.fetch_add(1, Ordering::Relaxed);
+        })
+        .expect_err("pre-fired token must cancel the hybrid loop");
+        match err {
+            HybridError::Cancelled(stats) => {
+                assert_eq!(stats.skipped_partitions, stats.partitions);
+            }
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+        assert_eq!(ran.load(Ordering::Relaxed), 0);
     }
 
     #[test]

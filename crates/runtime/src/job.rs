@@ -47,6 +47,17 @@ pub(crate) trait Job {
     unsafe fn execute(this: *const ());
 }
 
+/// Panic payload raised when a job is collected without any stored result.
+///
+/// By the latch protocol this cannot happen — the executor stores
+/// `Ok`/`Panic` *before* setting the latch — so observing it means the
+/// protocol was broken (a latch set without executing the job, memory
+/// corruption, a collected job that never ran). A deliberate, greppable
+/// payload turns that from an opaque `unreachable!` into a diagnosable
+/// poisoned-job report.
+pub const POISONED_JOB_MSG: &str = "parloop-runtime: poisoned job collected without a result \
+     (latch protocol violated: the latch was set before Ok/Panic was stored)";
+
 /// The outcome of a completed job.
 pub(crate) enum JobResult<R> {
     None,
@@ -55,10 +66,11 @@ pub(crate) enum JobResult<R> {
 }
 
 impl<R> JobResult<R> {
-    /// Unwrap a completed result, resuming a captured panic.
+    /// Unwrap a completed result, resuming a captured panic. A `None`
+    /// result raises the deliberate [`POISONED_JOB_MSG`] panic.
     pub(crate) fn into_return_value(self) -> R {
         match self {
-            JobResult::None => unreachable!("job finished without a result"),
+            JobResult::None => panic!("{}", POISONED_JOB_MSG),
             JobResult::Ok(r) => r,
             JobResult::Panic(p) => unwind::resume_unwinding(p),
         }
@@ -186,6 +198,18 @@ mod tests {
         assert!(job.latch.probe(), "latch must be set even on panic");
         let caught = crate::unwind::halt_unwinding(move || unsafe { job.into_result() });
         assert!(caught.is_err());
+    }
+
+    #[test]
+    fn poisoned_job_panics_with_diagnosable_payload() {
+        // Collect a StackJob whose latch was set without executing it —
+        // the latch-protocol violation the poisoned payload diagnoses.
+        let job: StackJob<_, _, i32> = StackJob::new(|| 7, SpinLatch::detached());
+        job.latch.set();
+        let caught = crate::unwind::halt_unwinding(move || unsafe { job.into_result() })
+            .expect_err("collecting a never-executed job must panic");
+        let msg = caught.downcast_ref::<String>().expect("string payload");
+        assert!(msg.contains("poisoned job"), "opaque payload: {msg}");
     }
 
     #[test]

@@ -32,7 +32,9 @@
 //! point that waits for that construct (the `join` call, the `scope` call,
 //! or `install`), mirroring rayon's semantics.
 
+mod cancel;
 pub mod deque;
+mod health;
 mod job;
 mod latch;
 mod registry;
@@ -44,9 +46,15 @@ mod join;
 mod scope;
 pub mod util;
 
+pub use cancel::{CancelToken, Cancelled};
+pub use health::{PoolHealth, StallReport};
+pub use job::POISONED_JOB_MSG;
 pub use join::join;
 pub use latch::{CountLatch, Latch, LockLatch, Probe, SpinLatch};
-pub use registry::{current_worker_index, PoolStats, ThreadPool, ThreadPoolBuilder, WorkerToken};
+pub use registry::{
+    current_worker_index, PoolStats, ThreadPool, ThreadPoolBuilder, WorkerToken,
+    DEFAULT_STALL_THRESHOLD,
+};
 pub use scope::{scope, Scope};
 pub use util::CachePadded;
 
@@ -54,3 +62,8 @@ pub use util::CachePadded;
 /// downstream crates need not name `parloop-trace` directly).
 pub use parloop_trace as trace;
 pub use parloop_trace::{NoopSink, RingTraceSink, TraceEvent, TraceSink, WorkerStats};
+
+/// The fault-injection layer (re-exported so downstream crates and tests
+/// need not name `parloop-chaos` directly).
+pub use parloop_chaos as chaos;
+pub use parloop_chaos::{FaultAction, FaultInjector, NoopInjector, PlannedInjector, Site};

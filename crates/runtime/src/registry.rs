@@ -13,17 +13,26 @@ use std::cell::Cell;
 use std::collections::VecDeque;
 use std::marker::PhantomData;
 use std::ptr;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
+use parloop_chaos::{chaos_spin, FaultAction, FaultInjector, NoopInjector, Site};
 use parloop_trace::{CounterBank, NoopSink, TraceEvent, TraceSink, WorkerStats};
 
 use crate::deque::{self, Steal, Stealer};
+use crate::health::{PoolHealth, StallReport};
 use crate::job::{HeapJob, JobRef, StackJob};
 use crate::latch::{CountLatch, Latch, LockLatch, Probe, SpinLatch};
 use crate::rng::XorShift64Star;
 use crate::sleep::Sleep;
 use crate::unwind;
+use crate::util::CachePadded;
+
+/// Default watchdog threshold: how long a pool may go with zero jobs
+/// executed while a worker waits on an unresolved latch before the waiter
+/// emits a [`StallReport`].
+pub const DEFAULT_STALL_THRESHOLD: Duration = Duration::from_secs(2);
 
 /// A raw-pointer wrapper that asserts cross-thread transferability.
 ///
@@ -114,8 +123,26 @@ pub(crate) struct Registry {
     /// Cached `trace.enabled()` — the one branch instrumented hot paths
     /// pay when tracing is off.
     trace_on: bool,
+    /// Fault injector for the chaos layer ([`parloop_chaos`]).
+    chaos: Arc<dyn FaultInjector>,
+    /// Cached `chaos.enabled()` — mirrors `trace_on`: with the default
+    /// [`NoopInjector`] every injection site is one untaken branch.
+    pub(crate) chaos_on: bool,
+    /// Per-worker liveness heartbeats, bumped each main-loop and
+    /// `wait_until` iteration (cache-padded: each worker writes only its
+    /// own slot).
+    hearts: Box<[CachePadded<AtomicU64>]>,
+    /// Per-worker degraded flags, set by the main loop's panic catch.
+    degraded: Box<[AtomicBool]>,
+    /// Stall reports emitted by the `wait_until` watchdog.
+    watchdog_trips: AtomicU64,
+    stall_threshold: Duration,
+    stall_handler: StallHandler,
     n: usize,
 }
+
+/// Callback invoked with each watchdog [`StallReport`].
+type StallHandler = Arc<dyn Fn(&StallReport) + Send + Sync>;
 
 impl Registry {
     pub(crate) fn num_workers(&self) -> usize {
@@ -145,6 +172,46 @@ impl Registry {
         self.sleep.notify_all();
     }
 
+    /// Bump `worker`'s liveness heartbeat.
+    #[inline]
+    fn heartbeat(&self, worker: usize) {
+        self.hearts[worker].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Mark `worker` degraded: its main loop caught a panic that escaped
+    /// every job boundary. The worker stays in service; the pool surfaces
+    /// the flag via [`ThreadPool::health`].
+    fn mark_degraded(&self, worker: usize) {
+        self.degraded[worker].store(true, Ordering::Release);
+    }
+
+    fn degraded_list(&self) -> Vec<usize> {
+        (0..self.n).filter(|&w| self.degraded[w].load(Ordering::Acquire)).collect()
+    }
+
+    fn health(&self) -> PoolHealth {
+        PoolHealth {
+            degraded_workers: self.degraded_list(),
+            watchdog_trips: self.watchdog_trips.load(Ordering::Relaxed),
+            heartbeats: self.hearts.iter().map(|h| h.load(Ordering::Relaxed)).collect(),
+        }
+    }
+
+    /// Build and emit a stall diagnostic on behalf of `reporter`.
+    fn report_stall(&self, reporter: usize, stalled_for: Duration, jobs_executed: u64) {
+        self.watchdog_trips.fetch_add(1, Ordering::Relaxed);
+        let report = StallReport {
+            reporter,
+            stalled_for,
+            jobs_executed,
+            sleepers: self.sleep.sleeper_count(),
+            heartbeats: self.hearts.iter().map(|h| h.load(Ordering::Relaxed)).collect(),
+            degraded_workers: self.degraded_list(),
+            worker_stats: self.counters.all_workers(),
+        };
+        (self.stall_handler)(&report);
+    }
+
     /// Is there any work a currently-idle worker could acquire?
     fn has_visible_work(&self, me: usize) -> bool {
         if self.injected_len.load(Ordering::SeqCst) > 0 {
@@ -166,6 +233,11 @@ pub(crate) struct WorkerThread {
     index: usize,
     deque: deque::Worker<JobRef>,
     rng: XorShift64Star,
+    /// Nesting depth of `wait_until` on this worker. Injected panics at
+    /// *runtime* sites are only honored at depth 0 (the main loop, where
+    /// the degraded-worker catch contains them); unwinding out of
+    /// `wait_until` could strand latches whose stack jobs are still live.
+    wait_depth: Cell<u32>,
 }
 
 impl WorkerThread {
@@ -208,6 +280,28 @@ impl WorkerThread {
         self.registry.counters.note_job_executed(self.index);
     }
 
+    /// Consult the fault injector for `site`. Callers branch on
+    /// `registry.chaos_on` first, so with chaos off this is never reached.
+    /// Injected (non-`None`) actions are traced.
+    fn chaos_point(&self, site: Site) -> FaultAction {
+        let action = self.registry.chaos.decide(self.index, site);
+        if action.is_fault() {
+            self.trace(TraceEvent::FaultInjected { site: site.code(), action: action.code() });
+        }
+        action
+    }
+
+    /// [`chaos_point`](Self::chaos_point) for *runtime* sites (steal,
+    /// park): inside `wait_until` an injected `Panic` demotes to `Fail`,
+    /// because unwinding out of a wait would strand live stack jobs; in
+    /// the main loop the degraded-worker catch makes the panic safe.
+    fn chaos_point_runtime(&self, site: Site) -> FaultAction {
+        match self.chaos_point(site) {
+            FaultAction::Panic if self.wait_depth.get() > 0 => FaultAction::Fail,
+            action => action,
+        }
+    }
+
     pub(crate) fn push(&self, job: JobRef) {
         self.deque.push(job);
         self.trace(TraceEvent::JobPushed);
@@ -228,11 +322,38 @@ impl WorkerThread {
         if n <= 1 {
             return None;
         }
+        if self.registry.chaos_on {
+            match self.chaos_point_runtime(Site::StealSweep) {
+                FaultAction::Fail => {
+                    // Forced empty sweep: the adversary hides all victims.
+                    self.registry.counters.note_failed_sweep(self.index);
+                    self.trace(TraceEvent::StealFailed);
+                    return None;
+                }
+                FaultAction::Delay(spins) => chaos_spin(spins),
+                FaultAction::Panic => {
+                    panic!("{} at steal sweep", parloop_chaos::INJECTED_PANIC_MSG)
+                }
+                FaultAction::None => {}
+            }
+        }
         let start = self.rng.next_below(n);
         for k in 0..n {
             let victim = (start + k) % n;
             if victim == self.index {
                 continue;
+            }
+            if self.registry.chaos_on {
+                match self.chaos_point_runtime(Site::StealVictim) {
+                    // Forced victim re-roll: skip this victim as if its
+                    // deque raced empty.
+                    FaultAction::Fail => continue,
+                    FaultAction::Delay(spins) => chaos_spin(spins),
+                    FaultAction::Panic => {
+                        panic!("{} at steal victim", parloop_chaos::INJECTED_PANIC_MSG)
+                    }
+                    FaultAction::None => {}
+                }
             }
             loop {
                 match self.registry.stealers[victim].steal() {
@@ -265,6 +386,16 @@ impl WorkerThread {
 
     /// Park on the pool's sleep machinery, bracketed with trace events.
     fn park(&self, has_work: impl Fn() -> bool) {
+        if self.registry.chaos_on {
+            match self.chaos_point_runtime(Site::Park) {
+                // Skip the park entirely: a busy-churning adversary.
+                FaultAction::Fail => return,
+                // Stall *before* blocking, so wakeups race the sleep.
+                FaultAction::Delay(spins) => chaos_spin(spins),
+                FaultAction::Panic => panic!("{} at park", parloop_chaos::INJECTED_PANIC_MSG),
+                FaultAction::None => {}
+            }
+        }
         self.trace(TraceEvent::Parked);
         self.registry.sleep.sleep(has_work);
         self.trace(TraceEvent::Unparked);
@@ -272,12 +403,25 @@ impl WorkerThread {
 
     /// Execute jobs until `latch` completes, preferring own work, then
     /// mailbox/injected/stolen work; parks when the whole pool looks idle.
+    ///
+    /// While parked with the latch unresolved, a watchdog tracks the
+    /// pool-wide job counter: if *no* job executes anywhere for the pool's
+    /// stall threshold, the waiter emits a [`StallReport`] through the
+    /// stall handler (default: stderr) instead of hanging silently, then
+    /// re-arms so a persistent stall keeps reporting.
     pub(crate) fn wait_until<L: Probe>(&self, latch: &L) {
+        let depth = self.wait_depth.get();
+        self.wait_depth.set(depth + 1);
         let mut idle: u32 = 0;
+        // Watchdog state: time and pool-wide job count at the start of the
+        // current no-progress window.
+        let mut stall: Option<(Instant, u64)> = None;
         while !latch.probe() {
+            self.registry.heartbeat(self.index);
             if let Some(job) = self.find_work() {
                 unsafe { job.execute() };
                 idle = 0;
+                stall = None;
                 continue;
             }
             idle += 1;
@@ -289,16 +433,78 @@ impl WorkerThread {
                 if idle >= 16 {
                     let reg = &self.registry;
                     self.park(|| latch.probe() || reg.has_visible_work(self.index));
+                    self.check_stall(&mut stall);
                 }
             }
+        }
+        self.wait_depth.set(depth);
+    }
+
+    /// One watchdog tick: reset the window if the pool executed any job
+    /// since the last look, report if the window exceeds the threshold.
+    fn check_stall(&self, stall: &mut Option<(Instant, u64)>) {
+        let reg = &self.registry;
+        let jobs = reg.counters.totals().jobs_executed;
+        match *stall {
+            Some((since, seen)) if seen == jobs => {
+                let elapsed = since.elapsed();
+                if elapsed >= reg.stall_threshold {
+                    self.trace(TraceEvent::WatchdogStall);
+                    reg.report_stall(self.index, elapsed, jobs);
+                    *stall = Some((Instant::now(), jobs));
+                }
+            }
+            _ => *stall = Some((Instant::now(), jobs)),
         }
     }
 
     fn main_loop(&self) {
+        // A panic that unwinds past every job boundary (a broken invariant
+        // or an injected chaos panic) is caught here: the worker is marked
+        // degraded and re-enters service instead of taking the process (or
+        // the pool's shutdown join) down with it.
+        loop {
+            match unwind::halt_unwinding(|| self.run_loop()) {
+                Ok(()) => break,
+                Err(_) => {
+                    self.wait_depth.set(0);
+                    self.registry.mark_degraded(self.index);
+                    self.trace(TraceEvent::WorkerDegraded);
+                }
+            }
+        }
+        // Drain leftovers so heap jobs (e.g. spent hybrid-loop adopter
+        // frames) are reclaimed rather than leaked. By the shutdown
+        // invariant every StackJob has already completed, so anything left
+        // here is a self-contained heap job that is safe to run; panics
+        // are contained so one poisoned leftover cannot leak the rest.
+        while let Some(job) = self.pop() {
+            let _ = unwind::halt_unwinding(|| unsafe { job.execute() });
+        }
+        while let Some(job) = self.registry.mailboxes[self.index].take() {
+            let _ = unwind::halt_unwinding(|| unsafe { job.execute() });
+        }
+    }
+
+    /// The body of the worker loop: find work, execute, park when idle.
+    fn run_loop(&self) {
         let reg = Arc::clone(&self.registry);
         loop {
             if reg.terminate.load(Ordering::Acquire) {
                 break;
+            }
+            reg.heartbeat(self.index);
+            if reg.chaos_on {
+                match self.chaos_point(Site::MainLoop) {
+                    // `Fail` has no operation to fail here; treat it as a
+                    // scheduling perturbation.
+                    FaultAction::Fail => std::thread::yield_now(),
+                    FaultAction::Delay(spins) => chaos_spin(spins),
+                    FaultAction::Panic => {
+                        panic!("{} at main loop", parloop_chaos::INJECTED_PANIC_MSG)
+                    }
+                    FaultAction::None => {}
+                }
             }
             if let Some(job) = self.find_work() {
                 unsafe { job.execute() };
@@ -309,16 +515,6 @@ impl WorkerThread {
                 });
             }
         }
-        // Drain leftovers so heap jobs (e.g. spent hybrid-loop adopter
-        // frames) are reclaimed rather than leaked. By the shutdown
-        // invariant every StackJob has already completed, so anything left
-        // here is a self-contained heap job that is safe to run.
-        while let Some(job) = self.pop() {
-            unsafe { job.execute() };
-        }
-        while let Some(job) = self.registry.mailboxes[self.index].take() {
-            unsafe { job.execute() };
-        }
     }
 }
 
@@ -328,6 +524,9 @@ pub struct ThreadPoolBuilder {
     thread_name_prefix: String,
     stack_size: Option<usize>,
     trace_sink: Option<Arc<dyn TraceSink>>,
+    fault_injector: Option<Arc<dyn FaultInjector>>,
+    stall_threshold: Duration,
+    stall_handler: Option<StallHandler>,
 }
 
 impl ThreadPoolBuilder {
@@ -337,6 +536,9 @@ impl ThreadPoolBuilder {
             thread_name_prefix: "parloop-worker".into(),
             stack_size: None,
             trace_sink: None,
+            fault_injector: None,
+            stall_threshold: DEFAULT_STALL_THRESHOLD,
+            stall_handler: None,
         }
     }
 
@@ -369,6 +571,31 @@ impl ThreadPoolBuilder {
         self
     }
 
+    /// Install a fault injector for the chaos layer (typically a seeded
+    /// [`parloop_chaos::PlannedInjector`]). Without one the pool uses the
+    /// disabled [`NoopInjector`] and every injection site costs a single
+    /// untaken branch on a cached bool.
+    pub fn fault_injector(mut self, injector: Arc<dyn FaultInjector>) -> Self {
+        self.fault_injector = Some(injector);
+        self
+    }
+
+    /// How long the pool may make zero job progress while a worker waits
+    /// on an unresolved latch before the `wait_until` watchdog emits a
+    /// [`StallReport`]. Default: [`DEFAULT_STALL_THRESHOLD`].
+    pub fn stall_threshold(mut self, threshold: Duration) -> Self {
+        self.stall_threshold = threshold;
+        self
+    }
+
+    /// Install a handler for watchdog [`StallReport`]s. The default prints
+    /// the report to stderr. The handler runs on the stalled waiter's
+    /// thread and must not block on the pool.
+    pub fn on_stall(mut self, handler: impl Fn(&StallReport) + Send + Sync + 'static) -> Self {
+        self.stall_handler = Some(Arc::new(handler));
+        self
+    }
+
     pub fn build(self) -> ThreadPool {
         let n = self.num_workers;
         let mut workers = Vec::with_capacity(n);
@@ -380,6 +607,11 @@ impl ThreadPoolBuilder {
         }
         let trace = self.trace_sink.unwrap_or_else(|| Arc::new(NoopSink));
         let trace_on = trace.enabled();
+        let chaos = self.fault_injector.unwrap_or_else(|| Arc::new(NoopInjector));
+        let chaos_on = chaos.enabled();
+        let stall_handler = self.stall_handler.unwrap_or_else(|| {
+            Arc::new(|report: &StallReport| eprintln!("parloop-runtime watchdog: {report}"))
+        });
         let registry = Arc::new(Registry {
             stealers,
             mailboxes: (0..n).map(|_| Mailbox::new()).collect(),
@@ -390,6 +622,13 @@ impl ThreadPoolBuilder {
             counters: CounterBank::new(n),
             trace,
             trace_on,
+            chaos,
+            chaos_on,
+            hearts: (0..n).map(|_| CachePadded::new(AtomicU64::new(0))).collect(),
+            degraded: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            watchdog_trips: AtomicU64::new(0),
+            stall_threshold: self.stall_threshold,
+            stall_handler,
             n,
         });
 
@@ -408,6 +647,7 @@ impl ThreadPoolBuilder {
                         index,
                         deque: wdeque,
                         rng: XorShift64Star::new(index as u64),
+                        wait_depth: Cell::new(0),
                     };
                     WORKER.with(|c| c.set(&wt as *const WorkerThread));
                     wt.main_loop();
@@ -469,6 +709,24 @@ impl ThreadPool {
         self.registry.trace_on
     }
 
+    /// Whether this pool injects faults (a real injector was installed via
+    /// [`ThreadPoolBuilder::fault_injector`]).
+    pub fn chaos_enabled(&self) -> bool {
+        self.registry.chaos_on
+    }
+
+    /// Snapshot of the pool's health: degraded workers, watchdog trips,
+    /// and per-worker liveness heartbeats.
+    pub fn health(&self) -> PoolHealth {
+        self.registry.health()
+    }
+
+    /// Whether any worker's main loop has caught an escaped panic (see
+    /// [`PoolHealth::degraded_workers`]).
+    pub fn is_degraded(&self) -> bool {
+        !self.registry.degraded_list().is_empty()
+    }
+
     /// Spawn a detached job on the pool. It runs at some point before the
     /// pool shuts down; there is no completion handle (use
     /// [`scope`](crate::scope) for structured spawning).
@@ -513,6 +771,16 @@ impl ThreadPool {
     /// Workers busy with other jobs run their team body when they next look
     /// for work, modeling the paper's observation that "cores can arrive at
     /// the loops at different times".
+    ///
+    /// # Panic contract
+    ///
+    /// Every worker's body runs to completion (or to its own panic) even
+    /// when other bodies panic — the broadcast never tears the team
+    /// mid-region. If *multiple* bodies panic, exactly **one** payload is
+    /// resumed here and the rest are discarded: the broadcaster's own
+    /// panic wins if there is one, otherwise the first team panic to be
+    /// recorded (first in completion order, not worker order). The pool
+    /// remains fully usable afterwards.
     pub fn broadcast_all<F>(&self, body: F)
     where
         F: Fn(usize) + Sync,
@@ -574,9 +842,11 @@ impl Drop for ThreadPool {
         }
         // Any detached jobs still sitting in the injection queue run here,
         // on the dropping thread, so their allocations are reclaimed and
-        // their effects still happen-before the pool disappears.
+        // their effects still happen-before the pool disappears. Panics
+        // are contained: resuming one here could double-panic inside this
+        // `Drop` (an instant abort) and would leak the remaining jobs.
         while let Some(job) = self.registry.take_injected() {
-            unsafe { job.execute() };
+            let _ = unwind::halt_unwinding(|| unsafe { job.execute() });
         }
     }
 }
@@ -652,6 +922,23 @@ impl WorkerToken {
     pub fn tracing_enabled(&self) -> bool {
         self.worker().registry().trace_on
     }
+
+    /// Whether this worker's pool injects faults. Loop-layer injection
+    /// sites check this once (it is constant for the pool's lifetime) and
+    /// skip [`chaos_decide`](Self::chaos_decide) entirely when `false`.
+    #[inline]
+    pub fn chaos_enabled(&self) -> bool {
+        self.worker().registry().chaos_on
+    }
+
+    /// Consult the pool's fault injector at a loop-layer `site` on behalf
+    /// of this worker, tracing any injected action. Callers own the
+    /// response — including raising the injected panic *inside* their own
+    /// catch boundary (loop sites must not let panics unwind into the
+    /// scheduler).
+    pub fn chaos_decide(&self, site: Site) -> FaultAction {
+        self.worker().chaos_point(site)
+    }
 }
 
 #[cfg(test)]
@@ -691,6 +978,53 @@ mod tests {
         for h in &hits {
             assert_eq!(h.load(Ordering::SeqCst), 1);
         }
+    }
+
+    #[test]
+    fn broadcast_with_every_worker_panicking_resumes_one_payload() {
+        // The documented contract: all bodies run, exactly one payload is
+        // resumed, the pool stays usable.
+        let pool = ThreadPool::new(4);
+        let ran: Vec<AtomicUsize> = (0..4).map(|_| AtomicUsize::new(0)).collect();
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.broadcast_all(|w| {
+                ran[w].fetch_add(1, Ordering::SeqCst);
+                panic!("broadcast worker {w}");
+            });
+        }));
+        let payload = r.expect_err("broadcast must re-throw");
+        let msg = payload.downcast_ref::<String>().expect("panic message payload");
+        assert!(msg.starts_with("broadcast worker "), "unexpected payload: {msg}");
+        // Every body ran exactly once despite all of them panicking.
+        for (w, hits) in ran.iter().enumerate() {
+            assert_eq!(hits.load(Ordering::SeqCst), 1, "worker {w}");
+        }
+        // Pool fully reusable: a clean broadcast and an install both work.
+        let ok: Vec<AtomicUsize> = (0..4).map(|_| AtomicUsize::new(0)).collect();
+        pool.broadcast_all(|w| {
+            ok[w].fetch_add(1, Ordering::SeqCst);
+        });
+        assert!(ok.iter().all(|h| h.load(Ordering::SeqCst) == 1));
+        assert_eq!(pool.install(|| 9), 9);
+    }
+
+    #[test]
+    fn escaped_panic_marks_worker_degraded_but_pool_survives() {
+        let pool = ThreadPool::new(2);
+        assert!(!pool.is_degraded());
+        // A detached job's panic unwinds past every job boundary into the
+        // worker main loop.
+        pool.spawn_detached(|| panic!("escaped"));
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while !pool.is_degraded() {
+            assert!(Instant::now() < deadline, "degraded flag never raised");
+            std::thread::yield_now();
+        }
+        let health = pool.health();
+        assert_eq!(health.degraded_workers.len(), 1);
+        assert!(health.heartbeats.iter().any(|&h| h > 0));
+        // Degraded means *flagged*, not dead: the pool still runs work.
+        assert_eq!(pool.install(|| 6 * 7), 42);
     }
 
     #[test]

@@ -55,8 +55,8 @@ impl Sleep {
         }
     }
 
-    /// Number of currently-sleeping workers (diagnostics).
-    #[allow(dead_code)]
+    /// Number of currently-sleeping workers (diagnostics; the watchdog's
+    /// [`StallReport`](crate::StallReport) includes it).
     pub(crate) fn sleeper_count(&self) -> usize {
         self.sleepers.load(Ordering::SeqCst)
     }

@@ -39,6 +39,11 @@ fn classify(event: &TraceEvent) -> Option<Record> {
         ),
         TraceEvent::HybridFrameStolen => Record::Instant("frame_stolen", "{}".into()),
         TraceEvent::FrameReinstantiated => Record::Instant("frame_republished", "{}".into()),
+        TraceEvent::FaultInjected { site, action } => {
+            Record::Instant("fault_injected", format!(r#"{{"site":{site},"action":{action}}}"#))
+        }
+        TraceEvent::WorkerDegraded => Record::Instant("worker_degraded", "{}".into()),
+        TraceEvent::WatchdogStall => Record::Instant("watchdog_stall", "{}".into()),
         // Push/pop are too fine for a timeline view; CSV keeps them.
         TraceEvent::JobPushed | TraceEvent::JobPopped => return None,
     })
@@ -122,7 +127,9 @@ pub fn chrome_trace_json(snap: &TraceSnapshot) -> String {
 /// Render a snapshot as CSV: one row per event, sparse columns for the
 /// per-kind payload fields.
 pub fn csv(snap: &TraceSnapshot) -> String {
-    let mut out = String::from("ts_nanos,worker,event,success,index,partition,victim,start,len\n");
+    let mut out = String::from(
+        "ts_nanos,worker,event,success,index,partition,victim,start,len,site,action\n",
+    );
     for e in &snap.events {
         let (mut success, mut index, mut partition, mut victim, mut start, mut len) = (
             String::new(),
@@ -132,6 +139,7 @@ pub fn csv(snap: &TraceSnapshot) -> String {
             String::new(),
             String::new(),
         );
+        let (mut site, mut action) = (String::new(), String::new());
         match e.event {
             TraceEvent::Stolen { victim: v } => victim = v.to_string(),
             TraceEvent::ClaimAttempt { success: s, index: i, partition: p } => {
@@ -144,11 +152,15 @@ pub fn csv(snap: &TraceSnapshot) -> String {
                 start = s.to_string();
                 len = l.to_string();
             }
+            TraceEvent::FaultInjected { site: s, action: a } => {
+                site = s.to_string();
+                action = a.to_string();
+            }
             _ => {}
         }
         let _ = writeln!(
             out,
-            "{},{},{},{success},{index},{partition},{victim},{start},{len}",
+            "{},{},{},{success},{index},{partition},{victim},{start},{len},{site},{action}",
             e.ts_nanos,
             e.worker,
             e.event.name(),
@@ -206,12 +218,28 @@ mod tests {
         let s = snap(vec![
             (5, 0, TraceEvent::ClaimAttempt { success: true, index: 2, partition: 6 }),
             (6, 1, TraceEvent::ChunkEnd { start: 10, len: 4 }),
+            (7, 0, TraceEvent::FaultInjected { site: 4, action: 1 }),
         ]);
         let text = csv(&s);
         let lines: Vec<&str> = text.lines().collect();
-        assert_eq!(lines.len(), 3);
+        assert_eq!(lines.len(), 4);
         assert!(lines[0].starts_with("ts_nanos,worker,event"));
-        assert_eq!(lines[1], "5,0,claim_attempt,1,2,6,,,");
-        assert_eq!(lines[2], "6,1,chunk_end,,,,,10,4");
+        assert_eq!(lines[1], "5,0,claim_attempt,1,2,6,,,,,");
+        assert_eq!(lines[2], "6,1,chunk_end,,,,,10,4,,");
+        assert_eq!(lines[3], "7,0,fault_injected,,,,,,,4,1");
+    }
+
+    #[test]
+    fn chaos_events_render_as_instants() {
+        let s = snap(vec![
+            (1, 0, TraceEvent::FaultInjected { site: 2, action: 1 }),
+            (2, 1, TraceEvent::WorkerDegraded),
+            (3, 0, TraceEvent::WatchdogStall),
+        ]);
+        let json = chrome_trace_json(&s);
+        assert!(json.contains(r#""name":"fault_injected""#), "{json}");
+        assert!(json.contains(r#""site":2,"action":1"#), "{json}");
+        assert!(json.contains(r#""name":"worker_degraded""#));
+        assert!(json.contains(r#""name":"watchdog_stall""#));
     }
 }

@@ -93,6 +93,22 @@ pub enum TraceEvent {
         /// Number of iterations in the chunk.
         len: u32,
     },
+    /// `parloop-chaos` injected a fault at an instrumented site. Codes are
+    /// the chaos crate's stable `Site::code()` / `FaultAction::code()`
+    /// values (kept as raw bytes so this crate stays a dependency leaf).
+    FaultInjected {
+        /// `Site::code()` of the injection point.
+        site: u8,
+        /// `FaultAction::code()` of the injected action.
+        action: u8,
+    },
+    /// A worker's main loop caught a panic that unwound past every job
+    /// boundary; the worker re-entered service and the pool is marked
+    /// degraded.
+    WorkerDegraded,
+    /// The `wait_until` watchdog saw no pool-wide job progress while a
+    /// latch stayed unresolved past the stall threshold.
+    WatchdogStall,
 }
 
 impl TraceEvent {
@@ -110,6 +126,9 @@ impl TraceEvent {
             TraceEvent::FrameReinstantiated => "frame_reinstantiated",
             TraceEvent::ChunkStart { .. } => "chunk_start",
             TraceEvent::ChunkEnd { .. } => "chunk_end",
+            TraceEvent::FaultInjected { .. } => "fault_injected",
+            TraceEvent::WorkerDegraded => "worker_degraded",
+            TraceEvent::WatchdogStall => "watchdog_stall",
         }
     }
 
@@ -129,6 +148,11 @@ impl TraceEvent {
             TraceEvent::FrameReinstantiated => (9, 0),
             TraceEvent::ChunkStart { start, len } => (10 | (len as u64) << 32, start),
             TraceEvent::ChunkEnd { start, len } => (11 | (len as u64) << 32, start),
+            TraceEvent::FaultInjected { site, action } => {
+                (12 | (site as u64) << 8 | (action as u64) << 16, 0)
+            }
+            TraceEvent::WorkerDegraded => (13, 0),
+            TraceEvent::WatchdogStall => (14, 0),
         }
     }
 
@@ -151,6 +175,9 @@ impl TraceEvent {
             9 => TraceEvent::FrameReinstantiated,
             10 => TraceEvent::ChunkStart { start: b, len: (a >> 32) as u32 },
             11 => TraceEvent::ChunkEnd { start: b, len: (a >> 32) as u32 },
+            12 => TraceEvent::FaultInjected { site: (a >> 8) as u8, action: (a >> 16) as u8 },
+            13 => TraceEvent::WorkerDegraded,
+            14 => TraceEvent::WatchdogStall,
             _ => return None,
         })
     }
@@ -217,6 +244,10 @@ mod tests {
             TraceEvent::FrameReinstantiated,
             TraceEvent::ChunkStart { start: u64::MAX >> 1, len: 4096 },
             TraceEvent::ChunkEnd { start: 0, len: u32::MAX },
+            TraceEvent::FaultInjected { site: 6, action: 3 },
+            TraceEvent::FaultInjected { site: u8::MAX, action: u8::MAX },
+            TraceEvent::WorkerDegraded,
+            TraceEvent::WatchdogStall,
         ];
         for ev in events {
             let (a, b) = ev.pack();

@@ -38,6 +38,12 @@ pub struct EventCounts {
     pub chunks: u64,
     /// Iterations covered by completed leaf chunks.
     pub chunk_iterations: u64,
+    /// Faults injected by `parloop-chaos`.
+    pub faults_injected: u64,
+    /// Workers whose main loop caught an escaped panic.
+    pub workers_degraded: u64,
+    /// Watchdog stall reports emitted from `wait_until`.
+    pub watchdog_stalls: u64,
 }
 
 impl EventCounts {
@@ -72,6 +78,9 @@ pub fn event_counts(snap: &TraceSnapshot) -> EventCounts {
                 c.chunks += 1;
                 c.chunk_iterations += len as u64;
             }
+            TraceEvent::FaultInjected { .. } => c.faults_injected += 1,
+            TraceEvent::WorkerDegraded => c.workers_degraded += 1,
+            TraceEvent::WatchdogStall => c.watchdog_stalls += 1,
         }
     }
     c

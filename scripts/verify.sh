@@ -1,8 +1,18 @@
 #!/usr/bin/env bash
 # Tier-1 gate: everything a change must pass before it lands.
 # Runs fully offline — the workspace has no external dependencies.
+#
+#   --quick   skip the chaos stress sweep (fast pre-commit loop)
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+QUICK=0
+for arg in "$@"; do
+  case "$arg" in
+    --quick) QUICK=1 ;;
+    *) echo "verify.sh: unknown flag '$arg' (supported: --quick)" >&2; exit 2 ;;
+  esac
+done
 
 echo "== cargo fmt --check =="
 cargo fmt --all --check
@@ -15,5 +25,14 @@ cargo build --release --offline --workspace
 
 echo "== cargo test -q =="
 cargo test -q --offline --workspace
+
+if [ "$QUICK" -eq 0 ]; then
+  # Chaos stress: a reduced seed sweep of the fault-injection layer on top
+  # of the default run already included in the workspace tests above.
+  echo "== chaos stress (CHAOS_SEEDS=16) =="
+  CHAOS_SEEDS=16 cargo test -q --offline --test chaos_layer
+else
+  echo "== chaos stress skipped (--quick) =="
+fi
 
 echo "verify.sh: all gates passed"

@@ -14,11 +14,16 @@
 //! * [`micro`] — the paper's balanced/unbalanced iterative microbenchmarks;
 //! * [`trace`] — the observability layer: per-worker lock-free event rings,
 //!   scheduler metrics (steal rate, claim-failure histograms, affinity
-//!   retention) and Chrome-trace/CSV export.
+//!   retention) and Chrome-trace/CSV export;
+//! * [`chaos`] — deterministic fault injection: seeded injectors that force
+//!   steal failures, claim losses, delays and panics at named runtime
+//!   sites, used to prove the scheduler's robustness properties under
+//!   adversarial interleavings.
 //!
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
 //! paper-vs-measured record.
 
+pub use parloop_chaos as chaos;
 pub use parloop_core as core;
 pub use parloop_micro as micro;
 pub use parloop_nas as nas;
@@ -28,6 +33,12 @@ pub use parloop_simcache as simcache;
 pub use parloop_topo as topo;
 pub use parloop_trace as trace;
 
-pub use parloop_core::{par_for, par_for_chunks, par_for_dyn, par_for_tracked, Schedule};
-pub use parloop_runtime::{join, scope, ThreadPool, ThreadPoolBuilder};
+pub use parloop_chaos::{FaultAction, FaultInjector, NoopInjector, PlannedInjector, Site};
+pub use parloop_core::{
+    par_for, par_for_chunks, par_for_dyn, par_for_tracked, try_hybrid_for, try_par_for_chunks,
+    HybridError, HybridStats, Schedule,
+};
+pub use parloop_runtime::{
+    join, scope, CancelToken, Cancelled, PoolHealth, StallReport, ThreadPool, ThreadPoolBuilder,
+};
 pub use parloop_trace::{NoopSink, RingTraceSink, TraceEvent, TraceSink, WorkerStats};

@@ -124,3 +124,46 @@ fn results_flow_out_of_install() {
     assert_eq!(v.len(), 200);
     assert_eq!(v[199], 398);
 }
+
+#[test]
+fn dropping_pool_with_running_and_panicking_detached_jobs_is_clean() {
+    // Detached jobs are fire-and-forget: some run long, some panic, and
+    // the pool is dropped while they are still in flight. Drop must wait
+    // for in-progress jobs, absorb the panics (workers may be marked
+    // degraded, but the process must not abort), and release every thread.
+    let started = Arc::new(AtomicUsize::new(0));
+    let finished = Arc::new(AtomicUsize::new(0));
+    let panicked = Arc::new(AtomicUsize::new(0));
+    {
+        let pool = ThreadPool::new(3);
+        for i in 0..24 {
+            let started = Arc::clone(&started);
+            let finished = Arc::clone(&finished);
+            let panicked = Arc::clone(&panicked);
+            pool.spawn_detached(move || {
+                started.fetch_add(1, Ordering::SeqCst);
+                if i % 3 == 0 {
+                    panicked.fetch_add(1, Ordering::SeqCst);
+                    panic!("detached job {i} dies mid-flight");
+                }
+                std::thread::sleep(std::time::Duration::from_millis(2));
+                finished.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        // Give some jobs a chance to be mid-body when the drop begins.
+        while started.load(Ordering::SeqCst) == 0 {
+            std::thread::yield_now();
+        }
+        // `pool` dropped here with jobs running, queued, and panicking.
+    }
+    // After drop returns no job is still running, so every job that
+    // started either finished or panicked — drop never tears a body in
+    // half, and the in-flight panics did not abort the teardown.
+    let s = started.load(Ordering::SeqCst);
+    assert!(s >= 1, "no detached job ever started");
+    assert_eq!(
+        finished.load(Ordering::SeqCst) + panicked.load(Ordering::SeqCst),
+        s,
+        "a started job neither finished nor panicked: torn by drop"
+    );
+}
