@@ -69,14 +69,26 @@ fn main() {
     let all = merge(&snaps);
     let counts = event_counts(&all);
 
-    let mut t =
-        Table::new(vec!["worker", "jobs", "steals", "failed sweeps", "recorded", "dropped"]);
+    let mut t = Table::new(vec![
+        "worker",
+        "jobs",
+        "steals",
+        "failed sweeps",
+        "lane jobs",
+        "notified",
+        "backstop",
+        "recorded",
+        "dropped",
+    ]);
     for (w, ws) in pool.worker_stats().iter().enumerate() {
         t.row(vec![
             w.to_string(),
             ws.jobs_executed.to_string(),
             ws.steals.to_string(),
             ws.failed_steal_sweeps.to_string(),
+            ws.lane_jobs.to_string(),
+            ws.notified_wakes.to_string(),
+            ws.backstop_wakes.to_string(),
             all.recorded[w].to_string(),
             all.dropped[w].to_string(),
         ]);
@@ -101,6 +113,10 @@ fn main() {
     println!(
         "claim attempts        {} total, {} failed",
         counts.claim_attempts, counts.failed_claims
+    );
+    println!(
+        "parks                 {} ({} targeted wakes, {} backstop wakes)",
+        counts.parks, counts.targeted_wakes, counts.backstop_wakes
     );
 
     // Lemma 4: no worker ever fails more than max(lg R, 1) claims in a row.

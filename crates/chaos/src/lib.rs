@@ -9,7 +9,7 @@
 //! * [`Site`] — the taxonomy of injection points threaded through the
 //!   runtime and the hybrid loop layer (steal sweeps, victim selection,
 //!   parking, the claim `fetch_or`, adopter-frame publication, partition
-//!   bodies, and the worker main loop);
+//!   bodies, the worker main loop, and external injection-lane posts);
 //! * [`FaultAction`] — what a site is told to do: nothing, fail the
 //!   operation, stall for a bounded spin, or panic;
 //! * [`FaultInjector`] — the trait the registry owns, mirroring
@@ -53,11 +53,20 @@ pub enum Site {
     FramePublish,
     /// A claimed partition about to run its body.
     PartitionBody,
+    /// An external submission entering the sharded injection lanes.
+    /// Consulted on the *submitter's* thread (no worker id — the runtime
+    /// passes a sentinel). `Fail` drops the post-publish wake (the job
+    /// lands in its lane but no worker is notified, so only the sleep
+    /// backstop restores liveness); `Delay` forces lane contention by
+    /// stalling the submitter and redirecting it to lane 0. `Panic` is
+    /// demoted to `Fail` — unwinding into a submitter thread would take
+    /// user code down, which is not a runtime fault.
+    InjectLane,
 }
 
 impl Site {
     /// Every site, in code order.
-    pub const ALL: [Site; 7] = [
+    pub const ALL: [Site; 8] = [
         Site::MainLoop,
         Site::StealSweep,
         Site::StealVictim,
@@ -65,6 +74,7 @@ impl Site {
         Site::Claim,
         Site::FramePublish,
         Site::PartitionBody,
+        Site::InjectLane,
     ];
 
     /// Dense index into per-site tables.
@@ -92,6 +102,7 @@ impl Site {
             Site::Claim => "claim",
             Site::FramePublish => "frame_publish",
             Site::PartitionBody => "partition_body",
+            Site::InjectLane => "inject_lane",
         }
     }
 
@@ -243,6 +254,7 @@ impl PlannedInjector {
                 Site::Claim => RATE_DENOM / 2,
                 Site::FramePublish => RATE_DENOM / 2,
                 Site::PartitionBody => RATE_DENOM / 32,
+                Site::InjectLane => RATE_DENOM / 16,
             };
             // Seed-dependent rate in [ceil/2, ceil).
             let h = splitmix64(seed ^ (site.index() as u64).wrapping_mul(0xA076_1D64_78BD_642F));

@@ -1,0 +1,151 @@
+//! Sharded external-injection lanes.
+//!
+//! External threads hand jobs to the pool through [`InjectLanes`]: a bank
+//! of per-lane locked MPSC segments (one lane per worker by default)
+//! instead of the single global `Mutex<VecDeque>` the pool used to have.
+//! Submitter threads are spread across lanes round-robin via a
+//! process-wide thread-local token, so concurrent injectors contend on
+//! *different* locks; workers drain their own lane first and then sweep
+//! the others like steal victims, so no lane can be starved.
+//!
+//! # Counter-publication invariant
+//!
+//! Each lane carries an atomic length that readers consult before touching
+//! the lock. The length is published **while the queue lock is still
+//! held**: any thread that observes `len > 0` and then acquires the lock
+//! is guaranteed to find a job, and — the direction that matters for the
+//! sleep protocol — once a push's lock is released, the job and its length
+//! increment are visible *together*. The old code incremented the counter
+//! after unlocking, opening a window where an idle worker's final
+//! has-work check saw `len == 0` for an already-queued job and went to
+//! sleep on it; only the timeout backstop recovered.
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::job::JobRef;
+use crate::util::CachePadded;
+
+/// One locked MPSC segment with an atomic length published under the lock.
+///
+/// Also used for the per-worker mailboxes, which had the same
+/// publish-after-unlock counter bug.
+pub(crate) struct Lane {
+    queue: Mutex<VecDeque<JobRef>>,
+    len: AtomicUsize,
+}
+
+impl Lane {
+    pub(crate) fn new() -> Self {
+        Lane { queue: Mutex::new(VecDeque::new()), len: AtomicUsize::new(0) }
+    }
+
+    /// Enqueue `job`, publishing the new length before the lock releases
+    /// (see the module docs for why the ordering matters).
+    pub(crate) fn push(&self, job: JobRef) {
+        let mut q = self.queue.lock().unwrap();
+        q.push_back(job);
+        self.len.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Dequeue the oldest job, if any. The length check lets idle sweeps
+    /// skip empty lanes without touching their locks.
+    pub(crate) fn pop(&self) -> Option<JobRef> {
+        if self.len.load(Ordering::SeqCst) == 0 {
+            return None;
+        }
+        let mut q = self.queue.lock().unwrap();
+        let job = q.pop_front();
+        if job.is_some() {
+            self.len.fetch_sub(1, Ordering::SeqCst);
+        }
+        job
+    }
+
+    /// Published queue length.
+    pub(crate) fn len(&self) -> usize {
+        self.len.load(Ordering::SeqCst)
+    }
+}
+
+/// Round-robin submitter tokens: each thread that ever injects gets the
+/// next token on first use, fixing its home lane for the process lifetime.
+static NEXT_SUBMITTER_TOKEN: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static SUBMITTER_TOKEN: Cell<usize> = const { Cell::new(usize::MAX) };
+}
+
+/// This thread's submitter token (assigned round-robin on first use).
+fn submitter_token() -> usize {
+    SUBMITTER_TOKEN.with(|t| {
+        let mut tok = t.get();
+        if tok == usize::MAX {
+            tok = NEXT_SUBMITTER_TOKEN.fetch_add(1, Ordering::Relaxed);
+            t.set(tok);
+        }
+        tok
+    })
+}
+
+/// The pool's bank of injection lanes, each padded to its own cache line
+/// so submitters on different lanes never false-share.
+pub(crate) struct InjectLanes {
+    lanes: Box<[CachePadded<Lane>]>,
+}
+
+impl InjectLanes {
+    /// A bank of `lanes` lanes (`1` reproduces the old single-queue
+    /// behavior, which the injection bench uses as its baseline).
+    pub(crate) fn new(lanes: usize) -> Self {
+        assert!(lanes > 0, "a pool needs at least one injection lane");
+        InjectLanes { lanes: (0..lanes).map(|_| CachePadded::new(Lane::new())).collect() }
+    }
+
+    pub(crate) fn num_lanes(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// The lane this submitter thread posts to.
+    pub(crate) fn home_lane(&self) -> usize {
+        submitter_token() % self.lanes.len()
+    }
+
+    /// Enqueue `job` on `lane`.
+    pub(crate) fn push(&self, lane: usize, job: JobRef) {
+        self.lanes[lane].push(job);
+    }
+
+    /// Dequeue one job: the caller's `own` lane first, then a sweep over
+    /// the remaining lanes starting at `sweep_start` (workers randomize it
+    /// like a steal sweep). Returns the job and the lane it came from.
+    pub(crate) fn take(&self, own: usize, sweep_start: usize) -> Option<(JobRef, usize)> {
+        let n = self.lanes.len();
+        let own = own % n;
+        if let Some(job) = self.lanes[own].pop() {
+            return Some((job, own));
+        }
+        for k in 0..n {
+            let lane = (sweep_start + k) % n;
+            if lane == own {
+                continue;
+            }
+            if let Some(job) = self.lanes[lane].pop() {
+                return Some((job, lane));
+            }
+        }
+        None
+    }
+
+    /// Dequeue one job from any lane (shutdown drain on external threads).
+    pub(crate) fn take_any(&self) -> Option<JobRef> {
+        self.lanes.iter().find_map(|l| l.pop())
+    }
+
+    /// Whether every lane is empty (the idle workers' has-work probe).
+    pub(crate) fn is_empty(&self) -> bool {
+        self.lanes.iter().all(|l| l.len() == 0)
+    }
+}

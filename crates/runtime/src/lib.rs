@@ -35,6 +35,7 @@
 mod cancel;
 pub mod deque;
 mod health;
+mod inject;
 mod job;
 mod latch;
 mod registry;
@@ -56,6 +57,7 @@ pub use registry::{
     DEFAULT_STALL_THRESHOLD,
 };
 pub use scope::{scope, Scope};
+pub use sleep::DEFAULT_BACKSTOP_INTERVAL;
 pub use util::CachePadded;
 
 /// The observability layer this runtime reports into (re-exported so that

@@ -5,15 +5,22 @@
 //! 1. its own deque (bottom, LIFO — depth-first on its own spawn tree);
 //! 2. its mailbox (team-region jobs addressed to *this specific worker*,
 //!    used by the OpenMP-style baseline schedulers);
-//! 3. the global injection queue (external `install` calls);
+//! 3. the sharded injection lanes (external `install`/`spawn_detached`
+//!    calls): its own lane first, then a randomized sweep over the other
+//!    lanes, like steal victims;
 //! 4. randomized stealing from other workers' deques (top, FIFO —
 //!    breadth-first on victims' spawn trees).
+//!
+//! Ordering note: injection lanes are per-lane FIFO, not globally FIFO.
+//! Jobs posted by *one* submitter thread run in post order (a submitter
+//! sticks to its home lane); jobs posted by different submitters have no
+//! cross-lane order, exactly as concurrent injectors already had no
+//! useful order under the old single global queue.
 
 use std::cell::Cell;
-use std::collections::VecDeque;
 use std::marker::PhantomData;
 use std::ptr;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -22,10 +29,11 @@ use parloop_trace::{CounterBank, NoopSink, TraceEvent, TraceSink, WorkerStats};
 
 use crate::deque::{self, Steal, Stealer};
 use crate::health::{PoolHealth, StallReport};
+use crate::inject::{InjectLanes, Lane};
 use crate::job::{HeapJob, JobRef, StackJob};
 use crate::latch::{CountLatch, Latch, LockLatch, Probe, SpinLatch};
 use crate::rng::XorShift64Star;
-use crate::sleep::Sleep;
+use crate::sleep::{Sleep, SleepOutcome};
 use crate::unwind;
 use crate::util::CachePadded;
 
@@ -65,32 +73,11 @@ impl<T: ?Sized> SendPtr<T> {
     }
 }
 
-struct Mailbox {
-    queue: Mutex<VecDeque<JobRef>>,
-    len: AtomicUsize,
-}
-
-impl Mailbox {
-    fn new() -> Self {
-        Mailbox { queue: Mutex::new(VecDeque::new()), len: AtomicUsize::new(0) }
-    }
-
-    fn post(&self, job: JobRef) {
-        self.queue.lock().unwrap().push_back(job);
-        self.len.fetch_add(1, Ordering::SeqCst);
-    }
-
-    fn take(&self) -> Option<JobRef> {
-        if self.len.load(Ordering::SeqCst) == 0 {
-            return None;
-        }
-        let job = self.queue.lock().unwrap().pop_front();
-        if job.is_some() {
-            self.len.fetch_sub(1, Ordering::SeqCst);
-        }
-        job
-    }
-}
+/// Sentinel "worker" id the registry hands the fault injector for
+/// decisions made on external submitter threads (which have no worker id).
+/// It must never be used to index per-worker state — in particular, such
+/// decisions are *not* traced, because trace sinks index per-worker rings.
+const EXTERNAL_SUBMITTER: usize = usize::MAX;
 
 /// Monotonic counters describing scheduler activity (observability for
 /// the overhead ablations; all `Relaxed` — approximate under concurrency).
@@ -112,9 +99,8 @@ pub struct PoolStats {
 
 pub(crate) struct Registry {
     stealers: Vec<Stealer<JobRef>>,
-    mailboxes: Vec<Mailbox>,
-    injected: Mutex<VecDeque<JobRef>>,
-    injected_len: AtomicUsize,
+    mailboxes: Vec<Lane>,
+    injected: InjectLanes,
     pub(crate) sleep: Arc<Sleep>,
     terminate: AtomicBool,
     counters: CounterBank,
@@ -149,26 +135,47 @@ impl Registry {
         self.n
     }
 
+    /// Hand a job to the pool from any thread: post it on the submitter's
+    /// home injection lane and wake one sleeper.
+    ///
+    /// The lane publishes its length counter *before* releasing the queue
+    /// lock and the wake's event bump follows the publication, so an idle
+    /// worker's final has-work re-check can never miss a job that was
+    /// already notified for (the sleep protocol's lost-wakeup argument
+    /// relies on this order).
     pub(crate) fn inject(&self, job: JobRef) {
-        self.injected.lock().unwrap().push_back(job);
-        self.injected_len.fetch_add(1, Ordering::SeqCst);
+        let mut lane = self.injected.home_lane();
+        let mut drop_wake = false;
+        if self.chaos_on {
+            // Chaos runs on the *submitter's* thread: no worker id, no
+            // tracing (trace sinks index per-worker rings). `Panic` is
+            // demoted to `Fail` — injected faults must never unwind into
+            // user submitter threads.
+            match self.chaos.decide(EXTERNAL_SUBMITTER, Site::InjectLane) {
+                // Dropped wake: publish the job but skip the notification;
+                // only the timeout backstop can find it.
+                FaultAction::Fail | FaultAction::Panic => drop_wake = true,
+                // Forced contention: stall the submitter, then make it
+                // collide with every other delayed submitter on lane 0.
+                FaultAction::Delay(spins) => {
+                    chaos_spin(spins);
+                    lane = 0;
+                }
+                FaultAction::None => {}
+            }
+        }
+        self.injected.push(lane, job);
         self.counters.note_injected();
-        self.sleep.notify_all();
-    }
-
-    fn take_injected(&self) -> Option<JobRef> {
-        if self.injected_len.load(Ordering::SeqCst) == 0 {
-            return None;
+        if !drop_wake {
+            self.sleep.notify_one();
         }
-        let job = self.injected.lock().unwrap().pop_front();
-        if job.is_some() {
-            self.injected_len.fetch_sub(1, Ordering::SeqCst);
-        }
-        job
     }
 
     fn post_mailbox(&self, worker: usize, job: JobRef) {
-        self.mailboxes[worker].post(job);
+        self.mailboxes[worker].push(job);
+        // Mailbox jobs are addressed to one specific worker; a notify_one
+        // could wake the wrong sleeper and leave the addressee parked
+        // until the backstop, so wake everyone.
         self.sleep.notify_all();
     }
 
@@ -214,10 +221,10 @@ impl Registry {
 
     /// Is there any work a currently-idle worker could acquire?
     fn has_visible_work(&self, me: usize) -> bool {
-        if self.injected_len.load(Ordering::SeqCst) > 0 {
+        if !self.injected.is_empty() {
             return true;
         }
-        if self.mailboxes[me].len.load(Ordering::SeqCst) > 0 {
+        if self.mailboxes[me].len() > 0 {
             return true;
         }
         self.stealers.iter().any(|s| !s.is_empty())
@@ -238,6 +245,10 @@ pub(crate) struct WorkerThread {
     /// the degraded-worker catch contains them); unwinding out of
     /// `wait_until` could strand latches whose stack jobs are still live.
     wait_depth: Cell<u32>,
+    /// Consecutive parks that ended in the timeout backstop without
+    /// finding work. Stretches the next backstop timeout exponentially
+    /// (bounded); reset by any real wake or any work found.
+    fruitless: Cell<u32>,
 }
 
 impl WorkerThread {
@@ -305,7 +316,9 @@ impl WorkerThread {
     pub(crate) fn push(&self, job: JobRef) {
         self.deque.push(job);
         self.trace(TraceEvent::JobPushed);
-        self.registry.sleep.notify_all();
+        // One new stealable job: one sleeper suffices. Each push carries
+        // its own event, so k pushes wake up to k sleepers.
+        self.registry.sleep.notify_one();
     }
 
     pub(crate) fn pop(&self) -> Option<JobRef> {
@@ -372,19 +385,34 @@ impl WorkerThread {
         None
     }
 
+    /// Drain one externally-injected job: this worker's own lane first,
+    /// then a randomized sweep over the other lanes (like steal victims).
+    fn take_injected(&self) -> Option<JobRef> {
+        let lanes = self.registry.injected.num_lanes();
+        let sweep_start = if lanes > 1 { self.rng.next_below(lanes) } else { 0 };
+        let (job, lane) = self.registry.injected.take(self.index, sweep_start)?;
+        self.registry.counters.note_lane_job(self.index);
+        self.trace(TraceEvent::InjectLane { lane: lane as u32 });
+        Some(job)
+    }
+
     fn find_work(&self) -> Option<JobRef> {
         let job = self
             .pop()
-            .or_else(|| self.registry.mailboxes[self.index].take())
-            .or_else(|| self.registry.take_injected())
+            .or_else(|| self.registry.mailboxes[self.index].pop())
+            .or_else(|| self.take_injected())
             .or_else(|| self.steal());
         if job.is_some() {
             self.note_job_executed();
+            self.fruitless.set(0);
         }
         job
     }
 
     /// Park on the pool's sleep machinery, bracketed with trace events.
+    /// Timeout (backstop) wakes are distinguished from real notifications:
+    /// fruitless backstop wakes stretch the next timeout exponentially, so
+    /// an idle pool converges to a near-zero wake rate.
     fn park(&self, has_work: impl Fn() -> bool) {
         if self.registry.chaos_on {
             match self.chaos_point_runtime(Site::Park) {
@@ -397,7 +425,25 @@ impl WorkerThread {
             }
         }
         self.trace(TraceEvent::Parked);
-        self.registry.sleep.sleep(has_work);
+        match self.registry.sleep.sleep(&has_work, self.fruitless.get()) {
+            SleepOutcome::NotBlocked => self.fruitless.set(0),
+            SleepOutcome::Notified => {
+                self.fruitless.set(0);
+                self.registry.counters.note_notified_wake(self.index);
+                self.trace(TraceEvent::WakeTargeted);
+            }
+            SleepOutcome::Backstop => {
+                self.registry.counters.note_backstop_wake(self.index);
+                self.trace(TraceEvent::BackstopWake);
+                if has_work() {
+                    // The backstop found something a (dropped) wake should
+                    // have delivered — productive, so no backoff.
+                    self.fruitless.set(0);
+                } else {
+                    self.fruitless.set(self.fruitless.get().saturating_add(1));
+                }
+            }
+        }
         self.trace(TraceEvent::Unparked);
     }
 
@@ -481,7 +527,7 @@ impl WorkerThread {
         while let Some(job) = self.pop() {
             let _ = unwind::halt_unwinding(|| unsafe { job.execute() });
         }
-        while let Some(job) = self.registry.mailboxes[self.index].take() {
+        while let Some(job) = self.registry.mailboxes[self.index].pop() {
             let _ = unwind::halt_unwinding(|| unsafe { job.execute() });
         }
     }
@@ -527,6 +573,8 @@ pub struct ThreadPoolBuilder {
     fault_injector: Option<Arc<dyn FaultInjector>>,
     stall_threshold: Duration,
     stall_handler: Option<StallHandler>,
+    inject_lanes: Option<usize>,
+    backstop_interval: Duration,
 }
 
 impl ThreadPoolBuilder {
@@ -539,6 +587,8 @@ impl ThreadPoolBuilder {
             fault_injector: None,
             stall_threshold: DEFAULT_STALL_THRESHOLD,
             stall_handler: None,
+            inject_lanes: None,
+            backstop_interval: crate::sleep::DEFAULT_BACKSTOP_INTERVAL,
         }
     }
 
@@ -596,6 +646,27 @@ impl ThreadPoolBuilder {
         self
     }
 
+    /// Number of sharded external-injection lanes. Defaults to the worker
+    /// count. `1` reproduces the old single-global-queue behavior (the
+    /// injection benchmark's baseline); more lanes let concurrent
+    /// submitter threads contend on different locks.
+    pub fn inject_lanes(mut self, lanes: usize) -> Self {
+        assert!(lanes > 0, "a pool needs at least one injection lane");
+        self.inject_lanes = Some(lanes);
+        self
+    }
+
+    /// Base interval of the sleep-protocol timeout backstop (the bound on
+    /// how long a *lost* wakeup can delay an idle worker; real wakes are
+    /// notification-driven and unaffected). Fruitless backstop wakes back
+    /// off exponentially from this base, up to `base * 256`. Default:
+    /// [`DEFAULT_BACKSTOP_INTERVAL`](crate::DEFAULT_BACKSTOP_INTERVAL).
+    pub fn backstop_interval(mut self, interval: Duration) -> Self {
+        assert!(!interval.is_zero(), "the backstop interval must be non-zero");
+        self.backstop_interval = interval;
+        self
+    }
+
     pub fn build(self) -> ThreadPool {
         let n = self.num_workers;
         let mut workers = Vec::with_capacity(n);
@@ -614,10 +685,9 @@ impl ThreadPoolBuilder {
         });
         let registry = Arc::new(Registry {
             stealers,
-            mailboxes: (0..n).map(|_| Mailbox::new()).collect(),
-            injected: Mutex::new(VecDeque::new()),
-            injected_len: AtomicUsize::new(0),
-            sleep: Arc::new(Sleep::new()),
+            mailboxes: (0..n).map(|_| Lane::new()).collect(),
+            injected: InjectLanes::new(self.inject_lanes.unwrap_or(n)),
+            sleep: Arc::new(Sleep::with_base(self.backstop_interval)),
             terminate: AtomicBool::new(false),
             counters: CounterBank::new(n),
             trace,
@@ -648,6 +718,7 @@ impl ThreadPoolBuilder {
                         deque: wdeque,
                         rng: XorShift64Star::new(index as u64),
                         wait_depth: Cell::new(0),
+                        fruitless: Cell::new(0),
                     };
                     WORKER.with(|c| c.set(&wt as *const WorkerThread));
                     wt.main_loop();
@@ -684,6 +755,12 @@ impl ThreadPool {
     /// Number of workers `P`.
     pub fn num_workers(&self) -> usize {
         self.registry.num_workers()
+    }
+
+    /// Number of sharded external-injection lanes (see
+    /// [`ThreadPoolBuilder::inject_lanes`]).
+    pub fn num_inject_lanes(&self) -> usize {
+        self.registry.injected.num_lanes()
     }
 
     /// Snapshot of the pool's scheduler counters (totals across workers).
@@ -840,12 +917,12 @@ impl Drop for ThreadPool {
             self.registry.sleep.notify_all();
             h.join().expect("pool worker panicked outside a job");
         }
-        // Any detached jobs still sitting in the injection queue run here,
+        // Any detached jobs still sitting in the injection lanes run here,
         // on the dropping thread, so their allocations are reclaimed and
         // their effects still happen-before the pool disappears. Panics
         // are contained: resuming one here could double-panic inside this
         // `Drop` (an instant abort) and would leak the remaining jobs.
-        while let Some(job) = self.registry.take_injected() {
+        while let Some(job) = self.registry.injected.take_any() {
             let _ = unwind::halt_unwinding(|| unsafe { job.execute() });
         }
     }
@@ -1094,6 +1171,28 @@ mod tests {
         assert_eq!(pool.num_workers(), 3);
         let name = pool.install(|| std::thread::current().name().map(String::from));
         assert!(name.unwrap().starts_with("custom-"));
+    }
+
+    #[test]
+    fn inject_lanes_default_to_worker_count_and_accept_override() {
+        let pool = ThreadPool::new(3);
+        assert_eq!(pool.num_inject_lanes(), 3);
+        let pool = ThreadPoolBuilder::new().num_workers(3).inject_lanes(1).build();
+        assert_eq!(pool.num_inject_lanes(), 1);
+        assert_eq!(pool.install(|| 7), 7);
+        let pool = ThreadPoolBuilder::new().num_workers(2).inject_lanes(8).build();
+        assert_eq!(pool.num_inject_lanes(), 8);
+        assert_eq!(pool.install(|| 8), 8);
+    }
+
+    #[test]
+    fn backstop_interval_option_applies() {
+        let pool = ThreadPoolBuilder::new()
+            .num_workers(2)
+            .backstop_interval(Duration::from_millis(2))
+            .build();
+        assert_eq!(pool.install(|| 11), 11);
+        pool.broadcast_all(|_| {});
     }
 
     #[test]

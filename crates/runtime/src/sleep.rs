@@ -1,54 +1,142 @@
-//! Worker sleep/wake machinery.
+//! Worker sleep/wake machinery: an event-counter protocol with targeted
+//! wakes and an exponentially backed-off timeout backstop.
 //!
-//! Idle workers spin briefly, then block on a condvar. To keep the common
-//! (busy) path cheap, wakers first check an atomic sleeper count and only
-//! touch the mutex when somebody is actually asleep. Sleepers additionally
-//! use a bounded timeout as a lost-wakeup backstop, which keeps the
-//! machinery simple and obviously live — a design trade-off documented in
-//! DESIGN.md (this runtime optimizes for auditability over the last few
-//! percent of wake latency).
+//! Idle workers spin briefly, then block on a condvar. The protocol keeps
+//! the common (busy) path cheap and makes lost wakeups impossible:
+//!
+//! * **Sleepers** announce themselves (`sleepers += 1`), read the events
+//!   epoch, and then — *under the sleep lock* — re-check for work and for
+//!   an epoch advance before committing to the wait.
+//! * **Wakers** first make the work visible (the publication: a deque
+//!   push, a lane length increment under its queue lock), then bump the
+//!   events counter, and only touch the sleep lock to notify when the
+//!   sleeper count says somebody is actually asleep.
+//!
+//! The lost-wakeup argument: suppose a waker publishes work while a
+//! sleeper is going to sleep. If the waker's counter bump and sleeper
+//! check precede the sleeper's final under-lock re-check in the seq-cst
+//! order, the re-check observes the publication (or the epoch advance) and
+//! the sleeper aborts the wait. Otherwise the sleeper's announcement
+//! precedes the waker's sleeper-count load, so the waker sees a sleeper
+//! and takes the lock to notify — and because the sleeper atomically
+//! releases that same lock only as it enters the wait, the notification
+//! cannot land in the gap between the re-check and the wait. Either way
+//! the sleeper wakes.
+//!
+//! Wakes are *targeted*: work that any worker can execute (deque pushes,
+//! lane injections) wakes exactly one sleeper; only events with a specific
+//! addressee or global scope (mailbox posts, latch completions, shutdown)
+//! wake everyone. The timeout backstop remains as defense in depth, but
+//! it no longer polls at a fixed 500µs forever: fruitless backstop wakes
+//! back off exponentially (bounded), so an idle pool converges to a
+//! near-zero wake rate while a freshly published job is still picked up
+//! promptly by its notification.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
 use std::time::Duration;
 
-/// Maximum time a worker sleeps before re-checking for work.
-const SLEEP_TIMEOUT: Duration = Duration::from_micros(500);
+/// Default base interval of the timeout backstop (the first, un-backed-off
+/// sleep bound). [`ThreadPoolBuilder`](crate::ThreadPoolBuilder) can
+/// override it.
+pub const DEFAULT_BACKSTOP_INTERVAL: Duration = Duration::from_micros(500);
+
+/// Cap on the backstop's exponential backoff: fruitless sleeps lengthen
+/// the timeout up to `base << MAX_BACKOFF_SHIFT` (128ms at the default
+/// base).
+pub(crate) const MAX_BACKOFF_SHIFT: u32 = 8;
+
+/// How a call to [`Sleep::sleep`] ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SleepOutcome {
+    /// The final under-lock re-check found work (or a missed event), so
+    /// the caller never blocked.
+    NotBlocked,
+    /// A notification ended the wait — a real, targeted wake.
+    Notified,
+    /// The timeout backstop fired with no notification.
+    Backstop,
+}
 
 pub(crate) struct Sleep {
     lock: Mutex<()>,
     cv: Condvar,
     sleepers: AtomicUsize,
+    /// Work-availability epoch: bumped by every waker *after* its work is
+    /// visible. Sleepers compare it across their announcement to catch
+    /// publications that raced the final re-check.
+    events: AtomicUsize,
+    base: Duration,
 }
 
 impl Sleep {
-    pub(crate) fn new() -> Self {
-        Sleep { lock: Mutex::new(()), cv: Condvar::new(), sleepers: AtomicUsize::new(0) }
+    pub(crate) fn with_base(base: Duration) -> Self {
+        Sleep {
+            lock: Mutex::new(()),
+            cv: Condvar::new(),
+            sleepers: AtomicUsize::new(0),
+            events: AtomicUsize::new(0),
+            base,
+        }
+    }
+
+    /// The backstop timeout after `fruitless` consecutive sleeps that
+    /// timed out without finding work: bounded exponential backoff.
+    pub(crate) fn backstop_after(&self, fruitless: u32) -> Duration {
+        self.base.saturating_mul(1u32 << fruitless.min(MAX_BACKOFF_SHIFT))
     }
 
     /// Block until notified (or the backstop timeout fires), unless
-    /// `has_work()` already holds. The check runs under the lock, so a
-    /// notification sent after `has_work` becomes true cannot be lost.
+    /// `has_work()` already holds or a work event raced our announcement.
+    /// `fruitless` is the caller's count of consecutive backstop wakes
+    /// that found nothing; it stretches the timeout (see
+    /// [`backstop_after`](Self::backstop_after)).
     ///
-    /// Returns whether the caller actually blocked on the condvar (`false`
-    /// when `has_work` short-circuited the wait) — observability callers
-    /// use this to distinguish real parks from aborted ones.
-    pub(crate) fn sleep(&self, has_work: impl Fn() -> bool) -> bool {
-        let mut blocked = false;
+    /// The re-check runs under the lock and wakers notify under the same
+    /// lock, so a notification sent after `has_work` becomes true cannot
+    /// be lost (the module docs give the full argument).
+    pub(crate) fn sleep(&self, has_work: impl Fn() -> bool, fruitless: u32) -> SleepOutcome {
+        // Announce *before* the final re-check: a waker that loads the
+        // sleeper count after this increment will take the lock and
+        // notify; one that loaded it before must have bumped `events`
+        // first, which the epoch comparison below catches.
         self.sleepers.fetch_add(1, Ordering::SeqCst);
-        {
+        let epoch = self.events.load(Ordering::SeqCst);
+        let outcome = {
             let guard = self.lock.lock().unwrap();
-            if !has_work() {
-                blocked = true;
-                let _ = self.cv.wait_timeout(guard, SLEEP_TIMEOUT).unwrap();
+            if has_work() || self.events.load(Ordering::SeqCst) != epoch {
+                SleepOutcome::NotBlocked
+            } else {
+                let timeout = self.backstop_after(fruitless);
+                let (_guard, wait) = self.cv.wait_timeout(guard, timeout).unwrap();
+                if wait.timed_out() {
+                    SleepOutcome::Backstop
+                } else {
+                    SleepOutcome::Notified
+                }
             }
-        }
+        };
         self.sleepers.fetch_sub(1, Ordering::SeqCst);
-        blocked
+        outcome
     }
 
-    /// Wake all sleeping workers (cheap no-op when none sleep).
+    /// Publish a work event and wake **one** sleeper, if any. Use for work
+    /// any worker can execute (deque pushes, injection-lane posts). The
+    /// caller must have made the work visible first.
+    pub(crate) fn notify_one(&self) {
+        self.events.fetch_add(1, Ordering::SeqCst);
+        if self.sleepers.load(Ordering::SeqCst) > 0 {
+            let _guard = self.lock.lock().unwrap();
+            self.cv.notify_one();
+        }
+    }
+
+    /// Publish a work event and wake **all** sleepers, if any. Use for
+    /// events with a specific addressee or global scope (mailbox posts,
+    /// latch completions, shutdown): `notify_one` could wake the wrong
+    /// worker and leave the addressee parked until the backstop.
     pub(crate) fn notify_all(&self) {
+        self.events.fetch_add(1, Ordering::SeqCst);
         if self.sleepers.load(Ordering::SeqCst) > 0 {
             let _guard = self.lock.lock().unwrap();
             self.cv.notify_all();
@@ -70,38 +158,85 @@ mod tests {
 
     #[test]
     fn sleep_returns_immediately_when_work_present() {
-        let s = Sleep::new();
+        let s = Sleep::with_base(DEFAULT_BACKSTOP_INTERVAL);
         let start = std::time::Instant::now();
-        let blocked = s.sleep(|| true);
-        assert!(!blocked, "must not block when has_work() holds");
+        let outcome = s.sleep(|| true, 0);
+        assert_eq!(outcome, SleepOutcome::NotBlocked, "must not block when has_work() holds");
         assert!(start.elapsed() < Duration::from_millis(50));
         assert_eq!(s.sleeper_count(), 0);
     }
 
     #[test]
     fn notify_wakes_sleeper() {
-        let s = Arc::new(Sleep::new());
+        let s = Arc::new(Sleep::with_base(DEFAULT_BACKSTOP_INTERVAL));
         let flag = Arc::new(AtomicBool::new(false));
         let s2 = Arc::clone(&s);
         let f2 = Arc::clone(&flag);
         let h = std::thread::spawn(move || {
             while !f2.load(Ordering::Acquire) {
-                s2.sleep(|| f2.load(Ordering::Acquire));
+                s2.sleep(|| f2.load(Ordering::Acquire), 0);
             }
         });
         std::thread::sleep(Duration::from_millis(5));
         flag.store(true, Ordering::Release);
-        s.notify_all();
+        s.notify_one();
         h.join().unwrap();
     }
 
     #[test]
-    fn timeout_backstop_fires() {
-        // Even with no notification, sleep() must return within the timeout.
-        let s = Sleep::new();
+    fn timeout_backstop_reports_itself() {
+        // Even with no notification, sleep() must return within the
+        // timeout — and say that the backstop (not a wake) ended it.
+        let s = Sleep::with_base(DEFAULT_BACKSTOP_INTERVAL);
         let start = std::time::Instant::now();
-        let blocked = s.sleep(|| false);
-        assert!(blocked, "must report a real block when no work exists");
+        let outcome = s.sleep(|| false, 0);
+        assert_eq!(outcome, SleepOutcome::Backstop);
         assert!(start.elapsed() < Duration::from_millis(200));
+    }
+
+    #[test]
+    fn work_published_before_announcement_aborts_the_wait() {
+        // A notify_one issued when nobody sleeps is "lost" as a
+        // notification — but the work it published is already visible, so
+        // the next sleeper's under-lock re-check sees it and never blocks,
+        // even with the backoff maxed out.
+        let s = Sleep::with_base(Duration::from_secs(2));
+        let flag = AtomicBool::new(false);
+        flag.store(true, Ordering::Release);
+        s.notify_one();
+        let start = std::time::Instant::now();
+        let outcome = s.sleep(|| flag.load(Ordering::Acquire), MAX_BACKOFF_SHIFT);
+        assert_eq!(outcome, SleepOutcome::NotBlocked);
+        assert!(start.elapsed() < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn backoff_is_bounded_and_monotonic() {
+        let s = Sleep::with_base(Duration::from_micros(500));
+        assert_eq!(s.backstop_after(0), Duration::from_micros(500));
+        assert_eq!(s.backstop_after(1), Duration::from_millis(1));
+        assert_eq!(s.backstop_after(MAX_BACKOFF_SHIFT), Duration::from_millis(128));
+        // Clamped past the cap.
+        assert_eq!(s.backstop_after(MAX_BACKOFF_SHIFT + 20), Duration::from_millis(128));
+    }
+
+    #[test]
+    fn notified_outcome_distinguished_from_backstop() {
+        let s = Arc::new(Sleep::with_base(Duration::from_secs(2)));
+        let s2 = Arc::clone(&s);
+        let h = std::thread::spawn(move || s2.sleep(|| false, 0));
+        // Wait for the sleeper to register, then wake it.
+        while s.sleeper_count() == 0 {
+            std::thread::yield_now();
+        }
+        // It may not have reached the wait yet, but notify_one takes the
+        // same lock the re-check holds, so the wake cannot be lost.
+        let start = std::time::Instant::now();
+        s.notify_one();
+        let outcome = h.join().unwrap();
+        // Either it blocked and was notified, or the event beat the
+        // epoch read; with a 2s base the backstop cannot be the answer.
+        assert_ne!(outcome, SleepOutcome::Backstop);
+        assert!(start.elapsed() < Duration::from_secs(1));
     }
 }

@@ -17,6 +17,9 @@ struct PaddedCounters {
     jobs_executed: AtomicU64,
     steals: AtomicU64,
     failed_steal_sweeps: AtomicU64,
+    lane_jobs: AtomicU64,
+    notified_wakes: AtomicU64,
+    backstop_wakes: AtomicU64,
 }
 
 /// A point-in-time copy of one worker's counters.
@@ -28,6 +31,14 @@ pub struct WorkerStats {
     pub steals: u64,
     /// Steal sweeps by this worker that found nothing.
     pub failed_steal_sweeps: u64,
+    /// Externally-injected jobs this worker drained from the sharded
+    /// injection lanes (its own lane or another's during a sweep).
+    pub lane_jobs: u64,
+    /// Parks that ended in a targeted notification (a real wake).
+    pub notified_wakes: u64,
+    /// Parks that ended in the timeout backstop firing (a poll, not a
+    /// productive wake; these back off exponentially while fruitless).
+    pub backstop_wakes: u64,
 }
 
 /// Per-worker scheduler counters plus the pool-global injection count.
@@ -64,6 +75,24 @@ impl CounterBank {
         self.workers[worker].failed_steal_sweeps.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Count one injected job drained from a lane by `worker`.
+    #[inline]
+    pub fn note_lane_job(&self, worker: usize) {
+        self.workers[worker].lane_jobs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one park of `worker` ended by a targeted notification.
+    #[inline]
+    pub fn note_notified_wake(&self, worker: usize) {
+        self.workers[worker].notified_wakes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one park of `worker` ended by the timeout backstop.
+    #[inline]
+    pub fn note_backstop_wake(&self, worker: usize) {
+        self.workers[worker].backstop_wakes.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Count one job injected from an external thread.
     #[inline]
     pub fn note_injected(&self) {
@@ -82,6 +111,9 @@ impl CounterBank {
             jobs_executed: c.jobs_executed.load(Ordering::Relaxed),
             steals: c.steals.load(Ordering::Relaxed),
             failed_steal_sweeps: c.failed_steal_sweeps.load(Ordering::Relaxed),
+            lane_jobs: c.lane_jobs.load(Ordering::Relaxed),
+            notified_wakes: c.notified_wakes.load(Ordering::Relaxed),
+            backstop_wakes: c.backstop_wakes.load(Ordering::Relaxed),
         }
     }
 
@@ -98,6 +130,9 @@ impl CounterBank {
             t.jobs_executed += s.jobs_executed;
             t.steals += s.steals;
             t.failed_steal_sweeps += s.failed_steal_sweeps;
+            t.lane_jobs += s.lane_jobs;
+            t.notified_wakes += s.notified_wakes;
+            t.backstop_wakes += s.backstop_wakes;
         }
         t
     }
@@ -116,13 +151,23 @@ mod tests {
         bank.note_steal(1);
         bank.note_failed_sweep(2);
         bank.note_injected();
+        bank.note_lane_job(1);
+        bank.note_notified_wake(0);
+        bank.note_backstop_wake(2);
+        bank.note_backstop_wake(2);
         assert_eq!(bank.worker(0).jobs_executed, 2);
         assert_eq!(bank.worker(1).steals, 1);
         assert_eq!(bank.worker(2).failed_steal_sweeps, 1);
+        assert_eq!(bank.worker(1).lane_jobs, 1);
+        assert_eq!(bank.worker(0).notified_wakes, 1);
+        assert_eq!(bank.worker(2).backstop_wakes, 2);
         let t = bank.totals();
         assert_eq!(t.jobs_executed, 3);
         assert_eq!(t.steals, 1);
         assert_eq!(t.failed_steal_sweeps, 1);
+        assert_eq!(t.lane_jobs, 1);
+        assert_eq!(t.notified_wakes, 1);
+        assert_eq!(t.backstop_wakes, 2);
         assert_eq!(bank.injected(), 1);
         assert_eq!(bank.all_workers().len(), 3);
     }

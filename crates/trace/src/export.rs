@@ -44,6 +44,11 @@ fn classify(event: &TraceEvent) -> Option<Record> {
         }
         TraceEvent::WorkerDegraded => Record::Instant("worker_degraded", "{}".into()),
         TraceEvent::WatchdogStall => Record::Instant("watchdog_stall", "{}".into()),
+        TraceEvent::InjectLane { lane } => {
+            Record::Instant("inject_lane", format!(r#"{{"lane":{lane}}}"#))
+        }
+        TraceEvent::WakeTargeted => Record::Instant("wake_targeted", "{}".into()),
+        TraceEvent::BackstopWake => Record::Instant("backstop_wake", "{}".into()),
         // Push/pop are too fine for a timeline view; CSV keeps them.
         TraceEvent::JobPushed | TraceEvent::JobPopped => return None,
     })
@@ -128,7 +133,7 @@ pub fn chrome_trace_json(snap: &TraceSnapshot) -> String {
 /// per-kind payload fields.
 pub fn csv(snap: &TraceSnapshot) -> String {
     let mut out = String::from(
-        "ts_nanos,worker,event,success,index,partition,victim,start,len,site,action\n",
+        "ts_nanos,worker,event,success,index,partition,victim,start,len,site,action,lane\n",
     );
     for e in &snap.events {
         let (mut success, mut index, mut partition, mut victim, mut start, mut len) = (
@@ -139,9 +144,10 @@ pub fn csv(snap: &TraceSnapshot) -> String {
             String::new(),
             String::new(),
         );
-        let (mut site, mut action) = (String::new(), String::new());
+        let (mut site, mut action, mut lane) = (String::new(), String::new(), String::new());
         match e.event {
             TraceEvent::Stolen { victim: v } => victim = v.to_string(),
+            TraceEvent::InjectLane { lane: l } => lane = l.to_string(),
             TraceEvent::ClaimAttempt { success: s, index: i, partition: p } => {
                 success = (s as u8).to_string();
                 index = i.to_string();
@@ -160,7 +166,7 @@ pub fn csv(snap: &TraceSnapshot) -> String {
         }
         let _ = writeln!(
             out,
-            "{},{},{},{success},{index},{partition},{victim},{start},{len},{site},{action}",
+            "{},{},{},{success},{index},{partition},{victim},{start},{len},{site},{action},{lane}",
             e.ts_nanos,
             e.worker,
             e.event.name(),
@@ -219,14 +225,16 @@ mod tests {
             (5, 0, TraceEvent::ClaimAttempt { success: true, index: 2, partition: 6 }),
             (6, 1, TraceEvent::ChunkEnd { start: 10, len: 4 }),
             (7, 0, TraceEvent::FaultInjected { site: 4, action: 1 }),
+            (8, 1, TraceEvent::InjectLane { lane: 3 }),
         ]);
         let text = csv(&s);
         let lines: Vec<&str> = text.lines().collect();
-        assert_eq!(lines.len(), 4);
+        assert_eq!(lines.len(), 5);
         assert!(lines[0].starts_with("ts_nanos,worker,event"));
-        assert_eq!(lines[1], "5,0,claim_attempt,1,2,6,,,,,");
-        assert_eq!(lines[2], "6,1,chunk_end,,,,,10,4,,");
-        assert_eq!(lines[3], "7,0,fault_injected,,,,,,,4,1");
+        assert_eq!(lines[1], "5,0,claim_attempt,1,2,6,,,,,,");
+        assert_eq!(lines[2], "6,1,chunk_end,,,,,10,4,,,");
+        assert_eq!(lines[3], "7,0,fault_injected,,,,,,,4,1,");
+        assert_eq!(lines[4], "8,1,inject_lane,,,,,,,,,3");
     }
 
     #[test]
@@ -241,5 +249,19 @@ mod tests {
         assert!(json.contains(r#""site":2,"action":1"#), "{json}");
         assert!(json.contains(r#""name":"worker_degraded""#));
         assert!(json.contains(r#""name":"watchdog_stall""#));
+    }
+
+    #[test]
+    fn injection_and_wake_events_render_as_instants() {
+        let s = snap(vec![
+            (1, 0, TraceEvent::InjectLane { lane: 2 }),
+            (2, 1, TraceEvent::WakeTargeted),
+            (3, 1, TraceEvent::BackstopWake),
+        ]);
+        let json = chrome_trace_json(&s);
+        assert!(json.contains(r#""name":"inject_lane""#), "{json}");
+        assert!(json.contains(r#""lane":2"#), "{json}");
+        assert!(json.contains(r#""name":"wake_targeted""#));
+        assert!(json.contains(r#""name":"backstop_wake""#));
     }
 }

@@ -109,6 +109,19 @@ pub enum TraceEvent {
     /// The `wait_until` watchdog saw no pool-wide job progress while a
     /// latch stayed unresolved past the stall threshold.
     WatchdogStall,
+    /// This worker drained an externally-injected job from injection
+    /// lane `lane` (its own lane, or another worker's during a sweep).
+    InjectLane {
+        /// Index of the lane the job came from.
+        lane: u32,
+    },
+    /// A parked worker was woken by a targeted notification (a real
+    /// `notify_one`/`notify_all`, not the timeout backstop).
+    WakeTargeted,
+    /// A parked worker's sleep timed out: a backstop poll, not a
+    /// productive wake. Consecutive fruitless backstop wakes back off
+    /// exponentially.
+    BackstopWake,
 }
 
 impl TraceEvent {
@@ -129,6 +142,9 @@ impl TraceEvent {
             TraceEvent::FaultInjected { .. } => "fault_injected",
             TraceEvent::WorkerDegraded => "worker_degraded",
             TraceEvent::WatchdogStall => "watchdog_stall",
+            TraceEvent::InjectLane { .. } => "inject_lane",
+            TraceEvent::WakeTargeted => "wake_targeted",
+            TraceEvent::BackstopWake => "backstop_wake",
         }
     }
 
@@ -153,6 +169,9 @@ impl TraceEvent {
             }
             TraceEvent::WorkerDegraded => (13, 0),
             TraceEvent::WatchdogStall => (14, 0),
+            TraceEvent::InjectLane { lane } => (15, lane as u64),
+            TraceEvent::WakeTargeted => (16, 0),
+            TraceEvent::BackstopWake => (17, 0),
         }
     }
 
@@ -178,6 +197,9 @@ impl TraceEvent {
             12 => TraceEvent::FaultInjected { site: (a >> 8) as u8, action: (a >> 16) as u8 },
             13 => TraceEvent::WorkerDegraded,
             14 => TraceEvent::WatchdogStall,
+            15 => TraceEvent::InjectLane { lane: b as u32 },
+            16 => TraceEvent::WakeTargeted,
+            17 => TraceEvent::BackstopWake,
             _ => return None,
         })
     }
@@ -248,6 +270,10 @@ mod tests {
             TraceEvent::FaultInjected { site: u8::MAX, action: u8::MAX },
             TraceEvent::WorkerDegraded,
             TraceEvent::WatchdogStall,
+            TraceEvent::InjectLane { lane: 0 },
+            TraceEvent::InjectLane { lane: u32::MAX },
+            TraceEvent::WakeTargeted,
+            TraceEvent::BackstopWake,
         ];
         for ev in events {
             let (a, b) = ev.pack();

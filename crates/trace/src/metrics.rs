@@ -44,6 +44,12 @@ pub struct EventCounts {
     pub workers_degraded: u64,
     /// Watchdog stall reports emitted from `wait_until`.
     pub watchdog_stalls: u64,
+    /// Externally-injected jobs drained from the sharded injection lanes.
+    pub inject_lane_jobs: u64,
+    /// Parks ended by a targeted notification.
+    pub targeted_wakes: u64,
+    /// Parks ended by the timeout backstop (fruitless polls back off).
+    pub backstop_wakes: u64,
 }
 
 impl EventCounts {
@@ -81,6 +87,9 @@ pub fn event_counts(snap: &TraceSnapshot) -> EventCounts {
             TraceEvent::FaultInjected { .. } => c.faults_injected += 1,
             TraceEvent::WorkerDegraded => c.workers_degraded += 1,
             TraceEvent::WatchdogStall => c.watchdog_stalls += 1,
+            TraceEvent::InjectLane { .. } => c.inject_lane_jobs += 1,
+            TraceEvent::WakeTargeted => c.targeted_wakes += 1,
+            TraceEvent::BackstopWake => c.backstop_wakes += 1,
         }
     }
     c

@@ -31,8 +31,17 @@ if [ "$QUICK" -eq 0 ]; then
   # of the default run already included in the workspace tests above.
   echo "== chaos stress (CHAOS_SEEDS=16) =="
   CHAOS_SEEDS=16 cargo test -q --offline --test chaos_layer
+
+  # Injection-path acceptance: sharded lanes vs single-lane baseline and
+  # the idle wake-rate bar, sized for CI (--smoke). The binary exits
+  # non-zero when a bar is missed and writes results/inject_latency.json.
+  echo "== inject_bench --smoke =="
+  ./target/release/inject_bench --smoke
+  test -s results/inject_latency.json \
+    || { echo "verify.sh: results/inject_latency.json missing or empty" >&2; exit 1; }
 else
   echo "== chaos stress skipped (--quick) =="
+  echo "== inject_bench skipped (--quick) =="
 fi
 
 echo "verify.sh: all gates passed"
