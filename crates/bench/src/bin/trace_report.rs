@@ -72,7 +72,9 @@ fn main() {
     let mut t = Table::new(vec![
         "worker",
         "jobs",
+        "pushed",
         "steals",
+        "assists",
         "failed sweeps",
         "lane jobs",
         "notified",
@@ -84,7 +86,9 @@ fn main() {
         t.row(vec![
             w.to_string(),
             ws.jobs_executed.to_string(),
+            ws.jobs_pushed.to_string(),
             ws.steals.to_string(),
+            ws.assist_joins.to_string(),
             ws.failed_steal_sweeps.to_string(),
             ws.lane_jobs.to_string(),
             ws.notified_wakes.to_string(),
@@ -117,6 +121,10 @@ fn main() {
     println!(
         "parks                 {} ({} targeted wakes, {} backstop wakes)",
         counts.parks, counts.targeted_wakes, counts.backstop_wakes
+    );
+    println!(
+        "lazy assists          {} joins, {} chunks ({} iterations)",
+        counts.assist_joins, counts.assist_chunks, counts.assist_iterations
     );
 
     // Lemma 4: no worker ever fails more than max(lg R, 1) claims in a row.

@@ -31,7 +31,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 ///
 /// Runtime sites (`MainLoop`, `StealSweep`, `StealVictim`, `Park`) are
 /// consulted by worker-thread plumbing; loop sites (`Claim`,
-/// `FramePublish`, `PartitionBody`) by the hybrid scheduler. Injected
+/// `FramePublish`, `PartitionBody`, `AssistClaim`) by the hybrid and
+/// lazy-splitting schedulers. Injected
 /// panics at loop sites surface through the loop's panic protocol; panics
 /// at runtime sites are raised only from the worker main loop (where the
 /// degraded-worker catch contains them), never from inside `wait_until`.
@@ -62,11 +63,17 @@ pub enum Site {
     /// demoted to `Fail` — unwinding into a submitter thread would take
     /// user code down, which is not a runtime fault.
     InjectLane,
+    /// A lazy-loop participant about to CAS a chunk off the shared packed
+    /// cursor (`Fail` forces the CAS loss path — the participant re-reads
+    /// and retries, exactly as if another assistant had won the race;
+    /// consecutive forced losses are bounded by the loop layer so rate-1
+    /// plans still make progress).
+    AssistClaim,
 }
 
 impl Site {
     /// Every site, in code order.
-    pub const ALL: [Site; 8] = [
+    pub const ALL: [Site; 9] = [
         Site::MainLoop,
         Site::StealSweep,
         Site::StealVictim,
@@ -75,6 +82,7 @@ impl Site {
         Site::FramePublish,
         Site::PartitionBody,
         Site::InjectLane,
+        Site::AssistClaim,
     ];
 
     /// Dense index into per-site tables.
@@ -103,13 +111,14 @@ impl Site {
             Site::FramePublish => "frame_publish",
             Site::PartitionBody => "partition_body",
             Site::InjectLane => "inject_lane",
+            Site::AssistClaim => "assist_claim",
         }
     }
 
     /// Whether the site belongs to the hybrid-loop layer (injected panics
     /// there are caught by the loop's panic protocol).
     pub fn is_loop_site(self) -> bool {
-        matches!(self, Site::Claim | Site::FramePublish | Site::PartitionBody)
+        matches!(self, Site::Claim | Site::FramePublish | Site::PartitionBody | Site::AssistClaim)
     }
 }
 
@@ -255,6 +264,7 @@ impl PlannedInjector {
                 Site::FramePublish => RATE_DENOM / 2,
                 Site::PartitionBody => RATE_DENOM / 32,
                 Site::InjectLane => RATE_DENOM / 16,
+                Site::AssistClaim => RATE_DENOM / 2,
             };
             // Seed-dependent rate in [ceil/2, ceil).
             let h = splitmix64(seed ^ (site.index() as u64).wrapping_mul(0xA076_1D64_78BD_642F));

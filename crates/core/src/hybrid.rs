@@ -43,8 +43,9 @@ use parloop_runtime::chaos::{chaos_spin, INJECTED_PANIC_MSG};
 use parloop_runtime::{CancelToken, CountLatch, FaultAction, Latch, Site, TraceEvent, WorkerToken};
 
 use crate::claim::{partitions_oversubscribed, ClaimTable, ClaimWalker};
+use crate::lazy::SplitPolicy;
 use crate::range::block_bounds;
-use crate::stealing::ws_for_chunks;
+use crate::stealing::ws_for_chunks_policy;
 use crate::util::SendPtr;
 
 /// Observability counters from one hybrid loop execution.
@@ -111,6 +112,8 @@ struct HybridState<F> {
     n: usize,
     r_parts: usize,
     grain: usize,
+    /// Splitting engine for the stealable inner loop of each partition.
+    policy: SplitPolicy,
     body: SendPtr<F>,
     /// Adopter frames spawned so far (the initial frame plus re-publishes).
     frames: AtomicUsize,
@@ -176,7 +179,23 @@ pub(crate) fn hybrid_for_oversub<F>(
 where
     F: Fn(Range<usize>) + Sync,
 {
-    match hybrid_for_inner(token, range, grain, oversub, None, body) {
+    hybrid_for_oversub_policy(token, range, grain, oversub, SplitPolicy::default(), body)
+}
+
+/// [`hybrid_for_oversub`] with an explicit inner-loop [`SplitPolicy`]
+/// (the A/B knob the split benchmarks flip).
+pub(crate) fn hybrid_for_oversub_policy<F>(
+    token: WorkerToken,
+    range: Range<usize>,
+    grain: usize,
+    oversub: usize,
+    policy: SplitPolicy,
+    body: &F,
+) -> HybridStats
+where
+    F: Fn(Range<usize>) + Sync,
+{
+    match hybrid_for_inner(token, range, grain, oversub, policy, None, body) {
         Ok(stats) => stats,
         Err(HybridError::Panicked { payload, .. }) => resume_unwind(payload),
         Err(HybridError::Cancelled(_)) => {
@@ -209,7 +228,15 @@ pub(crate) fn try_hybrid_for_oversub<F>(
 where
     F: Fn(Range<usize>) + Sync,
 {
-    hybrid_for_inner(token, range, grain, oversub, Some(cancel.clone()), body)
+    hybrid_for_inner(
+        token,
+        range,
+        grain,
+        oversub,
+        SplitPolicy::default(),
+        Some(cancel.clone()),
+        body,
+    )
 }
 
 fn hybrid_for_inner<F>(
@@ -217,6 +244,7 @@ fn hybrid_for_inner<F>(
     range: Range<usize>,
     grain: usize,
     oversub: usize,
+    policy: SplitPolicy,
     cancel: Option<CancelToken>,
     body: &F,
 ) -> Result<HybridStats, HybridError>
@@ -234,6 +262,7 @@ where
         n,
         r_parts,
         grain,
+        policy,
         // SAFETY (lifetime erasure): this function blocks on `state.latch`
         // (all `R` partitions executed) before returning, and
         // `execute_partition` is the only deref site — every deref happens
@@ -471,7 +500,7 @@ where
                 FaultAction::Fail | FaultAction::None => {}
             }
         }
-        ws_for_chunks(range, state.grain, body)
+        ws_for_chunks_policy(range, state.grain, state.policy, body)
     })) {
         state.record_panic(payload);
     }
@@ -588,9 +617,17 @@ mod tests {
         let err = single
             .install(|| {
                 let token = WorkerToken::current().unwrap();
-                hybrid_for_inner(token, 0..64, 4, 4, None, &|_chunk: Range<usize>| {
-                    panic!("first partition dies");
-                })
+                hybrid_for_inner(
+                    token,
+                    0..64,
+                    4,
+                    4,
+                    SplitPolicy::default(),
+                    None,
+                    &|_chunk: Range<usize>| {
+                        panic!("first partition dies");
+                    },
+                )
             })
             .expect_err("poisoned loop must report the panic");
         match err {
@@ -663,6 +700,7 @@ mod tests {
                 n: 0,
                 r_parts: 2,
                 grain: 1,
+                policy: SplitPolicy::default(),
                 body: SendPtr::new(&body),
                 frames: AtomicUsize::new(0),
                 adoptions: AtomicUsize::new(0),

@@ -33,6 +33,7 @@
 pub mod affinity;
 pub mod claim;
 pub mod hybrid;
+pub mod lazy;
 pub mod range;
 pub mod reduce;
 mod schedule;
@@ -49,11 +50,14 @@ pub use claim::{
     run_claim_heuristic, ClaimTable, ClaimWalker, HeuristicStats,
 };
 pub use hybrid::{HybridError, HybridStats};
+pub use lazy::{lazy_for_chunks, SplitPolicy};
 pub use range::{block_bounds, block_of, default_grain};
 pub use reduce::{par_max_f64, par_reduce, par_sum_f64, par_sum_u64};
 pub use schedule::{
-    hybrid_for_with_stats, par_for, par_for_chunks, par_for_dyn, par_for_tracked, try_hybrid_for,
-    try_par_for_chunks, Schedule,
+    hybrid_for_with_stats, par_for, par_for_chunks, par_for_chunks_policy, par_for_dyn,
+    par_for_tracked, try_hybrid_for, try_par_for_chunks, Schedule,
 };
 pub use static_part::{static_cyclic_owner, static_owner};
-pub use stealing::{ws_for, ws_for_chunks};
+pub use stealing::{
+    ws_for, ws_for_chunks, ws_for_chunks_eager, ws_for_chunks_policy, ws_for_policy,
+};

@@ -15,12 +15,13 @@ use parloop_runtime::{current_worker_index, CancelToken, Cancelled, ThreadPool, 
 
 use crate::affinity::AffinityProbe;
 use crate::hybrid::{
-    hybrid_for, hybrid_for_oversub, try_hybrid_for_oversub, HybridError, HybridStats,
+    hybrid_for, hybrid_for_oversub_policy, try_hybrid_for_oversub, HybridError, HybridStats,
 };
+use crate::lazy::SplitPolicy;
 use crate::range::default_grain;
 use crate::sharing::{sharing_for, static_sharing_for, SharingPolicy};
 use crate::static_part::static_for;
-use crate::stealing::ws_for_chunks;
+use crate::stealing::ws_for_chunks_policy;
 
 /// A loop-scheduling policy — one per platform/scheme the paper compares.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -201,7 +202,27 @@ pub fn par_for_chunks<F>(pool: &ThreadPool, range: Range<usize>, sched: Schedule
 where
     F: Fn(Range<usize>) + Sync,
 {
+    par_for_chunks_policy(pool, range, sched, SplitPolicy::default(), body);
+}
+
+/// [`par_for_chunks`] with an explicit [`SplitPolicy`] for the
+/// work-stealing inner engine. Only [`Schedule::DynamicStealing`] and
+/// [`Schedule::Hybrid`] consult the policy (they are the schemes built on
+/// the stealable splitter); the shared-cursor and static schemes ignore
+/// it. This is the A/B entry point `split_bench` drives.
+pub fn par_for_chunks_policy<F>(
+    pool: &ThreadPool,
+    range: Range<usize>,
+    sched: Schedule,
+    policy: SplitPolicy,
+    body: F,
+) where
+    F: Fn(Range<usize>) + Sync,
+{
     let n = range.len();
+    // The Cilk default grain is derived from the *pool's* worker count
+    // (`min(2048, N/8P)`), never the host's CPU count — the docs and the
+    // grain-pinning test below rely on exactly this wiring.
     let p = pool.num_workers();
     match sched {
         Schedule::Static => static_for(pool, range, &body),
@@ -217,13 +238,13 @@ where
         }
         Schedule::DynamicStealing { grain } => {
             let grain = grain.unwrap_or_else(|| default_grain(n, p));
-            pool.install(|| ws_for_chunks(range, grain, &body));
+            pool.install(|| ws_for_chunks_policy(range, grain, policy, &body));
         }
         Schedule::Hybrid { grain, oversub } => {
             let grain = grain.unwrap_or_else(|| default_grain(n, p));
             pool.install(|| {
                 let token = WorkerToken::current().expect("install puts us on a worker");
-                hybrid_for_oversub(token, range, grain, oversub, &body);
+                hybrid_for_oversub_policy(token, range, grain, oversub, policy, &body);
             });
         }
     }
@@ -520,6 +541,40 @@ mod tests {
             other => panic!("expected Cancelled, got {other:?}"),
         }
         assert_eq!(ran.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn default_grain_uses_pool_worker_count() {
+        // `DynamicStealing { grain: None }` must derive the Cilk default
+        // grain from the *pool's* worker count, not the host CPU count:
+        // for N = 16384 on a 4-worker pool, min(2048, N/8P) = 512. Pin the
+        // formula and then observe the wired value — the largest chunk the
+        // splitter hands out is exactly one full grain.
+        let (n, p) = (16384usize, 4usize);
+        assert_eq!(default_grain(n, p), 512);
+
+        let pool = ThreadPool::new(p);
+        for policy in [SplitPolicy::Lazy, SplitPolicy::Eager] {
+            let max_len = std::sync::atomic::AtomicUsize::new(0);
+            let total = AtomicUsize::new(0);
+            par_for_chunks_policy(
+                &pool,
+                0..n,
+                Schedule::DynamicStealing { grain: None },
+                policy,
+                |chunk| {
+                    max_len.fetch_max(chunk.len(), Ordering::Relaxed);
+                    total.fetch_add(chunk.len(), Ordering::Relaxed);
+                },
+            );
+            assert_eq!(total.load(Ordering::Relaxed), n, "{}", policy.name());
+            assert_eq!(
+                max_len.load(Ordering::Relaxed),
+                512,
+                "{}: observed grain disagrees with default_grain(n, pool.num_workers())",
+                policy.name()
+            );
+        }
     }
 
     #[test]

@@ -2,12 +2,21 @@
 //! ("vanilla" in the paper's plots) and the inner loop of every claimed
 //! hybrid partition.
 //!
-//! A loop is compiled to divide-and-conquer binary spawning: recursively
-//! `join` the two halves of the range until a chunk of at most `grain`
-//! iterations remains, which runs sequentially. With the Cilk default
-//! grain `min(2048, N/8P)` this yields span `Θ(lg N) + max_i T_∞(i)`.
+//! Two splitting engines share this entry point, selected by
+//! [`SplitPolicy`]:
 //!
-//! Both entry points are generic over the body type, so the leaf chunk
+//! * **Lazy** (the default, [`crate::lazy`]): the range sits behind one
+//!   packed atomic cursor with a single stealable assist handle; splits
+//!   happen only when a thief actually arrives, so a loop pays
+//!   `O(steals + 1)` deque pushes instead of `O(n/grain)`.
+//! * **Eager** ([`ws_for_chunks_eager`]): classic divide-and-conquer
+//!   binary spawning — recursively `join` the two halves of the range
+//!   until a chunk of at most `grain` iterations remains. With the Cilk
+//!   default grain `min(2048, N/8P)` this yields span
+//!   `Θ(lg N) + max_i T_∞(i)`, but every split level costs a deque
+//!   round-trip even when zero steals occur. Kept for A/B comparison.
+//!
+//! Both engines are generic over the body type, so the leaf chunk
 //! executes as a monomorphized loop the compiler can unroll and vectorize
 //! — no per-iteration virtual dispatch.
 
@@ -15,18 +24,23 @@ use std::ops::Range;
 
 use parloop_runtime::{join, TraceEvent, WorkerToken};
 
-/// Run a leaf chunk, bracketed with `ChunkStart`/`ChunkEnd` trace events
-/// when the executing worker's pool records them. Off-pool, or with
-/// tracing off, this is the plain monomorphized `body` call — the only
-/// extra cost is one thread-local read and one boolean load per *chunk*
-/// (never per iteration).
+use crate::lazy::lazy_for_chunks;
+pub use crate::lazy::SplitPolicy;
+
+/// Run a leaf chunk of the eager splitter, bracketed with
+/// `ChunkStart`/`ChunkEnd` trace events when `tracing` is set. The flag is
+/// resolved once per loop at [`ws_for_chunks_eager`]'s entry (it is
+/// constant for a pool's lifetime, so it stays valid across steals), so
+/// with tracing off a leaf costs one untaken branch — no thread-local
+/// lookup per chunk. The token is re-resolved only on the tracing path,
+/// because leaves execute on whichever worker stole them.
 #[inline]
-fn run_leaf<F>(range: Range<usize>, body: &F)
+fn run_leaf<F>(range: Range<usize>, tracing: bool, body: &F)
 where
     F: Fn(Range<usize>) + Sync,
 {
-    if let Some(token) = WorkerToken::current() {
-        if token.tracing_enabled() {
+    if tracing {
+        if let Some(token) = WorkerToken::current() {
             let (start, len) = (range.start as u64, range.len() as u32);
             token.trace(TraceEvent::ChunkStart { start, len });
             body(range);
@@ -37,9 +51,9 @@ where
     body(range);
 }
 
-/// Execute `body(chunk)` over `range` with binary splitting; sub-ranges
-/// above `grain` iterations are stealable, and each leaf chunk of at most
-/// `grain` iterations is handed to `body` as one contiguous range.
+/// Execute `body(chunk)` over `range`; sub-ranges above `grain` iterations
+/// are stealable, and each chunk handed to `body` has at most `grain`
+/// iterations. Uses the default [`SplitPolicy::Lazy`] engine.
 ///
 /// Must run on a pool worker for actual parallelism; off-pool it degrades
 /// to a sequential call (serial elision).
@@ -47,21 +61,51 @@ pub fn ws_for_chunks<F>(range: Range<usize>, grain: usize, body: &F)
 where
     F: Fn(Range<usize>) + Sync,
 {
+    lazy_for_chunks(range, grain, body);
+}
+
+/// [`ws_for_chunks`] with an explicit [`SplitPolicy`] (A/B harnesses).
+pub fn ws_for_chunks_policy<F>(range: Range<usize>, grain: usize, policy: SplitPolicy, body: &F)
+where
+    F: Fn(Range<usize>) + Sync,
+{
+    match policy {
+        SplitPolicy::Lazy => lazy_for_chunks(range, grain, body),
+        SplitPolicy::Eager => ws_for_chunks_eager(range, grain, body),
+    }
+}
+
+/// Eager divide-and-conquer splitting: one `join` per split level.
+pub fn ws_for_chunks_eager<F>(range: Range<usize>, grain: usize, body: &F)
+where
+    F: Fn(Range<usize>) + Sync,
+{
     let grain = grain.max(1);
     if range.is_empty() {
         return;
     }
+    // Resolve tracing once per loop: the flag is pool-global and constant,
+    // so it can cross steal boundaries as a plain bool even though the
+    // (non-Send) token cannot.
+    let tracing = WorkerToken::current().is_some_and(|t| t.tracing_enabled());
+    eager_split(range, grain, tracing, body);
+}
+
+fn eager_split<F>(range: Range<usize>, grain: usize, tracing: bool, body: &F)
+where
+    F: Fn(Range<usize>) + Sync,
+{
     if range.len() <= grain {
-        run_leaf(range, body);
+        run_leaf(range, tracing, body);
         return;
     }
     let mid = range.start + range.len() / 2;
     let (lo, hi) = (range.start..mid, mid..range.end);
-    join(|| ws_for_chunks(lo, grain, body), || ws_for_chunks(hi, grain, body));
+    join(|| eager_split(lo, grain, tracing, body), || eager_split(hi, grain, tracing, body));
 }
 
-/// Execute `body(i)` for every `i` in `range` with binary splitting;
-/// sub-ranges above `grain` iterations are stealable.
+/// Execute `body(i)` for every `i` in `range`; sub-ranges above `grain`
+/// iterations are stealable.
 ///
 /// Thin wrapper over [`ws_for_chunks`]: the leaf runs as a tight
 /// monomorphized `for` loop over the chunk.
@@ -76,67 +120,116 @@ where
     });
 }
 
+/// [`ws_for`] with an explicit [`SplitPolicy`] (A/B harnesses).
+pub fn ws_for_policy<F>(range: Range<usize>, grain: usize, policy: SplitPolicy, body: &F)
+where
+    F: Fn(usize) + Sync,
+{
+    ws_for_chunks_policy(range, grain, policy, &|chunk: Range<usize>| {
+        for i in chunk {
+            body(i);
+        }
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use parloop_runtime::ThreadPool;
     use std::sync::atomic::{AtomicUsize, Ordering};
 
+    const POLICIES: [SplitPolicy; 2] = [SplitPolicy::Lazy, SplitPolicy::Eager];
+
     #[test]
     fn covers_every_iteration_exactly_once() {
-        let pool = ThreadPool::new(4);
-        let n = 10_000;
-        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
-        pool.install(|| {
-            ws_for(0..n, 64, &|i| {
-                hits[i].fetch_add(1, Ordering::Relaxed);
+        for policy in POLICIES {
+            let pool = ThreadPool::new(4);
+            let n = 10_000;
+            let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+            pool.install(|| {
+                ws_for_policy(0..n, 64, policy, &|i| {
+                    hits[i].fetch_add(1, Ordering::Relaxed);
+                });
             });
-        });
-        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+            assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1), "{}", policy.name());
+        }
     }
 
     #[test]
     fn chunks_cover_exactly_once_and_respect_grain() {
-        let pool = ThreadPool::new(4);
-        let n = 10_000;
-        let grain = 64;
-        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
-        pool.install(|| {
-            ws_for_chunks(0..n, grain, &|chunk| {
-                assert!(!chunk.is_empty() && chunk.len() <= grain);
-                for i in chunk {
-                    hits[i].fetch_add(1, Ordering::Relaxed);
-                }
+        for policy in POLICIES {
+            let pool = ThreadPool::new(4);
+            let n = 10_000;
+            let grain = 64;
+            let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+            pool.install(|| {
+                ws_for_chunks_policy(0..n, grain, policy, &|chunk| {
+                    assert!(!chunk.is_empty() && chunk.len() <= grain);
+                    for i in chunk {
+                        hits[i].fetch_add(1, Ordering::Relaxed);
+                    }
+                });
             });
-        });
-        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+            assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1), "{}", policy.name());
+        }
     }
 
     #[test]
     fn empty_range_is_noop() {
         let pool = ThreadPool::new(2);
-        pool.install(|| ws_for(5..5, 8, &|_| panic!("no iterations expected")));
-        pool.install(|| ws_for_chunks(5..5, 8, &|_| panic!("no chunks expected")));
+        for policy in POLICIES {
+            pool.install(|| ws_for_policy(5..5, 8, policy, &|_| panic!("no iterations expected")));
+            pool.install(|| {
+                ws_for_chunks_policy(5..5, 8, policy, &|_| panic!("no chunks expected"))
+            });
+        }
     }
 
     #[test]
     fn grain_zero_treated_as_one() {
         let pool = ThreadPool::new(2);
-        let count = AtomicUsize::new(0);
-        pool.install(|| {
-            ws_for(0..17, 0, &|_| {
-                count.fetch_add(1, Ordering::Relaxed);
+        for policy in POLICIES {
+            let count = AtomicUsize::new(0);
+            pool.install(|| {
+                ws_for_policy(0..17, 0, policy, &|_| {
+                    count.fetch_add(1, Ordering::Relaxed);
+                });
             });
-        });
-        assert_eq!(count.load(Ordering::Relaxed), 17);
+            assert_eq!(count.load(Ordering::Relaxed), 17, "{}", policy.name());
+        }
     }
 
     #[test]
     fn works_off_pool_sequentially() {
-        let count = AtomicUsize::new(0);
-        ws_for(0..100, 10, &|_| {
-            count.fetch_add(1, Ordering::Relaxed);
-        });
-        assert_eq!(count.load(Ordering::Relaxed), 100);
+        for policy in POLICIES {
+            let count = AtomicUsize::new(0);
+            ws_for_policy(0..100, 10, policy, &|_| {
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(count.load(Ordering::Relaxed), 100, "{}", policy.name());
+        }
+    }
+
+    #[test]
+    fn lazy_pushes_bounded_by_steals_eager_is_linear() {
+        // The push bound the split_bench gates, pinned as a unit test on a
+        // one-worker pool where steals are impossible: lazy pushes nothing,
+        // eager pushes one job per split level (~n/grain).
+        let pool = ThreadPool::new(1);
+        let (n, grain) = (4096usize, 64usize);
+        let run = |policy: SplitPolicy| {
+            let before = pool.stats().jobs_pushed;
+            pool.install(|| {
+                ws_for_chunks_policy(0..n, grain, policy, &|c| {
+                    std::hint::black_box(c.len());
+                })
+            });
+            pool.stats().jobs_pushed - before
+        };
+        assert_eq!(run(SplitPolicy::Lazy), 0);
+        assert!(
+            run(SplitPolicy::Eager) >= (n / grain) as u64 / 2,
+            "eager splitting should push O(n/grain) jobs"
+        );
     }
 }

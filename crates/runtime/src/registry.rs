@@ -89,6 +89,12 @@ const EXTERNAL_SUBMITTER: usize = usize::MAX;
 pub struct PoolStats {
     /// Jobs executed across all workers (frames, team bodies, injections).
     pub jobs_executed: u64,
+    /// Jobs pushed onto worker deques (splits, adopter frames, lazy-loop
+    /// assist handles). Eager splitting pays `O(n/grain)` of these per
+    /// loop; the lazy splitter's bound is `O(steals + 1)`.
+    pub jobs_pushed: u64,
+    /// Lazy-loop assist handles adopted by thieves.
+    pub assist_joins: u64,
     /// Successful steals.
     pub steals: u64,
     /// Steal sweeps that found nothing.
@@ -315,6 +321,7 @@ impl WorkerThread {
 
     pub(crate) fn push(&self, job: JobRef) {
         self.deque.push(job);
+        self.registry.counters.note_job_pushed(self.index);
         self.trace(TraceEvent::JobPushed);
         // One new stealable job: one sleeper suffices. Each push carries
         // its own event, so k pushes wake up to k sleepers.
@@ -768,6 +775,8 @@ impl ThreadPool {
         let t = self.registry.counters.totals();
         PoolStats {
             jobs_executed: t.jobs_executed,
+            jobs_pushed: t.jobs_pushed,
+            assist_joins: t.assist_joins,
             steals: t.steals,
             failed_steal_sweeps: t.failed_steal_sweeps,
             injected: self.registry.counters.injected(),
@@ -1015,6 +1024,14 @@ impl WorkerToken {
     /// scheduler).
     pub fn chaos_decide(&self, site: Site) -> FaultAction {
         self.worker().chaos_point(site)
+    }
+
+    /// Count one lazy-loop assist-handle adoption by this worker (the
+    /// always-on counter behind `PoolStats::assist_joins`).
+    #[inline]
+    pub fn note_assist_join(&self) {
+        let w = self.worker();
+        w.registry().counters.note_assist_join(w.index());
     }
 }
 

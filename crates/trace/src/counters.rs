@@ -15,6 +15,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 #[derive(Debug, Default)]
 struct PaddedCounters {
     jobs_executed: AtomicU64,
+    jobs_pushed: AtomicU64,
+    assist_joins: AtomicU64,
     steals: AtomicU64,
     failed_steal_sweeps: AtomicU64,
     lane_jobs: AtomicU64,
@@ -27,6 +29,13 @@ struct PaddedCounters {
 pub struct WorkerStats {
     /// Jobs this worker acquired and executed.
     pub jobs_executed: u64,
+    /// Jobs this worker pushed onto its own deque (splits, adopter frames,
+    /// lazy-loop assist handles). The quantity the lazy splitter bounds by
+    /// `O(steals + 1)` per loop where eager splitting pays `O(n/grain)`.
+    pub jobs_pushed: u64,
+    /// Lazy-loop assist handles this worker adopted (it registered as an
+    /// assistant on another participant's shared cursor).
+    pub assist_joins: u64,
     /// Successful steals by this worker.
     pub steals: u64,
     /// Steal sweeps by this worker that found nothing.
@@ -61,6 +70,18 @@ impl CounterBank {
     #[inline]
     pub fn note_job_executed(&self, worker: usize) {
         self.workers[worker].jobs_executed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one job pushed by `worker` onto its own deque.
+    #[inline]
+    pub fn note_job_pushed(&self, worker: usize) {
+        self.workers[worker].jobs_pushed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one lazy-loop assist handle adopted by `worker`.
+    #[inline]
+    pub fn note_assist_join(&self, worker: usize) {
+        self.workers[worker].assist_joins.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Count one successful steal by `worker`.
@@ -109,6 +130,8 @@ impl CounterBank {
         let c = &self.workers[worker];
         WorkerStats {
             jobs_executed: c.jobs_executed.load(Ordering::Relaxed),
+            jobs_pushed: c.jobs_pushed.load(Ordering::Relaxed),
+            assist_joins: c.assist_joins.load(Ordering::Relaxed),
             steals: c.steals.load(Ordering::Relaxed),
             failed_steal_sweeps: c.failed_steal_sweeps.load(Ordering::Relaxed),
             lane_jobs: c.lane_jobs.load(Ordering::Relaxed),
@@ -128,6 +151,8 @@ impl CounterBank {
         for w in 0..self.workers.len() {
             let s = self.worker(w);
             t.jobs_executed += s.jobs_executed;
+            t.jobs_pushed += s.jobs_pushed;
+            t.assist_joins += s.assist_joins;
             t.steals += s.steals;
             t.failed_steal_sweeps += s.failed_steal_sweeps;
             t.lane_jobs += s.lane_jobs;
@@ -148,6 +173,10 @@ mod tests {
         bank.note_job_executed(0);
         bank.note_job_executed(0);
         bank.note_job_executed(2);
+        bank.note_job_pushed(1);
+        bank.note_job_pushed(1);
+        bank.note_job_pushed(2);
+        bank.note_assist_join(0);
         bank.note_steal(1);
         bank.note_failed_sweep(2);
         bank.note_injected();
@@ -156,6 +185,8 @@ mod tests {
         bank.note_backstop_wake(2);
         bank.note_backstop_wake(2);
         assert_eq!(bank.worker(0).jobs_executed, 2);
+        assert_eq!(bank.worker(1).jobs_pushed, 2);
+        assert_eq!(bank.worker(0).assist_joins, 1);
         assert_eq!(bank.worker(1).steals, 1);
         assert_eq!(bank.worker(2).failed_steal_sweeps, 1);
         assert_eq!(bank.worker(1).lane_jobs, 1);
@@ -163,6 +194,8 @@ mod tests {
         assert_eq!(bank.worker(2).backstop_wakes, 2);
         let t = bank.totals();
         assert_eq!(t.jobs_executed, 3);
+        assert_eq!(t.jobs_pushed, 3);
+        assert_eq!(t.assist_joins, 1);
         assert_eq!(t.steals, 1);
         assert_eq!(t.failed_steal_sweeps, 1);
         assert_eq!(t.lane_jobs, 1);

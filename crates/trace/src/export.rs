@@ -49,6 +49,10 @@ fn classify(event: &TraceEvent) -> Option<Record> {
         }
         TraceEvent::WakeTargeted => Record::Instant("wake_targeted", "{}".into()),
         TraceEvent::BackstopWake => Record::Instant("backstop_wake", "{}".into()),
+        TraceEvent::AssistJoin => Record::Instant("assist_join", "{}".into()),
+        TraceEvent::AssistChunk { start, len } => {
+            Record::Instant("assist_chunk", format!(r#"{{"start":{start},"len":{len}}}"#))
+        }
         // Push/pop are too fine for a timeline view; CSV keeps them.
         TraceEvent::JobPushed | TraceEvent::JobPopped => return None,
     })
@@ -154,7 +158,8 @@ pub fn csv(snap: &TraceSnapshot) -> String {
                 partition = p.to_string();
             }
             TraceEvent::ChunkStart { start: s, len: l }
-            | TraceEvent::ChunkEnd { start: s, len: l } => {
+            | TraceEvent::ChunkEnd { start: s, len: l }
+            | TraceEvent::AssistChunk { start: s, len: l } => {
                 start = s.to_string();
                 len = l.to_string();
             }

@@ -122,6 +122,18 @@ pub enum TraceEvent {
     /// productive wake. Consecutive fruitless backstop wakes back off
     /// exponentially.
     BackstopWake,
+    /// A thief adopted a lazy loop's assist handle and registered as an
+    /// assistant on the loop's shared cursor.
+    AssistJoin,
+    /// An assistant claimed the chunk `[start, start + len)` off a lazy
+    /// loop's shared cursor (owner-claimed chunks emit only the usual
+    /// `ChunkStart`/`ChunkEnd` pair).
+    AssistChunk {
+        /// First iteration index of the claimed chunk.
+        start: u64,
+        /// Number of iterations in the claimed chunk.
+        len: u32,
+    },
 }
 
 impl TraceEvent {
@@ -145,6 +157,8 @@ impl TraceEvent {
             TraceEvent::InjectLane { .. } => "inject_lane",
             TraceEvent::WakeTargeted => "wake_targeted",
             TraceEvent::BackstopWake => "backstop_wake",
+            TraceEvent::AssistJoin => "assist_join",
+            TraceEvent::AssistChunk { .. } => "assist_chunk",
         }
     }
 
@@ -172,6 +186,8 @@ impl TraceEvent {
             TraceEvent::InjectLane { lane } => (15, lane as u64),
             TraceEvent::WakeTargeted => (16, 0),
             TraceEvent::BackstopWake => (17, 0),
+            TraceEvent::AssistJoin => (18, 0),
+            TraceEvent::AssistChunk { start, len } => (19 | (len as u64) << 32, start),
         }
     }
 
@@ -200,6 +216,8 @@ impl TraceEvent {
             15 => TraceEvent::InjectLane { lane: b as u32 },
             16 => TraceEvent::WakeTargeted,
             17 => TraceEvent::BackstopWake,
+            18 => TraceEvent::AssistJoin,
+            19 => TraceEvent::AssistChunk { start: b, len: (a >> 32) as u32 },
             _ => return None,
         })
     }
@@ -274,6 +292,9 @@ mod tests {
             TraceEvent::InjectLane { lane: u32::MAX },
             TraceEvent::WakeTargeted,
             TraceEvent::BackstopWake,
+            TraceEvent::AssistJoin,
+            TraceEvent::AssistChunk { start: 0, len: 1 },
+            TraceEvent::AssistChunk { start: u64::MAX >> 1, len: u32::MAX },
         ];
         for ev in events {
             let (a, b) = ev.pack();

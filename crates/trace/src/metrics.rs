@@ -50,6 +50,12 @@ pub struct EventCounts {
     pub targeted_wakes: u64,
     /// Parks ended by the timeout backstop (fruitless polls back off).
     pub backstop_wakes: u64,
+    /// Assist handles adopted by thieves joining a lazy loop.
+    pub assist_joins: u64,
+    /// Chunks claimed off a lazy loop's shared cursor by assistants.
+    pub assist_chunks: u64,
+    /// Iterations covered by assistant-claimed chunks.
+    pub assist_iterations: u64,
 }
 
 impl EventCounts {
@@ -90,6 +96,11 @@ pub fn event_counts(snap: &TraceSnapshot) -> EventCounts {
             TraceEvent::InjectLane { .. } => c.inject_lane_jobs += 1,
             TraceEvent::WakeTargeted => c.targeted_wakes += 1,
             TraceEvent::BackstopWake => c.backstop_wakes += 1,
+            TraceEvent::AssistJoin => c.assist_joins += 1,
+            TraceEvent::AssistChunk { len, .. } => {
+                c.assist_chunks += 1;
+                c.assist_iterations += len as u64;
+            }
         }
     }
     c

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Perf-trajectory harness: run the split-policy benchmark in full mode and
+# emit the stable top-level BENCH_parloop.json (flat {name, value, unit}
+# entries — ns/iter for the micro kernel under lazy vs eager splitting,
+# plus deque pushes per loop) so results are comparable across commits.
+#
+#   --smoke   reduced sizes + relaxed wall-clock bars (CI boxes)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SMOKE=()
+for arg in "$@"; do
+  case "$arg" in
+    --smoke) SMOKE=(--smoke) ;;
+    *) echo "bench.sh: unknown flag '$arg' (supported: --smoke)" >&2; exit 2 ;;
+  esac
+done
+
+echo "== cargo build --release (bench bins) =="
+cargo build --release --offline -p parloop-bench
+
+echo "== split_bench ${SMOKE[*]:-} =="
+./target/release/split_bench "${SMOKE[@]:-}" --bench-json BENCH_parloop.json
+
+test -s BENCH_parloop.json \
+  || { echo "bench.sh: BENCH_parloop.json missing or empty" >&2; exit 1; }
+echo "bench.sh: wrote BENCH_parloop.json"

@@ -39,9 +39,20 @@ if [ "$QUICK" -eq 0 ]; then
   ./target/release/inject_bench --smoke
   test -s results/inject_latency.json \
     || { echo "verify.sh: results/inject_latency.json missing or empty" >&2; exit 1; }
+
+  # Split-policy acceptance: the lazy splitter's deque-push bound
+  # (pushes per loop <= steals + 1, a counting identity over PoolStats —
+  # host-core-count independent, so it is enforced even on a 1-CPU box).
+  # Exits non-zero when the bound is missed and writes
+  # results/lazy_split.json.
+  echo "== split_bench --smoke =="
+  ./target/release/split_bench --smoke
+  test -s results/lazy_split.json \
+    || { echo "verify.sh: results/lazy_split.json missing or empty" >&2; exit 1; }
 else
   echo "== chaos stress skipped (--quick) =="
   echo "== inject_bench skipped (--quick) =="
+  echo "== split_bench skipped (--quick) =="
 fi
 
 echo "verify.sh: all gates passed"

@@ -35,8 +35,8 @@ pub use parloop_trace as trace;
 
 pub use parloop_chaos::{FaultAction, FaultInjector, NoopInjector, PlannedInjector, Site};
 pub use parloop_core::{
-    par_for, par_for_chunks, par_for_dyn, par_for_tracked, try_hybrid_for, try_par_for_chunks,
-    HybridError, HybridStats, Schedule,
+    par_for, par_for_chunks, par_for_chunks_policy, par_for_dyn, par_for_tracked, try_hybrid_for,
+    try_par_for_chunks, HybridError, HybridStats, Schedule, SplitPolicy,
 };
 pub use parloop_runtime::{
     join, scope, CancelToken, Cancelled, PoolHealth, StallReport, ThreadPool, ThreadPoolBuilder,

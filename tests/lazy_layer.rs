@@ -1,0 +1,280 @@
+//! Integration tests for the lazy steal-driven splitter: exactly-once
+//! coverage across adversarial loop shapes, nesting, hybrid composition,
+//! assistant panic propagation, and a seeded chaos sweep over the
+//! `AssistClaim` injection site — all run under *both* [`SplitPolicy`]
+//! variants where the property is policy-independent.
+//!
+//! The chaos sweep honours `CHAOS_SEEDS` (default 32) like the other
+//! chaos suites, so CI can dial the stress level.
+
+mod common;
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use common::run_cases;
+use parloop::chaos::{PlannedInjector, Site, RATE_DENOM};
+use parloop::core::{par_for_chunks_policy, ws_for_chunks_policy};
+use parloop::{Schedule, SplitPolicy, ThreadPool, ThreadPoolBuilder};
+
+const POLICIES: [SplitPolicy; 2] = [SplitPolicy::Lazy, SplitPolicy::Eager];
+
+fn seed_count() -> u64 {
+    std::env::var("CHAOS_SEEDS").ok().and_then(|s| s.parse().ok()).unwrap_or(32)
+}
+
+fn assert_exactly_once(pool: &ThreadPool, n: usize, grain: usize, policy: SplitPolicy) {
+    let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+    pool.install(|| {
+        ws_for_chunks_policy(0..n, grain, policy, &|chunk| {
+            assert!(!chunk.is_empty() && chunk.len() <= grain.max(1), "oversized chunk {chunk:?}");
+            for i in chunk {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+    });
+    for (i, h) in hits.iter().enumerate() {
+        assert_eq!(
+            h.load(Ordering::Relaxed),
+            1,
+            "{} n={n} grain={grain}: iteration {i} not exactly-once",
+            policy.name()
+        );
+    }
+}
+
+/// Exactly-once over the boundary shapes that break off-by-one splitters:
+/// empty, single, one less / equal / one more than the grain, primes
+/// (indivisible by any grain), and a million iterations.
+#[test]
+fn exactly_once_across_boundary_shapes() {
+    let pool = ThreadPool::new(4);
+    run_cases(0x1A2_2026, 3, |rng| {
+        let grain = *[1usize, 7, 64, 512, 2048].get(rng.usize_in(0, 5)).unwrap();
+        let ns = [0usize, 1, grain - 1, grain, grain + 1, 13, 1009, 7919, 104_729, 1_000_000];
+        for policy in POLICIES {
+            for &n in &ns {
+                assert_exactly_once(&pool, n, grain, policy);
+            }
+        }
+    });
+}
+
+/// Randomized (n, grain, pool size) shapes, both policies.
+#[test]
+fn exactly_once_random_shapes() {
+    run_cases(0x1A2_BEEF, 12, |rng| {
+        let p = rng.usize_in(1, 5);
+        let n = rng.usize_in(0, 20_000);
+        let grain = rng.usize_in(1, 300);
+        let pool = ThreadPool::new(p);
+        for policy in POLICIES {
+            if n > 0 {
+                assert_exactly_once(&pool, n, grain, policy);
+            }
+        }
+    });
+}
+
+/// Lazy loops nest: each outer chunk starts an inner lazy loop on the same
+/// pool (the inner owner is whichever worker runs the outer chunk, and both
+/// loops' assist handles coexist in the deques).
+#[test]
+fn nested_lazy_loops_cover_exactly_once() {
+    let pool = ThreadPool::new(4);
+    let (outer_n, inner_n) = (8usize, 1000usize);
+    let hits: Vec<AtomicUsize> = (0..outer_n * inner_n).map(|_| AtomicUsize::new(0)).collect();
+    pool.install(|| {
+        ws_for_chunks_policy(0..outer_n, 1, SplitPolicy::Lazy, &|outer| {
+            for o in outer {
+                ws_for_chunks_policy(0..inner_n, 32, SplitPolicy::Lazy, &|inner| {
+                    for i in inner {
+                        hits[o * inner_n + i].fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+    });
+    assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+}
+
+/// The lazy engine under the hybrid scheduler with oversubscribed
+/// partitions: every partition's inner loop is a lazy loop, and the whole
+/// range is still covered exactly once.
+#[test]
+fn lazy_under_hybrid_with_oversub() {
+    run_cases(0x1A2_0B1B, 6, |rng| {
+        let p = rng.usize_in(1, 5);
+        let n = rng.usize_in(1, 8_000);
+        let oversub = *[1usize, 2, 4].get(rng.usize_in(0, 3)).unwrap();
+        let pool = ThreadPool::new(p);
+        for policy in POLICIES {
+            let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+            par_for_chunks_policy(
+                &pool,
+                0..n,
+                Schedule::Hybrid { grain: Some(16), oversub },
+                policy,
+                |chunk| {
+                    for i in chunk {
+                        hits[i].fetch_add(1, Ordering::Relaxed);
+                    }
+                },
+            );
+            assert!(
+                hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                "{} p={p} n={n} oversub={oversub}",
+                policy.name()
+            );
+        }
+    });
+}
+
+/// A panic raised inside an *assistant's* chunk propagates to the loop's
+/// owner and leaves the pool reusable. The assistant is made deterministic:
+/// the owner's first chunk blocks until another worker has adopted the
+/// assist handle (visible through the always-on `assist_joins` counter),
+/// and the body panics on any chunk that executes on a non-owner worker.
+#[test]
+fn panic_in_assistant_propagates_and_pool_is_reusable() {
+    use std::sync::atomic::AtomicBool;
+
+    use parloop::runtime::WorkerToken;
+
+    let pool = ThreadPool::new(2);
+    let joins_before = pool.stats().assist_joins;
+    // Set by the assistant just before it panics; owner chunks stall until
+    // they see it, so the loop cannot finish without an assistant chunk.
+    let assistant_fired = AtomicBool::new(false);
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        pool.install(|| {
+            let owner = WorkerToken::current().unwrap().index();
+            ws_for_chunks_policy(0..4096, 16, SplitPolicy::Lazy, &|chunk| {
+                let me = WorkerToken::current().unwrap().index();
+                if me != owner {
+                    assistant_fired.store(true, Ordering::Release);
+                    panic!("assistant chunk {chunk:?} dies");
+                }
+                let deadline = Instant::now() + Duration::from_secs(10);
+                if chunk.start == 0 {
+                    // Hold the owner's exclusive phase open until a thief
+                    // adopts the assist handle (it then spins for the
+                    // owner's ack, granted right after this chunk).
+                    while pool.stats().assist_joins == joins_before {
+                        assert!(Instant::now() < deadline, "no assistant joined within 10s");
+                        std::thread::yield_now();
+                    }
+                } else {
+                    // Shared phase: the acked assistant claims from the
+                    // same cursor, so stalling here guarantees it wins a
+                    // chunk (and panics) before the owner drains the loop.
+                    while !assistant_fired.load(Ordering::Acquire) {
+                        assert!(Instant::now() < deadline, "assistant never claimed a chunk");
+                        std::thread::yield_now();
+                    }
+                }
+            });
+        });
+    }));
+    assert!(result.is_err(), "the assistant's panic must reach the owner");
+    assert!(pool.stats().assist_joins > joins_before, "panic came from a registered assistant");
+
+    // Pool healthy and reusable, exactly-once intact.
+    assert!(!pool.is_degraded());
+    let sum = AtomicUsize::new(0);
+    pool.install(|| {
+        ws_for_chunks_policy(0..100, 8, SplitPolicy::Lazy, &|chunk| {
+            for i in chunk {
+                sum.fetch_add(i, Ordering::Relaxed);
+            }
+        });
+    });
+    assert_eq!(sum.load(Ordering::Relaxed), 4950);
+}
+
+/// Seeded chaos sweep over [`Site::AssistClaim`]: forced CAS losses,
+/// delays, and (on odd seeds) a one-shot injected panic in the claim loop.
+/// Exactly-once must hold whenever the loop completes; an injected panic
+/// must surface as a panic (never a wrong answer) and leave the pool
+/// reusable.
+#[test]
+fn assist_claim_chaos_sweep_preserves_exactly_once() {
+    let p = 4;
+    let n = 2048;
+    for seed in 0..seed_count() {
+        let mut injector =
+            PlannedInjector::quiet(seed).with_rate(Site::AssistClaim, RATE_DENOM / 2);
+        if seed % 2 == 1 {
+            injector = injector.with_panic_at(Site::AssistClaim, seed % 5);
+        }
+        let pool =
+            ThreadPoolBuilder::new().num_workers(p).fault_injector(Arc::new(injector)).build();
+
+        for rep in 0..4 {
+            let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                pool.install(|| {
+                    ws_for_chunks_policy(0..n, 16, SplitPolicy::Lazy, &|chunk| {
+                        for i in chunk {
+                            hits[i].fetch_add(1, Ordering::Relaxed);
+                        }
+                    });
+                });
+            }));
+            match result {
+                Ok(()) => {
+                    for (i, h) in hits.iter().enumerate() {
+                        assert_eq!(
+                            h.load(Ordering::Relaxed),
+                            1,
+                            "seed {seed} rep {rep}: iteration {i} not exactly-once"
+                        );
+                    }
+                }
+                Err(_) => {
+                    // Injected one-shot panic: nothing may have run twice.
+                    for (i, h) in hits.iter().enumerate() {
+                        assert!(
+                            h.load(Ordering::Relaxed) <= 1,
+                            "seed {seed} rep {rep}: iteration {i} ran twice under panic"
+                        );
+                    }
+                }
+            }
+        }
+        // Whatever the plan injected, the pool must finish a clean loop.
+        let sum = AtomicUsize::new(0);
+        let clean = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.install(|| {
+                ws_for_chunks_policy(0..100, 8, SplitPolicy::Lazy, &|chunk| {
+                    for i in chunk {
+                        sum.fetch_add(i, Ordering::Relaxed);
+                    }
+                });
+            });
+        }));
+        if clean.is_ok() {
+            assert_eq!(sum.load(Ordering::Relaxed), 4950, "seed {seed}: wrong sum after chaos");
+        }
+        drop(pool);
+    }
+}
+
+/// Full-rate forced CAS losses must not livelock: the in-loop cap on
+/// consecutive forced losses guarantees progress even when the plan says
+/// "fail every attempt".
+#[test]
+fn rate_one_assist_claim_losses_still_make_progress() {
+    let injector = PlannedInjector::quiet(99).with_rate(Site::AssistClaim, RATE_DENOM);
+    let pool = ThreadPoolBuilder::new().num_workers(2).fault_injector(Arc::new(injector)).build();
+    let hits: Vec<AtomicUsize> = (0..1024).map(|_| AtomicUsize::new(0)).collect();
+    pool.install(|| {
+        ws_for_chunks_policy(0..1024, 8, SplitPolicy::Lazy, &|chunk| {
+            for i in chunk {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+    });
+    assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+}

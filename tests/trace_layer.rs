@@ -90,6 +90,12 @@ fn concurrent_snapshots_never_observe_torn_events() {
             }
         })
     };
+    // On a single-CPU host the writer thread may not get scheduled while
+    // this thread spins through its snapshots; wait until it has recorded
+    // something so every run actually exercises the reader/writer overlap.
+    while sink.snapshot().events.is_empty() {
+        std::thread::yield_now();
+    }
     let mut seen = 0usize;
     for _ in 0..2000 {
         let snap = sink.snapshot();
