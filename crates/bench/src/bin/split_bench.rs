@@ -20,6 +20,16 @@
 //!   not the splitter). Full mode enforces lazy ≤ eager at every grain;
 //!   `--smoke` reports the ratios without enforcing them (shared CI boxes
 //!   make tight wall-clock bars flaky) and shrinks `n`.
+//! * **per-loop floor (`floor/*`)** — ns per near-empty loop (64
+//!   iterations, grain 16: the body is negligible, so the timing *is* the
+//!   per-loop fixed cost) at P = 1/2/4, lazy vs eager, plus the forced
+//!   coordinator path at P = 1 (`floor/lazy_coord/p1` — what every P = 1
+//!   loop paid before the single-worker bypass). Timed *inside* one
+//!   `install`, so the injection round-trip is excluded and only the
+//!   loop machinery is measured. Full mode enforces the bypass bar
+//!   (`floor/lazy/p1` at least 2x below `floor/lazy_coord/p1`); P > 1
+//!   floors are report-only everywhere — on an oversubscribed host they
+//!   time the OS scheduler.
 //!
 //! Usage: `cargo run --release -p parloop-bench --bin split_bench
 //! [--smoke] [--bench-json PATH]`
@@ -32,7 +42,7 @@
 use std::ops::Range;
 
 use parloop_bench::{time_best_ns, Table};
-use parloop_core::{ws_for_chunks_policy, SplitPolicy};
+use parloop_core::{lazy_for_chunks_coordinator, ws_for_chunks_policy, SplitPolicy};
 use parloop_runtime::{PoolStats, ThreadPool};
 
 /// `PoolStats` deltas from running `loops` identical lazy/eager loops.
@@ -95,6 +105,51 @@ fn measure_time(pool: &ThreadPool, n: usize, grain: usize, reps: usize) -> TimeR
         lazy_ns_per_iter: time(SplitPolicy::Lazy),
         eager_ns_per_iter: time(SplitPolicy::Eager),
     }
+}
+
+/// Per-loop fixed cost at one worker count: ns per near-empty loop.
+struct FloorRow {
+    workers: usize,
+    lazy_ns: f64,
+    eager_ns: f64,
+    /// The pre-bypass coordinator path, measured at P = 1 only (elsewhere
+    /// it is the same code `lazy_ns` already measures).
+    coord_ns: Option<f64>,
+}
+
+fn measure_floor(workers: usize, reps: usize) -> FloorRow {
+    // 64 iterations at grain 16: four chunks of trivial work, so the
+    // timing is dominated by the per-loop machinery, not the body.
+    let n = 64usize;
+    let grain = 16usize;
+    // Batch loops inside each timed rep so the clock quantum cannot
+    // swallow a single ~100ns loop.
+    const LOOPS: usize = 256;
+    let pool = ThreadPool::new(workers);
+    let body = |chunk: Range<usize>| {
+        std::hint::black_box(chunk.len());
+    };
+    let time_policy = |policy: SplitPolicy| {
+        pool.install(|| {
+            time_best_ns(reps, || {
+                for _ in 0..LOOPS {
+                    ws_for_chunks_policy(0..n, grain, policy, &body);
+                }
+            })
+        }) / LOOPS as f64
+    };
+    let lazy_ns = time_policy(SplitPolicy::Lazy);
+    let eager_ns = time_policy(SplitPolicy::Eager);
+    let coord_ns = (workers == 1).then(|| {
+        pool.install(|| {
+            time_best_ns(reps, || {
+                for _ in 0..LOOPS {
+                    lazy_for_chunks_coordinator(0..n, grain, &body);
+                }
+            })
+        }) / LOOPS as f64
+    });
+    FloorRow { workers, lazy_ns, eager_ns, coord_ns }
 }
 
 fn main() {
@@ -163,14 +218,29 @@ fn main() {
     println!();
     t.print();
 
+    // Per-loop fixed cost at P = 1/2/4 (the paper's Fig. 1 latency-floor
+    // measurement, which `split/lazy/*` ns/iter amortizes away).
+    let floors: Vec<FloorRow> = [1usize, 2, 4].iter().map(|&p| measure_floor(p, reps)).collect();
+    let mut t = Table::new(vec!["workers", "lazy ns/loop", "eager ns/loop", "coord ns/loop"]);
+    for f in &floors {
+        t.row(vec![
+            f.workers.to_string(),
+            format!("{:.1}", f.lazy_ns),
+            format!("{:.1}", f.eager_ns),
+            f.coord_ns.map_or_else(|| "-".into(), |c| format!("{c:.1}")),
+        ]);
+    }
+    println!();
+    t.print();
+
     let cpus = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1);
-    let json = render_json(cpus, n, push_grain, &samples, &rows);
+    let json = render_json(cpus, n, push_grain, &samples, &rows, &floors);
     std::fs::create_dir_all("results").expect("create results/");
     std::fs::write("results/lazy_split.json", &json).expect("write results JSON");
     println!("\nwrote results/lazy_split.json");
 
     if let Some(path) = &bench_json {
-        let flat = render_bench_json(&samples, &rows);
+        let flat = render_bench_json(&samples, &rows, &floors);
         std::fs::write(path, &flat).expect("write bench JSON");
         println!("wrote {path}");
     }
@@ -223,6 +293,29 @@ fn main() {
             }
         }
     }
+    // The bypass bar: the P = 1 fixed cost must sit at least 2x below the
+    // coordinator path it replaced. Report-only in smoke mode (same
+    // wall-clock flakiness argument as the ns/iter bars).
+    let f1 = &floors[0];
+    let coord = f1.coord_ns.expect("P=1 floor row measures the coordinator");
+    let ratio = coord / f1.lazy_ns.max(1e-9);
+    if smoke {
+        println!(
+            "check P=1 floor: bypass {:.1} vs coordinator {coord:.1} ns/loop = {ratio:.2}x \
+             (reported only in smoke mode)",
+            f1.lazy_ns
+        );
+    } else {
+        let ok = f1.lazy_ns * 2.0 <= coord;
+        println!(
+            "check P=1 floor: bypass {:.1} * 2 <= coordinator {coord:.1} ns/loop ({ratio:.2}x) [{}]",
+            f1.lazy_ns,
+            if ok { "OK" } else { "FAIL" }
+        );
+        if !ok {
+            failed = true;
+        }
+    }
     if failed {
         eprintln!("FAILED: split acceptance bars not met");
         std::process::exit(1);
@@ -234,7 +327,7 @@ fn main() {
 
 /// The flat cross-commit tracking format: one `{name, value, unit}` entry
 /// per measured quantity, names stable across PRs.
-fn render_bench_json(samples: &[PushSample], rows: &[TimeRow]) -> String {
+fn render_bench_json(samples: &[PushSample], rows: &[TimeRow], floors: &[FloorRow]) -> String {
     let mut entries: Vec<(String, String, &str)> = Vec::new();
     for r in rows {
         entries.push((
@@ -260,6 +353,25 @@ fn render_bench_json(samples: &[PushSample], rows: &[TimeRow]) -> String {
             "pushes_per_loop",
         ));
     }
+    for f in floors {
+        entries.push((
+            format!("floor/lazy/p{}", f.workers),
+            format!("{:.1}", f.lazy_ns),
+            "ns_per_loop",
+        ));
+        entries.push((
+            format!("floor/eager/p{}", f.workers),
+            format!("{:.1}", f.eager_ns),
+            "ns_per_loop",
+        ));
+        if let Some(c) = f.coord_ns {
+            entries.push((
+                format!("floor/lazy_coord/p{}", f.workers),
+                format!("{c:.1}"),
+                "ns_per_loop",
+            ));
+        }
+    }
     let mut s = String::from("{\n  \"benchmark\": \"parloop\",\n  \"results\": [\n");
     for (k, (name, value, unit)) in entries.iter().enumerate() {
         s.push_str(&format!(
@@ -277,6 +389,7 @@ fn render_json(
     push_grain: usize,
     samples: &[PushSample],
     rows: &[TimeRow],
+    floors: &[FloorRow],
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
@@ -307,6 +420,18 @@ fn render_json(
             r.eager_ns_per_iter,
             r.eager_ns_per_iter / r.lazy_ns_per_iter,
             if k + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"floor_ns_per_loop\": [\n");
+    for (k, f) in floors.iter().enumerate() {
+        let coord = f.coord_ns.map_or_else(|| "null".into(), |c| format!("{c:.1}"));
+        s.push_str(&format!(
+            "    {{\"workers\": {}, \"lazy\": {:.1}, \"eager\": {:.1}, \"lazy_coord\": {coord}}}{}\n",
+            f.workers,
+            f.lazy_ns,
+            f.eager_ns,
+            if k + 1 < floors.len() { "," } else { "" }
         ));
     }
     s.push_str("  ]\n}\n");

@@ -355,6 +355,13 @@ impl PlannedInjector {
     pub fn queries_total(&self) -> u64 {
         self.queries.iter().map(|c| c.0.load(Ordering::Relaxed)).sum()
     }
+
+    /// Decide calls at one specific site so far. Lets tests assert that a
+    /// site was *never consulted* (e.g. `Site::AssistClaim` on the
+    /// single-worker bypass), which `queries_total` cannot distinguish.
+    pub fn queries_at(&self, site: Site) -> u64 {
+        self.queries[site.index()].0.load(Ordering::Relaxed)
+    }
 }
 
 impl FaultInjector for PlannedInjector {

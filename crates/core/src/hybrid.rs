@@ -32,6 +32,35 @@
 //! erasure happens only at the adopter-frame boundary (the frame closure
 //! is boxed to cross `spawn_local`), i.e. once per protocol steal instead
 //! of once per iteration.
+//!
+//! # Completion-path ordering (fence audit)
+//!
+//! The only synchronization the initiator's return depends on is the
+//! completion latch: each participant's partition executions
+//! happen-before its (batched) `CountLatch::set_many`, whose `Release`
+//! half joins the latch's release sequence; the initiator's `Acquire`
+//! probe of zero therefore sees every partition's writes (proof in
+//! `parloop_runtime::latch`). Everything else on the completion path is
+//! *observability*, not synchronization, and runs `Relaxed`:
+//!
+//! * `adoptions` / `failed_claims` / `skipped` are monotone counters read
+//!   once in `stats_snapshot` *after* the latch resolves. Counts from any
+//!   participant that executed a partition are ordered by the latch edge;
+//!   a late adopter that claimed nothing may be missed by the snapshot —
+//!   exactly as it could be under the previous `SeqCst`-strength RMWs,
+//!   since no ordering makes "increments after the last decrement"
+//!   visible to a snapshot that has already been taken.
+//! * `poisoned` is a prompt-skip hint. Reading a stale `false` merely runs
+//!   a partition body that a fresher read would have skipped — always
+//!   allowed, since the poisoning panic races with that claim anyway. The
+//!   authoritative panic payload travels under the `panic` mutex, and the
+//!   deterministic skip tests run on one worker where coherence alone
+//!   orders the store before the next claim's load.
+//!
+//! Batching the latch decrements ([`LatchBatch`]) turns `k` executed
+//! partitions per walk into one RMW; the flush sits in a `Drop` impl so an
+//! injected panic unwinding a walk still resolves everything it executed
+//! (a stranded count would hang the initiator).
 
 use std::any::Any;
 use std::ops::Range;
@@ -40,7 +69,7 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 use parloop_runtime::chaos::{chaos_spin, INJECTED_PANIC_MSG};
-use parloop_runtime::{CancelToken, CountLatch, FaultAction, Latch, Site, TraceEvent, WorkerToken};
+use parloop_runtime::{CancelToken, CountLatch, FaultAction, Site, TraceEvent, WorkerToken};
 
 use crate::claim::{partitions_oversubscribed, ClaimTable, ClaimWalker};
 use crate::lazy::SplitPolicy;
@@ -143,13 +172,44 @@ impl<F> HybridState<F> {
         self.poisoned.store(true, Ordering::Release);
     }
 
+    /// Read the observability counters. Called only after the completion
+    /// latch resolved, which orders every partition-executing
+    /// participant's `Relaxed` increments before these loads (module
+    /// docs); hence no per-load ordering is needed.
     fn stats_snapshot(&self) -> HybridStats {
         HybridStats {
             partitions: self.r_parts,
-            adoptions: self.adoptions.load(Ordering::Acquire),
-            failed_claims: self.failed_claims.load(Ordering::Acquire),
-            skipped_partitions: self.skipped.load(Ordering::Acquire),
+            adoptions: self.adoptions.load(Ordering::Relaxed),
+            failed_claims: self.failed_claims.load(Ordering::Relaxed),
+            skipped_partitions: self.skipped.load(Ordering::Relaxed),
         }
+    }
+}
+
+/// Batches completion-latch decrements: a walk counts the partitions it
+/// resolved locally and publishes one combined [`CountLatch::set_many`]
+/// instead of one RMW per partition. The flush lives in `Drop` so a panic
+/// unwinding a walk (injected claim faults) still resolves everything the
+/// walk executed — a stranded count would hang the initiator.
+struct LatchBatch<'a> {
+    latch: &'a CountLatch,
+    pending: usize,
+}
+
+impl<'a> LatchBatch<'a> {
+    fn new(latch: &'a CountLatch) -> Self {
+        LatchBatch { latch, pending: 0 }
+    }
+
+    #[inline]
+    fn add_one(&mut self) {
+        self.pending += 1;
+    }
+}
+
+impl Drop for LatchBatch<'_> {
+    fn drop(&mut self) {
+        self.latch.set_many(self.pending);
     }
 }
 
@@ -254,6 +314,22 @@ where
     let n = range.len();
     let p = token.num_workers();
     let r_parts = partitions_oversubscribed(p, oversub);
+
+    // Single-partition bypass: with R = 1 (which implies P = 1) the whole
+    // loop is one partition earmarked for the initiator, and no thief
+    // exists to adopt a frame — the claim table, latch, and frame publish
+    // buy nothing. Skipped when chaos is enabled (so the FramePublish /
+    // Claim / PartitionBody sites stay exercised on one-worker pools) or
+    // a cancel token is present (the cancel drain path needs the table).
+    if r_parts == 1 && cancel.is_none() && !token.chaos_enabled() {
+        let stats = HybridStats { partitions: 1, ..HybridStats::default() };
+        return match catch_unwind(AssertUnwindSafe(|| {
+            ws_for_chunks_policy(range, grain, policy, body)
+        })) {
+            Ok(()) => Ok(stats),
+            Err(payload) => Err(HybridError::Panicked { stats, payload }),
+        };
+    }
 
     let state = Arc::new(HybridState {
         table: ClaimTable::new(r_parts),
@@ -374,7 +450,8 @@ where
         // claimed partitions' inner loops).
         return;
     }
-    state.adoptions.fetch_add(1, Ordering::AcqRel);
+    // Relaxed: observability counter; ordering argument in module docs.
+    state.adoptions.fetch_add(1, Ordering::Relaxed);
     token.trace(TraceEvent::HybridFrameStolen);
     // Re-instantiate the frame so later thieves can also join. Adopter
     // frames run from the scheduler's own loop, so an injected publish
@@ -416,6 +493,9 @@ where
     let tracing = token.tracing_enabled();
     let chaos = token.chaos_enabled();
     let mut walker = ClaimWalker::new(w, state.r_parts);
+    // One combined latch decrement per walk instead of one per partition
+    // (flushed on drop — including an unwind from an injected panic).
+    let mut done = LatchBatch::new(&state.latch);
     while let Some(candidate) = walker.candidate() {
         if state.cancelled() {
             break;
@@ -444,10 +524,13 @@ where
         }
         if let Some(part) = walker.record(won) {
             execute_partition(token, state, part);
-            state.latch.set();
+            done.add_one();
         }
     }
-    state.failed_claims.fetch_add(walker.stats().failed, Ordering::AcqRel);
+    // Relaxed: observability counter; ordering argument in module docs.
+    // This precedes the batch flush (drop of `done`), so a participant's
+    // count is published by its own latch edge.
+    state.failed_claims.fetch_add(walker.stats().failed, Ordering::Relaxed);
 }
 
 /// Claim-and-resolve every partition still unclaimed. Used as the rescue
@@ -460,13 +543,14 @@ fn sweep_unclaimed<F>(token: &WorkerToken, state: &Arc<HybridState<F>>)
 where
     F: Fn(Range<usize>) + Sync,
 {
+    let mut done = LatchBatch::new(&state.latch);
     for part in 0..state.r_parts {
         if state.table.all_claimed() {
             break;
         }
         if state.table.try_claim(part) {
             execute_partition(token, state, part);
-            state.latch.set();
+            done.add_one();
         }
     }
 }
@@ -476,11 +560,14 @@ fn execute_partition<F>(token: &WorkerToken, state: &Arc<HybridState<F>>, part: 
 where
     F: Fn(Range<usize>) + Sync,
 {
-    if state.poisoned.load(Ordering::Acquire) || state.cancelled() {
+    // Relaxed on both: `poisoned` is a prompt-skip hint (the payload is
+    // authoritative, under the panic mutex) and `skipped` an observability
+    // counter — happens-before arguments in the module docs.
+    if state.poisoned.load(Ordering::Relaxed) || state.cancelled() {
         // A sibling partition panicked (or the loop was cancelled): skip
         // the body but keep the claim walk and latch accounting alive so
         // the loop still terminates.
-        state.skipped.fetch_add(1, Ordering::AcqRel);
+        state.skipped.fetch_add(1, Ordering::Relaxed);
         return;
     }
     let rel = block_bounds(state.n, state.r_parts, part);

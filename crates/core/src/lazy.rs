@@ -56,6 +56,41 @@
 //! re-reads and retries exactly as if another assistant had won the race;
 //! consecutive forced losses are capped at one so rate-1 plans still make
 //! progress), delays, and one-shot panics inside the claim loop.
+//!
+//! ## The single-worker bypass
+//!
+//! Every piece above exists to coordinate with *thieves*, and a P = 1
+//! pool cannot have any: the assist handle is only reachable by stealing,
+//! and this worker — the only one — is busy running the loop. So with one
+//! worker the loop skips the coordinator allocation, the latch, the
+//! handshake and the claim machinery entirely and runs as a plain chunked
+//! call ([`lazy_for_chunks`] dispatches to `run_uncontended`). Observable
+//! behaviour is unchanged: chunk trace brackets still fire, panics still
+//! propagate to the caller, and `Site::AssistClaim` is — as on the
+//! coordinator path with zero assists — never consulted.
+//!
+//! ## Memory-ordering audit (per-site happens-before arguments)
+//!
+//! * `shared`/`ack` handshake: the assistant's `shared` release store is
+//!   paired with the owner's acquire load; the owner's `ack` release store
+//!   is paired with the assistant's acquire spin. The second pair is the
+//!   load-bearing one: the owner's *last plain cursor store* precedes its
+//!   `ack` store in program order, so the release/acquire edge on `ack`
+//!   makes that store visible before the assistant's first CAS. Neither
+//!   flag needs SeqCst — each direction of the handshake is a one-way
+//!   message, not a Dekker-style mutual exclusion.
+//! * Cursor claims: the exclusive-phase plain load may be Relaxed (the
+//!   owner is the only writer until it acknowledges `shared`); the release
+//!   store / AcqRel CAS publish each claim so a later claimant's acquire
+//!   load sees every prior advance.
+//! * `working`/`finished`/latch: `exit_participant`'s AcqRel `fetch_sub`
+//!   is the completion edge — the Release half publishes this
+//!   participant's chunk writes, and the final decrementer's Acquire half
+//!   (plus the latch-probe acquire in the owner) pulls in all of them
+//!   before `lazy_for_chunks` returns.
+//! * `poisoned` is read Relaxed: it is a promptness hint only (see the
+//!   comments at the two load sites); correctness rests on the drained
+//!   cursor and the panic mutex.
 
 use std::any::Any;
 use std::ops::Range;
@@ -155,6 +190,12 @@ impl<F> LoopCoordinator<F> {
 /// actual parallelism; off-pool it degrades to a sequential chunked call
 /// (serial elision). Ranges longer than `u32::MAX` iterations fall back to
 /// eager splitting (the packed cursor is 32-bit).
+///
+/// On a **one-worker pool** the entire coordinator is bypassed: no thief
+/// can ever exist, so the loop runs as a plain chunked call — zero
+/// allocations, zero atomics, zero latch waits, and the `AssistClaim`
+/// chaos site is never consulted (there is no claim loop to inject into).
+/// Panics propagate unchanged (there is no sibling participant to poison).
 pub fn lazy_for_chunks<F>(range: Range<usize>, grain: usize, body: &F)
 where
     F: Fn(Range<usize>) + Sync,
@@ -178,11 +219,82 @@ where
         run_chunk(&token, tracing, range, body);
         return;
     }
+    // Single-worker bypass: the coordinator exists only to let thieves
+    // join, and a P = 1 pool has none. See `run_uncontended`.
+    if token.num_workers() == 1 {
+        run_uncontended(&token, tracing, range, grain, body);
+        return;
+    }
     if n > u32::MAX as usize {
         crate::stealing::ws_for_chunks_eager(range, grain, body);
         return;
     }
+    coordinated_loop(&token, range, grain, n, body);
+}
 
+/// The single-worker fast path: a plain loop over grain-sized chunks.
+/// Keeps the `ChunkStart`/`ChunkEnd` trace bracket (observability is
+/// unchanged) but allocates nothing and performs no atomic operation —
+/// the per-loop fixed cost is the chunked call itself.
+#[inline]
+fn run_uncontended<F>(
+    token: &WorkerToken,
+    tracing: bool,
+    range: Range<usize>,
+    grain: usize,
+    body: &F,
+) where
+    F: Fn(Range<usize>) + Sync,
+{
+    let mut lo = range.start;
+    while lo < range.end {
+        let hi = (lo + grain).min(range.end);
+        run_chunk(token, tracing, lo..hi, body);
+        lo = hi;
+    }
+}
+
+/// Force the full coordinator path even where [`lazy_for_chunks`] would
+/// take the single-worker bypass. Exists so benchmarks can measure the
+/// bypass against the machinery it skips (`floor/lazy_coord/*` in
+/// `split_bench`) and so chaos tests can keep exercising the coordinator
+/// on a one-worker pool. Not part of the public API contract.
+#[doc(hidden)]
+pub fn lazy_for_chunks_coordinator<F>(range: Range<usize>, grain: usize, body: &F)
+where
+    F: Fn(Range<usize>) + Sync,
+{
+    let grain = grain.max(1);
+    let n = range.len();
+    if n == 0 {
+        return;
+    }
+    let Some(token) = WorkerToken::current() else {
+        let mut lo = range.start;
+        while lo < range.end {
+            let hi = (lo + grain).min(range.end);
+            body(lo..hi);
+            lo = hi;
+        }
+        return;
+    };
+    if n <= grain {
+        run_chunk(&token, token.tracing_enabled(), range, body);
+        return;
+    }
+    if n > u32::MAX as usize {
+        crate::stealing::ws_for_chunks_eager(range, grain, body);
+        return;
+    }
+    coordinated_loop(&token, range, grain, n, body);
+}
+
+/// The shared-cursor coordinator path (P > 1, or forced via
+/// [`lazy_for_chunks_coordinator`]).
+fn coordinated_loop<F>(token: &WorkerToken, range: Range<usize>, grain: usize, n: usize, body: &F)
+where
+    F: Fn(Range<usize>) + Sync,
+{
     let state = Arc::new(LoopCoordinator {
         range: AtomicU64::new(pack(0, n as u64)),
         grain,
@@ -204,11 +316,12 @@ where
     });
 
     // The single stealable entry point into this loop. On a one-worker
-    // pool no thief exists, so the loop costs zero deque pushes.
+    // pool no thief exists, so the loop costs zero deque pushes (only the
+    // forced-coordinator entry reaches here with P = 1).
     if token.num_workers() > 1 {
-        publish_handle(&token, &state);
+        publish_handle(token, &state);
     }
-    participate(&token, &state, true);
+    participate(token, &state, true);
     token.wait_until(&state.latch);
 
     let maybe_panic = state.panic.lock().unwrap().take();
@@ -326,7 +439,13 @@ where
             claim_loop(token, state, tracing, chaos, false);
             return;
         }
-        if state.poisoned.load(Ordering::Acquire) {
+        // Ordering: Relaxed suffices — `poisoned` is a promptness hint,
+        // not the correctness mechanism. The authoritative stop is
+        // `drain()`'s cursor store (the panicking participant jumps the
+        // cursor to `end`), which this loop observes through the packed
+        // word itself; the panic payload is read under `state.panic`'s
+        // mutex, whose lock provides the happens-before edge.
+        if state.poisoned.load(Ordering::Relaxed) {
             state.drain();
             break;
         }
@@ -361,7 +480,10 @@ fn claim_loop<F>(
     // losses instead of livelock.
     let mut gate_bypassed = false;
     loop {
-        if state.poisoned.load(Ordering::Acquire) {
+        // Relaxed: same promptness-hint argument as in `owner_loop` — the
+        // drained cursor, not this flag, is what guarantees no further
+        // chunk is claimed after a panic.
+        if state.poisoned.load(Ordering::Relaxed) {
             state.drain();
             return;
         }

@@ -50,12 +50,15 @@ pub use claim::{
     run_claim_heuristic, ClaimTable, ClaimWalker, HeuristicStats,
 };
 pub use hybrid::{HybridError, HybridStats};
+#[doc(hidden)]
+pub use lazy::lazy_for_chunks_coordinator;
 pub use lazy::{lazy_for_chunks, SplitPolicy};
 pub use range::{block_bounds, block_of, default_grain};
 pub use reduce::{par_max_f64, par_reduce, par_sum_f64, par_sum_u64};
 pub use schedule::{
-    hybrid_for_with_stats, par_for, par_for_chunks, par_for_chunks_policy, par_for_dyn,
-    par_for_tracked, try_hybrid_for, try_par_for_chunks, Schedule,
+    hybrid_for_with_stats, par_for, par_for_chunks, par_for_chunks_policy,
+    par_for_chunks_with_grain, par_for_dyn, par_for_tracked, try_hybrid_for, try_par_for_chunks,
+    Schedule,
 };
 pub use static_part::{static_cyclic_owner, static_owner};
 pub use stealing::{

@@ -250,6 +250,58 @@ pub fn par_for_chunks_policy<F>(
     }
 }
 
+/// [`par_for_chunks`] with an explicit grain hint, overriding the derived
+/// `min(2048, N/8P)` default. `default_grain` only sees the iteration
+/// *count*, never the body's weight — a caller that knows each iteration
+/// is heavy (or trivially light) can hint a smaller (or larger) chunk
+/// here. Groundwork for the adaptive grain controller (ROADMAP item 3).
+///
+/// The hint maps onto each scheme's own granularity knob: the splitter
+/// grain for [`Schedule::DynamicStealing`] / [`Schedule::Hybrid`], the
+/// fixed chunk for [`Schedule::WorkSharing`] / [`Schedule::StaticCyclic`],
+/// and the minimum chunk for [`Schedule::Guided`]. The block-partitioned
+/// schemes ([`Schedule::Static`], [`Schedule::StaticSharing`]) have no
+/// chunk parameter and ignore it. A hint of `0` is clamped to `1`.
+///
+/// ```
+/// use parloop_core::{par_for_chunks_with_grain, Schedule};
+/// use parloop_runtime::ThreadPool;
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+///
+/// let pool = ThreadPool::new(4);
+/// // default_grain(16384, 4) would be 512; hint 64 instead.
+/// let max_len = AtomicUsize::new(0);
+/// let total = AtomicUsize::new(0);
+/// par_for_chunks_with_grain(&pool, 0..16384, Schedule::vanilla(), 64, |chunk| {
+///     max_len.fetch_max(chunk.len(), Ordering::Relaxed);
+///     total.fetch_add(chunk.len(), Ordering::Relaxed);
+/// });
+/// assert_eq!(total.load(Ordering::Relaxed), 16384);
+/// // The largest chunk the splitter hands out is exactly the hint.
+/// assert_eq!(max_len.load(Ordering::Relaxed), 64);
+/// ```
+pub fn par_for_chunks_with_grain<F>(
+    pool: &ThreadPool,
+    range: Range<usize>,
+    sched: Schedule,
+    grain_hint: usize,
+    body: F,
+) where
+    F: Fn(Range<usize>) + Sync,
+{
+    let hint = grain_hint.max(1);
+    let sched = match sched {
+        Schedule::DynamicStealing { .. } => Schedule::DynamicStealing { grain: Some(hint) },
+        Schedule::Hybrid { oversub, .. } => Schedule::Hybrid { grain: Some(hint), oversub },
+        Schedule::WorkSharing { .. } => Schedule::WorkSharing { chunk: hint },
+        Schedule::Guided { .. } => Schedule::Guided { min_chunk: hint },
+        Schedule::StaticCyclic { .. } => Schedule::StaticCyclic { chunk: hint },
+        // Block-partitioned schemes have no chunk knob; the hint is moot.
+        keep @ (Schedule::Static | Schedule::StaticSharing) => keep,
+    };
+    par_for_chunks(pool, range, sched, body);
+}
+
 /// Dyn-compatible [`par_for`]: the body is a trait object, so every
 /// iteration pays one virtual call. Decomposes `range` into exactly the
 /// same chunks as the generic path (it runs through [`par_for_chunks`]),
@@ -575,6 +627,37 @@ mod tests {
                 policy.name()
             );
         }
+    }
+
+    #[test]
+    fn grain_hint_overrides_every_chunked_scheme() {
+        let (n, p) = (4096usize, 2usize);
+        let pool = ThreadPool::new(p);
+        for sched in [
+            Schedule::vanilla(),
+            Schedule::hybrid(),
+            Schedule::omp_dynamic(999),
+            Schedule::omp_static_chunked(999),
+        ] {
+            let max_len = AtomicUsize::new(0);
+            let total = AtomicUsize::new(0);
+            par_for_chunks_with_grain(&pool, 0..n, sched, 32, |chunk| {
+                max_len.fetch_max(chunk.len(), Ordering::Relaxed);
+                total.fetch_add(chunk.len(), Ordering::Relaxed);
+            });
+            assert_eq!(total.load(Ordering::Relaxed), n, "{}", sched.name());
+            assert!(
+                max_len.load(Ordering::Relaxed) <= 32,
+                "{}: chunk exceeded the 32-iteration hint",
+                sched.name()
+            );
+        }
+        // Zero clamps to 1 rather than panicking or hanging.
+        let total = AtomicUsize::new(0);
+        par_for_chunks_with_grain(&pool, 0..17, Schedule::vanilla(), 0, |chunk| {
+            total.fetch_add(chunk.len(), Ordering::Relaxed);
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 17);
     }
 
     #[test]

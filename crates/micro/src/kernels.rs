@@ -1,0 +1,145 @@
+//! Stride-1, autovectorizable leaf kernels.
+//!
+//! The paper's stride-13 [`iteration_body`](crate::IterativeMicro) is
+//! deliberately prefetcher- (and vectorizer-) hostile; these kernels are
+//! its complement: dense inner loops the compiler can saturate with SIMD,
+//! so scheduler-overhead measurements can also be taken against leaves
+//! that run at full machine throughput (an overhead hiding in a slow leaf
+//! is invisible; against a saturated leaf it is the whole signal).
+//!
+//! Autovectorization notes, checked by `kernels_bench --check-saturation`
+//! and the `scripts/verify.sh --asm` disassembly grep:
+//!
+//! * `axpy` is elementwise with no loop-carried dependence — LLVM
+//!   vectorizes it directly.
+//! * `dot` and `sum_u64` are reductions. A naive `fold` over `f64` is a
+//!   loop-carried serial dependence that LLVM must *not* reorder (FP
+//!   addition is non-associative), so the float kernels accumulate into
+//!   [`LANES`] independent partial sums — re-associating by hand — which
+//!   frees the backend to keep each lane in a vector register. Integer
+//!   addition is associative, so `sum_u64` vectorizes even written
+//!   naively; it uses the same shape for uniformity.
+//! * The `*_asm_anchor` wrappers are `#[inline(never)]` so each kernel
+//!   survives as a standalone symbol in the release binary for the
+//!   disassembly check; the kernels themselves are `#[inline(always)]`
+//!   so scheduler chunk loops monomorphize them with no call overhead.
+
+/// Independent accumulator lanes for the float reductions: wide enough to
+/// fill a 256-bit vector unit (4 × f64) with headroom for unrolling.
+pub const LANES: usize = 8;
+
+/// `y[i] += a * x[i]` over the full slices (lengths must match).
+#[inline(always)]
+pub fn axpy(a: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy slices must have equal length");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += a * xi;
+    }
+}
+
+/// Dot product with hand-re-associated lane accumulators (module docs).
+#[inline(always)]
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "dot slices must have equal length");
+    let mut lanes = [0.0f64; LANES];
+    let chunks = x.len() / LANES;
+    for c in 0..chunks {
+        let base = c * LANES;
+        for l in 0..LANES {
+            lanes[l] += x[base + l] * y[base + l];
+        }
+    }
+    let mut acc: f64 = lanes.iter().sum();
+    for i in (chunks * LANES)..x.len() {
+        acc += x[i] * y[i];
+    }
+    acc
+}
+
+/// Integer sum reduction (associative, so the shape is for uniformity).
+#[inline(always)]
+pub fn sum_u64(x: &[u64]) -> u64 {
+    let mut lanes = [0u64; LANES];
+    let chunks = x.len() / LANES;
+    for c in 0..chunks {
+        let base = c * LANES;
+        for l in 0..LANES {
+            lanes[l] = lanes[l].wrapping_add(x[base + l]);
+        }
+    }
+    let mut acc: u64 = lanes.iter().fold(0, |a, &v| a.wrapping_add(v));
+    for &v in &x[chunks * LANES..] {
+        acc = acc.wrapping_add(v);
+    }
+    acc
+}
+
+/// Standalone-symbol wrapper of [`axpy`] for the disassembly check.
+#[inline(never)]
+pub fn axpy_asm_anchor(a: f64, x: &[f64], y: &mut [f64]) {
+    axpy(a, x, y);
+}
+
+/// Standalone-symbol wrapper of [`dot`] for the disassembly check.
+#[inline(never)]
+pub fn dot_asm_anchor(x: &[f64], y: &[f64]) -> f64 {
+    dot(x, y)
+}
+
+/// Standalone-symbol wrapper of [`sum_u64`] for the disassembly check.
+#[inline(never)]
+pub fn sum_u64_asm_anchor(x: &[u64]) -> u64 {
+    sum_u64(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn axpy_matches_scalar_reference() {
+        let x: Vec<f64> = (0..1031).map(|i| i as f64 * 0.5).collect();
+        let mut y: Vec<f64> = (0..1031).map(|i| i as f64).collect();
+        let mut expect = y.clone();
+        for (e, xi) in expect.iter_mut().zip(&x) {
+            *e += 3.0 * xi;
+        }
+        axpy(3.0, &x, &mut y);
+        assert_eq!(y, expect);
+    }
+
+    #[test]
+    fn dot_matches_scalar_reference_within_fp_tolerance() {
+        // Lane re-association changes the FP summation order, so compare
+        // with a relative tolerance, including a remainder-tail length.
+        for n in [0usize, 1, 7, LANES, LANES + 3, 1031] {
+            let x: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+            let y: Vec<f64> = (0..n).map(|i| (i as f64).cos()).collect();
+            let naive: f64 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
+            let got = dot(&x, &y);
+            assert!((got - naive).abs() <= 1e-9 * (1.0 + naive.abs()), "n={n}: {got} vs {naive}");
+        }
+    }
+
+    #[test]
+    fn sum_u64_matches_exactly_for_all_tail_lengths() {
+        for n in 0..(4 * LANES + 3) {
+            let x: Vec<u64> = (0..n as u64).map(|i| i * i + 1).collect();
+            assert_eq!(sum_u64(&x), x.iter().sum::<u64>(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn anchors_agree_with_kernels() {
+        let x: Vec<f64> = (0..257).map(|i| i as f64).collect();
+        let y: Vec<f64> = (0..257).map(|i| 2.0 * i as f64).collect();
+        assert_eq!(dot_asm_anchor(&x, &y), dot(&x, &y));
+        let u: Vec<u64> = (0..257).collect();
+        assert_eq!(sum_u64_asm_anchor(&u), sum_u64(&u));
+        let mut a = y.clone();
+        let mut b = y.clone();
+        axpy(0.25, &x, &mut a);
+        axpy_asm_anchor(0.25, &x, &mut b);
+        assert_eq!(a, b);
+    }
+}

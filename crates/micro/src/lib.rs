@@ -13,6 +13,8 @@
 //! correctness tests, affinity measurements (Figure 2's metric on live
 //! threads), and host-local wall-clock overhead benches.
 
+pub mod kernels;
+
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 

@@ -93,14 +93,45 @@ impl SparseMatrix {
         self.val.len()
     }
 
-    /// `y[i] = Σ_j A[i,j]·x[j]` for one row.
-    #[inline]
+    /// `y[i] = Σ_j A[i,j]·x[j]` for one row. `inline(always)` so the
+    /// gather loop fuses into each scheduler chunk body (the mat-vec is
+    /// CG's hot leaf; the indirect `x[col[k]]` gather caps vectorization,
+    /// but keeping the loop call-free still matters at small grains).
+    #[inline(always)]
     pub fn row_dot(&self, i: usize, x: &[f64]) -> f64 {
         let mut s = 0.0;
         for k in self.row_ptr[i]..self.row_ptr[i + 1] {
             s += self.val[k] * x[self.col[k]];
         }
         s
+    }
+}
+
+/// Stride-1 leaf of the CG vector updates, shared by the `z`/`r` step:
+/// `acc[i] += a·v[i]` over one scheduler chunk. Written on slices (not
+/// per-index `UnsafeSlice` calls) so LLVM sees a dense autovectorizable
+/// loop — the same shape `parloop_micro::kernels::axpy` verifies under
+/// the `--asm` disassembly check.
+#[inline(always)]
+fn axpy_leaf(a: f64, v: &[f64], acc: &mut [f64]) {
+    for (y, x) in acc.iter_mut().zip(v) {
+        *y += a * x;
+    }
+}
+
+/// Stride-1 leaf of the direction update: `p[i] = r[i] + beta·p[i]`.
+#[inline(always)]
+fn xpby_leaf(r: &[f64], beta: f64, p: &mut [f64]) {
+    for (pi, ri) in p.iter_mut().zip(r) {
+        *pi = ri + beta * *pi;
+    }
+}
+
+/// Stride-1 leaf of the renormalization: `dst[i] = src[i] / denom`.
+#[inline(always)]
+fn scale_leaf(src: &[f64], denom: f64, dst: &mut [f64]) {
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d = s / denom;
     }
 }
 
@@ -190,13 +221,9 @@ fn conj_grad(
             let zs = UnsafeSlice::new(&mut z);
             let rs = UnsafeSlice::new(&mut r);
             let (p_ref, q_ref) = (&p, &q);
-            par_for_chunks(pool, 0..n, sched, |chunk| {
-                for i in chunk {
-                    unsafe {
-                        zs.write(i, zs.read(i) + alpha * p_ref[i]);
-                        rs.write(i, rs.read(i) - alpha * q_ref[i]);
-                    }
-                }
+            par_for_chunks(pool, 0..n, sched, |chunk| unsafe {
+                axpy_leaf(alpha, &p_ref[chunk.clone()], zs.slice_mut(chunk.clone()));
+                axpy_leaf(-alpha, &q_ref[chunk.clone()], rs.slice_mut(chunk));
             });
         }
         let rho_new = par_sum(pool, 0..n, sched, |i| r[i] * r[i]);
@@ -205,10 +232,8 @@ fn conj_grad(
         {
             let ps = UnsafeSlice::new(&mut p);
             let r_ref = &r;
-            par_for_chunks(pool, 0..n, sched, |chunk| {
-                for i in chunk {
-                    unsafe { ps.write(i, r_ref[i] + beta * ps.read(i)) };
-                }
+            par_for_chunks(pool, 0..n, sched, |chunk| unsafe {
+                xpby_leaf(&r_ref[chunk.clone()], beta, ps.slice_mut(chunk));
             });
         }
     }
@@ -246,10 +271,8 @@ pub fn cg(pool: &ThreadPool, a: &SparseMatrix, params: CgParams, sched: Schedule
         let znorm = par_sum(pool, 0..n, sched, |i| z[i] * z[i]).sqrt();
         let zs = UnsafeSlice::new(&mut x);
         let z_ref = &z;
-        par_for_chunks(pool, 0..n, sched, |chunk| {
-            for i in chunk {
-                unsafe { zs.write(i, z_ref[i] / znorm) };
-            }
+        par_for_chunks(pool, 0..n, sched, |chunk| unsafe {
+            scale_leaf(&z_ref[chunk.clone()], znorm, zs.slice_mut(chunk));
         });
     }
     CgResult { zeta, rnorm }

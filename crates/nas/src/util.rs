@@ -71,6 +71,20 @@ impl<'a, T> UnsafeSlice<'a, T> {
         debug_assert!(i < self.len);
         self.ptr.add(i)
     }
+
+    /// Reborrow the chunk `range` as a plain mutable slice, so chunk
+    /// bodies can run dense stride-1 leaf kernels over it (per-index
+    /// `write` calls hide the loop shape from the autovectorizer).
+    ///
+    /// # Safety
+    /// `range` in bounds, and no concurrent access to any index in it —
+    /// the scheduler's disjoint-chunk guarantee (see the type docs).
+    #[inline]
+    #[allow(clippy::mut_from_ref)] // disjoint-chunk contract, as with `write`
+    pub unsafe fn slice_mut(&self, range: Range<usize>) -> &'a mut [T] {
+        debug_assert!(range.start <= range.end && range.end <= self.len);
+        std::slice::from_raw_parts_mut(self.ptr.add(range.start), range.len())
+    }
 }
 
 /// Per-worker accumulator cells (cache-line padded). Each pool worker only

@@ -17,6 +17,28 @@
 //!   always read from it safely; its CAS on `top` will fail if the element
 //!   moved.
 //! * `top`/`bottom` are `i64` so that `bottom - 1` in `pop` cannot underflow.
+//!
+//! # Memory-ordering audit: the `SeqCst` here is load-bearing
+//!
+//! The per-loop fence audit deliberately leaves this file's four `SeqCst`
+//! sites alone — they *are* the paper's orderings, and each one resolves a
+//! store-buffering race that acquire/release cannot:
+//!
+//! * the `SeqCst` fence in `pop` (after the `bottom` store, before the
+//!   `top` read) against the `SeqCst` fence in `steal` (before the `top`
+//!   read): owner writes `bottom` then reads `top`, thief reads `top` then
+//!   `bottom` — without a single total order both could see the pre-race
+//!   values and pop *and* steal the same last element;
+//! * the `SeqCst` CAS on `top` in `pop`'s last-element path and in
+//!   `steal`, which arbitrate exactly that race (only one CAS can move
+//!   `top` past the final slot).
+//!
+//! Lê et al. (PPoPP 2013) prove this placement both correct and minimal
+//! for C11 — the demotion pass stops at proven-minimal code. Note the
+//! fences cost nothing on the hot *push* path: `push` is fence-free
+//! (Release store of `bottom`), so "pushes ≤ steals + 1" (the lazy
+//! splitter's bound) keeps the owner's fast path cheap; `pop` pays its
+//! fence only when the deque might be contended (non-empty pops).
 
 use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;

@@ -19,6 +19,34 @@
 //! after unlocking, opening a window where an idle worker's final
 //! has-work check saw `len == 0` for an already-queued job and went to
 //! sleep on it; only the timeout backstop recovered.
+//!
+//! # Memory-ordering audit
+//!
+//! None of the lane counter's accesses need `SeqCst`; the jobs themselves
+//! travel under the queue mutex, and the *cross-thread* guarantee the
+//! sleep protocol needs comes from the event counter, not from the lane
+//! length:
+//!
+//! * **push** (`fetch_add`, `Release`): runs under the queue lock, and in
+//!   the submitter's program order it precedes the `SeqCst`
+//!   `events.fetch_add` inside the post-push `notify_one`. A sleeper whose
+//!   under-lock re-check observes the epoch advance has an acquire edge to
+//!   that RMW and therefore sees the length increment too; a sleeper that
+//!   misses the epoch is handled by the Dekker argument in
+//!   [`sleep`](crate::sleep) (the waker sees its announcement and
+//!   notifies). The `Release` half additionally pairs with the `Acquire`
+//!   fast-path load below so any observer of `len > 0` also sees the
+//!   pushed job once it takes the lock (which it must anyway).
+//! * **pop fast path** (`load`, `Acquire`): a stale `0` skips the lane —
+//!   benign for sweeps, and for the idle worker's final has-work probe the
+//!   wake protocol (not this load) is what prevents a lost sleep, exactly
+//!   as above. A stale non-zero just takes the lock and finds nothing.
+//! * **pop decrement** (`fetch_sub`, `Relaxed`): under the queue lock; the
+//!   lock's release ordering publishes it to the next lock holder, and
+//!   non-holders only ever act on the conservative direction.
+//! * **len()** (`Acquire`): pairs with push's `Release` for the
+//!   `len > 0 ⇒ job visible under lock` invariant; used by sweeps and the
+//!   has-work probe, both covered above.
 
 use std::cell::Cell;
 use std::collections::VecDeque;
@@ -47,26 +75,26 @@ impl Lane {
     pub(crate) fn push(&self, job: JobRef) {
         let mut q = self.queue.lock().unwrap();
         q.push_back(job);
-        self.len.fetch_add(1, Ordering::SeqCst);
+        self.len.fetch_add(1, Ordering::Release);
     }
 
     /// Dequeue the oldest job, if any. The length check lets idle sweeps
     /// skip empty lanes without touching their locks.
     pub(crate) fn pop(&self) -> Option<JobRef> {
-        if self.len.load(Ordering::SeqCst) == 0 {
+        if self.len.load(Ordering::Acquire) == 0 {
             return None;
         }
         let mut q = self.queue.lock().unwrap();
         let job = q.pop_front();
         if job.is_some() {
-            self.len.fetch_sub(1, Ordering::SeqCst);
+            self.len.fetch_sub(1, Ordering::Relaxed);
         }
         job
     }
 
     /// Published queue length.
     pub(crate) fn len(&self) -> usize {
-        self.len.load(Ordering::SeqCst)
+        self.len.load(Ordering::Acquire)
     }
 }
 

@@ -218,9 +218,9 @@ mod tests {
         use std::sync::Arc;
         let ran = Arc::new(AtomicBool::new(false));
         let r2 = Arc::clone(&ran);
-        let job = HeapJob::new(move || r2.store(true, Ordering::SeqCst));
+        let job = HeapJob::new(move || r2.store(true, Ordering::Relaxed));
         let jref = job.into_job_ref();
         unsafe { jref.execute() };
-        assert!(ran.load(Ordering::SeqCst));
+        assert!(ran.load(Ordering::Relaxed));
     }
 }

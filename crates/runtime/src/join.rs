@@ -9,6 +9,19 @@
 //!
 //! Called off-pool, `join` degrades to sequential execution, mirroring the
 //! serial elision property of Cilk programs.
+//!
+//! # Memory-ordering audit
+//!
+//! `join` itself performs no raw atomics; its synchronization decomposes
+//! into audited primitives. The result of a stolen `b` is published by the
+//! thief's writes into the `StackJob` slot *before* it sets the job's
+//! [`SpinLatch`](crate::latch::SpinLatch) (`Release` store), and
+//! `wait_for_b` reads the result only after an `Acquire` `probe` observes
+//! the latch — the release/acquire pair on `done` is the entire edge
+//! (proof in [`latch`](crate::latch)). The un-stolen fast path pops `b`
+//! back and runs it on the same thread, where program order suffices. The
+//! deque traffic underneath keeps the Chase–Lev orderings
+//! ([`deque`](crate::deque)).
 
 use crate::job::StackJob;
 use crate::latch::Probe;

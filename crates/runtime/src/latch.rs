@@ -5,6 +5,31 @@
 //! pool's sleep machinery so that `set` can wake a parked waiter; the
 //! [`LockLatch`] variant is for external (non-worker) threads and blocks on
 //! a private mutex/condvar instead.
+//!
+//! # Memory-ordering proof (fence audit)
+//!
+//! No latch operation needs `SeqCst`; every edge the waiters rely on is a
+//! release/acquire pair on a single atomic:
+//!
+//! * **[`SpinLatch`]** — `set`'s `Release` store of `done` pairs with
+//!   `probe`'s `Acquire` load. A waiter that observes `done == true`
+//!   therefore sees every write the setter performed before `set` (the
+//!   forked job's result in particular). The wake itself rides the sleep
+//!   protocol's own `SeqCst` event counter ([`Sleep`](crate::sleep)).
+//! * **[`CountLatch`]** — each `set` is a `fetch_sub(1, AcqRel)`. The
+//!   `Release` half publishes that participant's writes; because atomic
+//!   RMWs continue a release sequence, the waiter's `Acquire` `probe`
+//!   load that reads the *final* value (zero) synchronizes with **every**
+//!   decrement in the sequence, not just the last one — so all
+//!   participants' writes are visible once `probe()` returns true. The
+//!   `Acquire` half of the RMW additionally lets the final decrementer
+//!   itself act on its siblings' writes (the lazy-loop owner relies on
+//!   this when it resolves its own latch). [`CountLatch::set_many`] is
+//!   the batched form with the identical edge: one `fetch_sub(n)` stands
+//!   for `n` logical completions the caller accumulated locally.
+//! * `increment`'s `AcqRel` keeps the counter's modification order a
+//!   plain counter; callers must not revive a finished latch (debug
+//!   asserted).
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -87,6 +112,26 @@ impl CountLatch {
     /// Current remaining count (diagnostics; racy under concurrency).
     pub fn remaining(&self) -> usize {
         self.count.load(Ordering::Acquire)
+    }
+
+    /// Signal `n` completions at once — the combining form of [`set`]
+    /// (one RMW instead of `n`), used by participants that batch their
+    /// completion updates (e.g. a hybrid claim walk resolving several
+    /// partitions). `set_many(0)` is a no-op; the ordering argument is
+    /// identical to `set`'s (module docs).
+    ///
+    /// [`set`]: Latch::set
+    pub fn set_many(&self, n: usize) {
+        if n == 0 {
+            return;
+        }
+        let prev = self.count.fetch_sub(n, Ordering::AcqRel);
+        debug_assert!(prev >= n, "CountLatch underflow (set_many)");
+        if prev == n {
+            if let Some(s) = &self.sleep {
+                s.notify_all();
+            }
+        }
     }
 }
 
@@ -202,5 +247,40 @@ mod tests {
     fn zero_count_latch_is_immediately_done() {
         let l = CountLatch::detached(0);
         assert!(l.probe());
+    }
+
+    #[test]
+    fn set_many_combines_decrements() {
+        let l = CountLatch::detached(5);
+        l.set_many(0); // no-op
+        assert_eq!(l.remaining(), 5);
+        l.set_many(3);
+        assert_eq!(l.remaining(), 2);
+        assert!(!l.probe());
+        l.set_many(2);
+        assert!(l.probe());
+    }
+
+    #[test]
+    fn set_many_publishes_batched_work_cross_thread() {
+        // The release half of the combined RMW must publish all writes
+        // that preceded it, exactly like per-unit `set` (the hybrid walk
+        // relies on this when it batches partition completions).
+        let l = Arc::new(CountLatch::detached(4));
+        let data = Arc::new([0u64; 4].map(|_| std::sync::atomic::AtomicUsize::new(0)));
+        let (l2, d2) = (Arc::clone(&l), Arc::clone(&data));
+        let h = std::thread::spawn(move || {
+            for (i, d) in d2.iter().enumerate() {
+                d.store(i + 1, Ordering::Relaxed);
+            }
+            l2.set_many(4);
+        });
+        while !l.probe() {
+            std::hint::spin_loop();
+        }
+        for (i, d) in data.iter().enumerate() {
+            assert_eq!(d.load(Ordering::Relaxed), i + 1);
+        }
+        h.join().unwrap();
     }
 }

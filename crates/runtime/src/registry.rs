@@ -1066,11 +1066,11 @@ mod tests {
         let pool = ThreadPool::new(4);
         let hits: Vec<AtomicUsize> = (0..4).map(|_| AtomicUsize::new(0)).collect();
         pool.broadcast_all(|w| {
-            hits[w].fetch_add(1, Ordering::SeqCst);
+            hits[w].fetch_add(1, Ordering::Relaxed);
             assert_eq!(current_worker_index(), Some(w));
         });
         for h in &hits {
-            assert_eq!(h.load(Ordering::SeqCst), 1);
+            assert_eq!(h.load(Ordering::Relaxed), 1);
         }
     }
 
@@ -1082,7 +1082,7 @@ mod tests {
         let ran: Vec<AtomicUsize> = (0..4).map(|_| AtomicUsize::new(0)).collect();
         let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             pool.broadcast_all(|w| {
-                ran[w].fetch_add(1, Ordering::SeqCst);
+                ran[w].fetch_add(1, Ordering::Relaxed);
                 panic!("broadcast worker {w}");
             });
         }));
@@ -1091,14 +1091,14 @@ mod tests {
         assert!(msg.starts_with("broadcast worker "), "unexpected payload: {msg}");
         // Every body ran exactly once despite all of them panicking.
         for (w, hits) in ran.iter().enumerate() {
-            assert_eq!(hits.load(Ordering::SeqCst), 1, "worker {w}");
+            assert_eq!(hits.load(Ordering::Relaxed), 1, "worker {w}");
         }
         // Pool fully reusable: a clean broadcast and an install both work.
         let ok: Vec<AtomicUsize> = (0..4).map(|_| AtomicUsize::new(0)).collect();
         pool.broadcast_all(|w| {
-            ok[w].fetch_add(1, Ordering::SeqCst);
+            ok[w].fetch_add(1, Ordering::Relaxed);
         });
-        assert!(ok.iter().all(|h| h.load(Ordering::SeqCst) == 1));
+        assert!(ok.iter().all(|h| h.load(Ordering::Relaxed) == 1));
         assert_eq!(pool.install(|| 9), 9);
     }
 
@@ -1169,13 +1169,13 @@ mod tests {
                 let c = Arc::clone(&counter);
                 let l: SendPtr<CountLatch> = SendPtr::new(&latch);
                 t.spawn_local(move || {
-                    c.fetch_add(1, Ordering::SeqCst);
+                    c.fetch_add(1, Ordering::Relaxed);
                     unsafe { l.get().set() };
                 });
             }
             t.wait_until(&latch);
         });
-        assert_eq!(counter.load(Ordering::SeqCst), 8);
+        assert_eq!(counter.load(Ordering::Relaxed), 8);
     }
 
     #[test]
@@ -1247,12 +1247,12 @@ mod tests {
             for _ in 0..16 {
                 let r = Arc::clone(&ran);
                 pool.spawn_detached(move || {
-                    r.fetch_add(1, Ordering::SeqCst);
+                    r.fetch_add(1, Ordering::Relaxed);
                 });
             }
             // Pool drop waits for workers and drains leftovers.
         }
-        assert_eq!(ran.load(Ordering::SeqCst), 16);
+        assert_eq!(ran.load(Ordering::Relaxed), 16);
     }
 
     #[test]
@@ -1263,15 +1263,15 @@ mod tests {
         pool.install(|| {
             let r2 = Arc::clone(&r);
             pool.spawn_detached(move || {
-                r2.fetch_add(1, Ordering::SeqCst);
+                r2.fetch_add(1, Ordering::Relaxed);
             });
         });
         // Give it a moment to be picked up, then force a sync point.
         pool.install(|| {});
-        while ran.load(Ordering::SeqCst) == 0 {
+        while ran.load(Ordering::Relaxed) == 0 {
             std::thread::yield_now();
         }
-        assert_eq!(ran.load(Ordering::SeqCst), 1);
+        assert_eq!(ran.load(Ordering::Relaxed), 1);
     }
 
     #[test]
@@ -1285,12 +1285,12 @@ mod tests {
                 s.spawn(move || {
                     for _ in 0..16 {
                         pool.install(|| {
-                            total.fetch_add(1, Ordering::SeqCst);
+                            total.fetch_add(1, Ordering::Relaxed);
                         });
                     }
                 });
             }
         });
-        assert_eq!(total.load(Ordering::SeqCst), 8 * 16);
+        assert_eq!(total.load(Ordering::Relaxed), 8 * 16);
     }
 }

@@ -146,12 +146,12 @@ mod tests {
             scope(|s| {
                 for _ in 0..64 {
                     s.spawn(|_| {
-                        count.fetch_add(1, Ordering::SeqCst);
+                        count.fetch_add(1, Ordering::Relaxed);
                     });
                 }
             });
         });
-        assert_eq!(count.load(Ordering::SeqCst), 64);
+        assert_eq!(count.load(Ordering::Relaxed), 64);
     }
 
     #[test]
@@ -164,14 +164,14 @@ mod tests {
                     s.spawn(|s| {
                         for _ in 0..4 {
                             s.spawn(|_| {
-                                count.fetch_add(1, Ordering::SeqCst);
+                                count.fetch_add(1, Ordering::Relaxed);
                             });
                         }
                     });
                 }
             });
         });
-        assert_eq!(count.load(Ordering::SeqCst), 16);
+        assert_eq!(count.load(Ordering::Relaxed), 16);
     }
 
     #[test]
@@ -185,12 +185,12 @@ mod tests {
                 for chunk in data.chunks(2) {
                     s.spawn(move |_| {
                         let partial: u64 = chunk.iter().sum();
-                        sum_ref.fetch_add(partial as usize, Ordering::SeqCst);
+                        sum_ref.fetch_add(partial as usize, Ordering::Relaxed);
                     });
                 }
             });
         });
-        assert_eq!(sum.load(Ordering::SeqCst), 10);
+        assert_eq!(sum.load(Ordering::Relaxed), 10);
     }
 
     #[test]

@@ -31,6 +31,36 @@
 //! back off exponentially (bounded), so an idle pool converges to a
 //! near-zero wake rate while a freshly published job is still picked up
 //! promptly by its notification.
+//!
+//! # Memory-ordering audit: which `SeqCst` is load-bearing
+//!
+//! The lost-wakeup argument above is a *store-buffering* (Dekker) pattern:
+//! the sleeper writes `sleepers` then reads `events`; the waker writes
+//! `events` then reads `sleepers`. Both threads must not simultaneously
+//! miss the other's write, and acquire/release cannot exclude that — an
+//! `Acquire` read is free to not-observe a `Release` write it has no
+//! synchronizes-with edge to, so both "racing" interleavings would be
+//! allowed to read the old values and the sleeper could block on a
+//! published job with nobody left to notify it. Only a single total order
+//! (`SeqCst`) over these four accesses rules that out. Hence the four
+//! sites that stay `SeqCst`:
+//!
+//! * the sleeper's announcement `sleepers.fetch_add` and its two `events`
+//!   reads (the epoch snapshot and the under-lock re-check);
+//! * the waker's `events.fetch_add` and `sleepers` read in
+//!   `notify_one` / `notify_all`.
+//!
+//! Two sites are *not* part of the race and run `Relaxed`:
+//!
+//! * the un-announce `sleepers.fetch_sub` on the way out of `sleep` — by
+//!   then the caller is awake and will re-probe for work itself; a waker
+//!   reading the stale (higher) count merely takes the sleep lock and
+//!   issues a spurious notify, which is the safe direction. The waker
+//!   direction that matters (missing a real sleeper) is impossible: a
+//!   stale read can only *over*-count after decrements, and the announce
+//!   increment itself is still in the `SeqCst` order.
+//! * `sleeper_count` — a diagnostics probe (watchdog stall reports); its
+//!   reads order nothing.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
@@ -116,7 +146,10 @@ impl Sleep {
                 }
             }
         };
-        self.sleepers.fetch_sub(1, Ordering::SeqCst);
+        // Relaxed: the un-announce is outside the Dekker core — see the
+        // module-level audit (a waker over-counting sleepers only sends a
+        // spurious notify).
+        self.sleepers.fetch_sub(1, Ordering::Relaxed);
         outcome
     }
 
@@ -146,7 +179,8 @@ impl Sleep {
     /// Number of currently-sleeping workers (diagnostics; the watchdog's
     /// [`StallReport`](crate::StallReport) includes it).
     pub(crate) fn sleeper_count(&self) -> usize {
-        self.sleepers.load(Ordering::SeqCst)
+        // Relaxed: diagnostics only (module-level audit).
+        self.sleepers.load(Ordering::Relaxed)
     }
 }
 

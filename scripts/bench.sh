@@ -20,8 +20,40 @@ echo "== cargo build --release (bench bins) =="
 cargo build --release --offline -p parloop-bench
 
 echo "== split_bench ${SMOKE[*]:-} =="
-./target/release/split_bench "${SMOKE[@]:-}" --bench-json BENCH_parloop.json
+# Preserve the benchmark's exit status (set -e would eat it after the
+# `||`), then validate the emitted file: a crashed bench can leave a
+# partial JSON behind that `test -s` happily accepts.
+rc=0
+./target/release/split_bench "${SMOKE[@]:-}" --bench-json BENCH_parloop.json || rc=$?
+if [ "$rc" -ne 0 ]; then
+  echo "bench.sh: split_bench failed (exit $rc); BENCH_parloop.json may be partial" >&2
+  exit "$rc"
+fi
 
 test -s BENCH_parloop.json \
   || { echo "bench.sh: BENCH_parloop.json missing or empty" >&2; exit 1; }
+
+# Schema check on the flat {name, value, unit} entries.
+if command -v python3 >/dev/null 2>&1; then
+  python3 - BENCH_parloop.json <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+results = doc.get("results")
+assert isinstance(results, list) and results, "results[] missing or empty"
+for e in results:
+    assert isinstance(e.get("name"), str) and e["name"], f"bad name in {e}"
+    assert isinstance(e.get("value"), (int, float)), f"bad value in {e}"
+    assert isinstance(e.get("unit"), str) and e["unit"], f"bad unit in {e}"
+names = [e["name"] for e in results]
+assert any(n.startswith("split/lazy/") for n in names), "no split/lazy/* series"
+assert any(n.startswith("floor/") for n in names), "no floor/* series"
+print(f"bench.sh: schema OK ({len(results)} entries)")
+EOF
+else
+  # Fallback without python3: the series markers must at least be present.
+  grep -q '"name": "split/lazy/' BENCH_parloop.json \
+    && grep -q '"name": "floor/' BENCH_parloop.json \
+    || { echo "bench.sh: BENCH_parloop.json lacks expected series" >&2; exit 1; }
+fi
 echo "bench.sh: wrote BENCH_parloop.json"

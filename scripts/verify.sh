@@ -3,16 +3,64 @@
 # Runs fully offline — the workspace has no external dependencies.
 #
 #   --quick   skip the chaos stress sweep (fast pre-commit loop)
+#   --asm     only run the leaf-vectorization disassembly check
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 QUICK=0
+ASM_ONLY=0
 for arg in "$@"; do
   case "$arg" in
     --quick) QUICK=1 ;;
-    *) echo "verify.sh: unknown flag '$arg' (supported: --quick)" >&2; exit 2 ;;
+    --asm) ASM_ONLY=1 ;;
+    *) echo "verify.sh: unknown flag '$arg' (supported: --quick, --asm)" >&2; exit 2 ;;
   esac
 done
+
+# Disassemble the release kernels_bench binary and check that each micro
+# leaf kernel's asm anchor contains packed SIMD arithmetic. Grep the
+# *mnemonics*, not registers: on x86-64 scalar f64 also lives in xmm, so
+# "uses xmm" proves nothing — addpd/vaddpd/vfmadd...pd do.
+asm_check() {
+  echo "== asm check (leaf kernels vectorize) =="
+  cargo build --release --offline -p parloop-bench --bin kernels_bench
+  local bin=target/release/kernels_bench
+  local arch pattern
+  arch=$(uname -m)
+  case "$arch" in
+    x86_64) pattern='(v?(add|mul|sub|fmadd[0-9]*)p[sd])|paddq|vpaddq' ;;
+    aarch64|arm64) pattern='(fadd|fmul|fmla|add)[[:space:]]+v[0-9]+\.' ;;
+    *) echo "verify.sh: no SIMD pattern for arch $arch; skipping asm check"; return 0 ;;
+  esac
+  local dis
+  dis=$(objdump -d --demangle "$bin")
+  local failed=0
+  for sym in axpy_asm_anchor dot_asm_anchor sum_u64_asm_anchor; do
+    # Extract the anchor's function body: lines from its symbol header to
+    # the next function header.
+    local body
+    body=$(printf '%s\n' "$dis" \
+      | awk -v sym="$sym" '/^[0-9a-f]+ </ { infn = ($0 ~ sym) } infn')
+    if [ -z "$body" ]; then
+      echo "verify.sh: asm anchor $sym not found in $bin" >&2
+      failed=1
+      continue
+    fi
+    if printf '%s\n' "$body" | grep -Eq "$pattern"; then
+      echo "  $sym: vectorized ($(printf '%s\n' "$body" | grep -Eco "$pattern") packed ops)"
+    else
+      echo "verify.sh: $sym contains no packed SIMD ops — leaf stopped vectorizing" >&2
+      failed=1
+    fi
+  done
+  [ "$failed" -eq 0 ] || exit 1
+}
+
+if [ "$ASM_ONLY" -eq 1 ]; then
+  asm_check
+  echo "verify.sh: asm gate passed"
+  exit 0
+fi
 
 echo "== cargo fmt --check =="
 cargo fmt --all --check
@@ -49,6 +97,10 @@ if [ "$QUICK" -eq 0 ]; then
   ./target/release/split_bench --smoke
   test -s results/lazy_split.json \
     || { echo "verify.sh: results/lazy_split.json missing or empty" >&2; exit 1; }
+
+  # Leaf vectorization gate: the stride-1 micro kernels must still compile
+  # to packed SIMD in release (also runnable alone via `verify.sh --asm`).
+  asm_check
 else
   echo "== chaos stress skipped (--quick) =="
   echo "== inject_bench skipped (--quick) =="

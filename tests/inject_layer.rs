@@ -54,6 +54,34 @@ fn parked_pool_runs_injected_job_without_backstop_delay() {
 }
 
 #[test]
+fn fence_audit_lane_demotions_never_lose_a_wake() {
+    // Regression for the memory-ordering audit: the injection lane's
+    // counter was demoted from SeqCst (push Release / pop Acquire /
+    // decrement Relaxed) and the sleep protocol's un-announce to Relaxed,
+    // on the argument that the SeqCst Dekker core in `sleep.rs` alone
+    // prevents lost wakeups. Hammer the exact race window: a pool that is
+    // parking *while* an external thread injects, with a 10s backstop so
+    // any lost wake (a sleeper blocking on an already-published job)
+    // blows the per-round deadline instead of being quietly absorbed.
+    let pool =
+        ThreadPoolBuilder::new().num_workers(2).backstop_interval(Duration::from_secs(10)).build();
+    pool.install(|| {});
+    for round in 0..200 {
+        // Vary the pre-inject idle time so the injection lands at every
+        // stage of the park sequence: mid-spin, announcing, under the
+        // sleep lock, and fully blocked.
+        std::thread::sleep(Duration::from_micros(50 * (round % 20)));
+        let start = Instant::now();
+        assert_eq!(pool.install(move || round + 1), round + 1);
+        assert!(
+            start.elapsed() < Duration::from_secs(2),
+            "round {round}: install took {:?} — a demoted ordering lost the wake",
+            start.elapsed()
+        );
+    }
+}
+
+#[test]
 fn jobs_from_one_submitter_run_in_post_order() {
     // One worker, one lane: execution order must equal post order, the
     // per-lane FIFO contract (cross-submitter order is unspecified).

@@ -193,6 +193,96 @@ fn panic_in_assistant_propagates_and_pool_is_reusable() {
     assert_eq!(sum.load(Ordering::Relaxed), 4950);
 }
 
+/// The single-worker bypass: a P = 1 lazy loop runs the plain grain loop
+/// (no coordinator, no assist publish), covers everything exactly once,
+/// and pushes nothing onto the deque.
+#[test]
+fn single_worker_bypass_exactly_once_and_pushes_nothing() {
+    let pool = ThreadPool::new(1);
+    for (n, grain) in [(1usize, 1usize), (64, 16), (1009, 7), (4096, 64), (100, 4096)] {
+        let before = pool.stats().jobs_pushed;
+        assert_exactly_once(&pool, n, grain, SplitPolicy::Lazy);
+        assert_eq!(
+            pool.stats().jobs_pushed,
+            before,
+            "n={n} grain={grain}: the P=1 bypass must not touch the deque"
+        );
+    }
+}
+
+/// A panic in a bypassed (P = 1) loop body propagates to the caller and
+/// leaves the pool reusable — the bypass must not trade the coordinator's
+/// panic protocol away.
+#[test]
+fn single_worker_bypass_propagates_panics_and_pool_survives() {
+    let pool = ThreadPool::new(1);
+    let ran = AtomicUsize::new(0);
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        pool.install(|| {
+            ws_for_chunks_policy(0..256, 16, SplitPolicy::Lazy, &|chunk| {
+                ran.fetch_add(1, Ordering::Relaxed);
+                if chunk.contains(&100) {
+                    panic!("bypassed chunk dies");
+                }
+            });
+        });
+    }));
+    assert!(result.is_err(), "the bypass must re-throw body panics");
+    // The bypass runs chunks in order; the panic at chunk [96,112) stops
+    // the loop after 7 chunks, never running the rest.
+    assert_eq!(ran.load(Ordering::Relaxed), 7, "chunks after the panic must not run");
+    assert!(!pool.is_degraded());
+    let sum = AtomicUsize::new(0);
+    pool.install(|| {
+        ws_for_chunks_policy(0..100, 8, SplitPolicy::Lazy, &|chunk| {
+            for i in chunk {
+                sum.fetch_add(i, Ordering::Relaxed);
+            }
+        });
+    });
+    assert_eq!(sum.load(Ordering::Relaxed), 4950);
+}
+
+/// Tripwire: on a 1-worker pool the `Site::AssistClaim` chaos gate must
+/// never be consulted — pre-bypass because the claim loop requires a
+/// registered assistant (impossible without thieves), post-bypass because
+/// the coordinator is skipped outright. The plan arms a full-rate,
+/// panic-on-first-query fault at the site, so a single consultation fails
+/// the run loudly; `queries_at` then pins the stronger "never consulted".
+#[test]
+fn single_worker_bypass_never_consults_assist_claim() {
+    for seed in 0..seed_count().min(8) {
+        let injector = Arc::new(
+            PlannedInjector::quiet(seed)
+                .with_rate(Site::AssistClaim, RATE_DENOM)
+                .with_panic_at(Site::AssistClaim, 0),
+        );
+        let pool = ThreadPoolBuilder::new()
+            .num_workers(1)
+            .fault_injector(Arc::clone(&injector) as _)
+            .build();
+        for (n, grain) in [(512usize, 8usize), (2048, 64), (63, 16)] {
+            let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+            pool.install(|| {
+                ws_for_chunks_policy(0..n, grain, SplitPolicy::Lazy, &|chunk| {
+                    for i in chunk {
+                        hits[i].fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            });
+            assert!(
+                hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                "seed {seed} n={n}: not exactly-once"
+            );
+        }
+        assert_eq!(
+            injector.queries_at(Site::AssistClaim),
+            0,
+            "seed {seed}: AssistClaim consulted on a single-worker pool"
+        );
+    }
+}
+
 /// Seeded chaos sweep over [`Site::AssistClaim`]: forced CAS losses,
 /// delays, and (on odd seeds) a one-shot injected panic in the claim loop.
 /// Exactly-once must hold whenever the loop completes; an injected panic
