@@ -9,7 +9,8 @@
 //! * [`Site`] — the taxonomy of injection points threaded through the
 //!   runtime and the hybrid loop layer (steal sweeps, victim selection,
 //!   parking, the claim `fetch_or`, adopter-frame publication, partition
-//!   bodies, the worker main loop, and external injection-lane posts);
+//!   bodies, the worker main loop, external injection-lane posts, and
+//!   multi-tenant admission);
 //! * [`FaultAction`] — what a site is told to do: nothing, fail the
 //!   operation, stall for a bounded spin, or panic;
 //! * [`FaultInjector`] — the trait the registry owns, mirroring
@@ -69,11 +70,21 @@ pub enum Site {
     /// consecutive forced losses are bounded by the loop layer so rate-1
     /// plans still make progress).
     AssistClaim,
+    /// A tenant submission passing multi-tenant admission control
+    /// (`parloop-tenant`). Consulted on the *submitter's* thread, like
+    /// [`Site::InjectLane`] (no worker id, never traced). `Fail` forces a
+    /// rejection — the tenant layer returns `TenantError::Overloaded` even
+    /// when the tenant is under its depth limit, exactly the path a full
+    /// queue takes; `Delay` stalls the submitter inside admission so
+    /// concurrent admits race each other; `Panic` is demoted to `Fail` by
+    /// the tenant layer — unwinding into a submitter thread would take
+    /// user code down, which is not a runtime fault.
+    Admission,
 }
 
 impl Site {
     /// Every site, in code order.
-    pub const ALL: [Site; 9] = [
+    pub const ALL: [Site; 10] = [
         Site::MainLoop,
         Site::StealSweep,
         Site::StealVictim,
@@ -83,6 +94,7 @@ impl Site {
         Site::PartitionBody,
         Site::InjectLane,
         Site::AssistClaim,
+        Site::Admission,
     ];
 
     /// Dense index into per-site tables.
@@ -112,6 +124,7 @@ impl Site {
             Site::PartitionBody => "partition_body",
             Site::InjectLane => "inject_lane",
             Site::AssistClaim => "assist_claim",
+            Site::Admission => "admission",
         }
     }
 
@@ -265,6 +278,7 @@ impl PlannedInjector {
                 Site::PartitionBody => RATE_DENOM / 32,
                 Site::InjectLane => RATE_DENOM / 16,
                 Site::AssistClaim => RATE_DENOM / 2,
+                Site::Admission => RATE_DENOM / 16,
             };
             // Seed-dependent rate in [ceil/2, ceil).
             let h = splitmix64(seed ^ (site.index() as u64).wrapping_mul(0xA076_1D64_78BD_642F));

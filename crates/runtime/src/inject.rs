@@ -56,40 +56,159 @@ use std::sync::Mutex;
 use crate::job::JobRef;
 use crate::util::CachePadded;
 
+/// Quality-of-service class carried by externally-injected work.
+///
+/// The class selects which priority sub-lane a job lands in when the pool
+/// runs QoS lanes (more than one injection lane). Workers drain sub-lanes
+/// with weighted deficit-round-robin at [`DRR_WEIGHTS`] — latency jobs go
+/// first but batch work is never starved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QosClass {
+    /// Interactive work: drained with weight 8 per DRR round.
+    Latency,
+    /// Throughput work: drained with weight 1 per DRR round.
+    Batch,
+}
+
+impl QosClass {
+    /// Sub-lane index (`Latency` = 0, `Batch` = 1).
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            QosClass::Latency => 0,
+            QosClass::Batch => 1,
+        }
+    }
+
+    /// Wire encoding used by trace events.
+    #[inline]
+    pub fn as_u8(self) -> u8 {
+        self.index() as u8
+    }
+
+    /// Human-readable class name (`"latency"` / `"batch"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            QosClass::Latency => "latency",
+            QosClass::Batch => "batch",
+        }
+    }
+}
+
+/// Per-round DRR credits for the two sub-lanes, indexed by
+/// [`QosClass::index`]: 8 latency jobs for every batch job when both
+/// classes are backlogged.
+pub const DRR_WEIGHTS: [u32; 2] = [8, 1];
+
+/// The two priority sub-queues and their deficit counters, all guarded by
+/// one mutex so the publish-under-lock invariant is unchanged from the
+/// single-queue lane.
+struct LaneInner {
+    sub: [VecDeque<JobRef>; 2],
+    deficit: [u32; 2],
+}
+
 /// One locked MPSC segment with an atomic length published under the lock.
 ///
 /// Also used for the per-worker mailboxes, which had the same
-/// publish-after-unlock counter bug.
+/// publish-after-unlock counter bug. Mailboxes and single-lane banks use
+/// [`Lane::new_fifo`]: both sub-queues collapse into one and pushes ignore
+/// the class, reproducing the old strict-FIFO behavior exactly (the
+/// injection bench's baseline mode depends on this).
 pub(crate) struct Lane {
-    queue: Mutex<VecDeque<JobRef>>,
+    queue: Mutex<LaneInner>,
     len: AtomicUsize,
+    qos: bool,
 }
 
 impl Lane {
-    pub(crate) fn new() -> Self {
-        Lane { queue: Mutex::new(VecDeque::new()), len: AtomicUsize::new(0) }
+    /// A class-blind FIFO lane: every push lands in sub-queue 0 and pops
+    /// are strict arrival order.
+    pub(crate) fn new_fifo() -> Self {
+        Lane::with_mode(false)
     }
 
-    /// Enqueue `job`, publishing the new length before the lock releases
-    /// (see the module docs for why the ordering matters).
+    /// A QoS lane: pushes route by class and pops run weighted DRR.
+    pub(crate) fn new_qos() -> Self {
+        Lane::with_mode(true)
+    }
+
+    fn with_mode(qos: bool) -> Self {
+        Lane {
+            queue: Mutex::new(LaneInner {
+                sub: [VecDeque::new(), VecDeque::new()],
+                deficit: DRR_WEIGHTS,
+            }),
+            len: AtomicUsize::new(0),
+            qos,
+        }
+    }
+
+    /// Whether this lane routes by class (false for mailboxes and
+    /// single-lane banks).
+    pub(crate) fn is_qos(&self) -> bool {
+        self.qos
+    }
+
+    /// Enqueue `job` class-blind (mailbox path), publishing the new length
+    /// before the lock releases (see the module docs for why the ordering
+    /// matters).
     pub(crate) fn push(&self, job: JobRef) {
         let mut q = self.queue.lock().unwrap();
-        q.push_back(job);
+        q.sub[0].push_back(job);
         self.len.fetch_add(1, Ordering::Release);
     }
 
-    /// Dequeue the oldest job, if any. The length check lets idle sweeps
-    /// skip empty lanes without touching their locks.
-    pub(crate) fn pop(&self) -> Option<JobRef> {
+    /// Enqueue `job` in the sub-lane for `class`. FIFO lanes ignore the
+    /// class and keep strict arrival order.
+    pub(crate) fn push_class(&self, job: JobRef, class: QosClass) {
+        let idx = if self.qos { class.index() } else { 0 };
+        let mut q = self.queue.lock().unwrap();
+        q.sub[idx].push_back(job);
+        self.len.fetch_add(1, Ordering::Release);
+    }
+
+    /// Dequeue one job, reporting which class's sub-lane served it (`None`
+    /// on FIFO lanes, which don't track class). The length check lets idle
+    /// sweeps skip empty lanes without touching their locks.
+    pub(crate) fn pop_class(&self) -> Option<(JobRef, Option<QosClass>)> {
         if self.len.load(Ordering::Acquire) == 0 {
             return None;
         }
         let mut q = self.queue.lock().unwrap();
-        let job = q.pop_front();
-        if job.is_some() {
+        let popped =
+            if self.qos { Self::drr_pop(&mut q) } else { q.sub[0].pop_front().map(|j| (j, None)) };
+        if popped.is_some() {
             self.len.fetch_sub(1, Ordering::Relaxed);
         }
-        job
+        popped
+    }
+
+    /// Dequeue one job, discarding the class (mailbox and shutdown paths).
+    pub(crate) fn pop(&self) -> Option<JobRef> {
+        self.pop_class().map(|(job, _)| job)
+    }
+
+    /// Weighted deficit-round-robin over the sub-lanes: serve a backlogged
+    /// class while it has credit, refresh credits from [`DRR_WEIGHTS`] when
+    /// no backlogged class does. Work-conserving — an empty class never
+    /// blocks the other, so a lone backlogged class drains at full speed.
+    fn drr_pop(inner: &mut LaneInner) -> Option<(JobRef, Option<QosClass>)> {
+        const CLASSES: [QosClass; 2] = [QosClass::Latency, QosClass::Batch];
+        for round in 0..2 {
+            for class in CLASSES {
+                let c = class.index();
+                if inner.deficit[c] > 0 && !inner.sub[c].is_empty() {
+                    inner.deficit[c] -= 1;
+                    let job = inner.sub[c].pop_front().expect("checked non-empty under lock");
+                    return Some((job, Some(class)));
+                }
+            }
+            if round == 0 {
+                inner.deficit = DRR_WEIGHTS;
+            }
+        }
+        None
     }
 
     /// Published queue length.
@@ -125,15 +244,27 @@ pub(crate) struct InjectLanes {
 }
 
 impl InjectLanes {
-    /// A bank of `lanes` lanes (`1` reproduces the old single-queue
-    /// behavior, which the injection bench uses as its baseline).
+    /// A bank of `lanes` lanes. With more than one lane each lane runs QoS
+    /// priority sub-lanes; `1` reproduces the old single-queue strict-FIFO
+    /// behavior exactly (the injection bench uses it as its baseline, and
+    /// the tenant layer documents that QoS degrades to FIFO there).
     pub(crate) fn new(lanes: usize) -> Self {
         assert!(lanes > 0, "a pool needs at least one injection lane");
-        InjectLanes { lanes: (0..lanes).map(|_| CachePadded::new(Lane::new())).collect() }
+        let qos = lanes > 1;
+        InjectLanes {
+            lanes: (0..lanes)
+                .map(|_| CachePadded::new(if qos { Lane::new_qos() } else { Lane::new_fifo() }))
+                .collect(),
+        }
     }
 
     pub(crate) fn num_lanes(&self) -> usize {
         self.lanes.len()
+    }
+
+    /// Whether the bank routes by QoS class (false iff it has one lane).
+    pub(crate) fn qos_enabled(&self) -> bool {
+        self.lanes[0].is_qos()
     }
 
     /// The lane this submitter thread posts to.
@@ -141,27 +272,32 @@ impl InjectLanes {
         submitter_token() % self.lanes.len()
     }
 
-    /// Enqueue `job` on `lane`.
-    pub(crate) fn push(&self, lane: usize, job: JobRef) {
-        self.lanes[lane].push(job);
+    /// Enqueue `job` on `lane` in the sub-lane for `class`.
+    pub(crate) fn push(&self, lane: usize, job: JobRef, class: QosClass) {
+        self.lanes[lane].push_class(job, class);
     }
 
     /// Dequeue one job: the caller's `own` lane first, then a sweep over
     /// the remaining lanes starting at `sweep_start` (workers randomize it
-    /// like a steal sweep). Returns the job and the lane it came from.
-    pub(crate) fn take(&self, own: usize, sweep_start: usize) -> Option<(JobRef, usize)> {
+    /// like a steal sweep). Returns the job, the lane it came from, and
+    /// the QoS class that served it (`None` in single-lane FIFO mode).
+    pub(crate) fn take(
+        &self,
+        own: usize,
+        sweep_start: usize,
+    ) -> Option<(JobRef, usize, Option<QosClass>)> {
         let n = self.lanes.len();
         let own = own % n;
-        if let Some(job) = self.lanes[own].pop() {
-            return Some((job, own));
+        if let Some((job, class)) = self.lanes[own].pop_class() {
+            return Some((job, own, class));
         }
         for k in 0..n {
             let lane = (sweep_start + k) % n;
             if lane == own {
                 continue;
             }
-            if let Some(job) = self.lanes[lane].pop() {
-                return Some((job, lane));
+            if let Some((job, class)) = self.lanes[lane].pop_class() {
+                return Some((job, lane, class));
             }
         }
         None
@@ -175,5 +311,106 @@ impl InjectLanes {
     /// Whether every lane is empty (the idle workers' has-work probe).
     pub(crate) fn is_empty(&self) -> bool {
         self.lanes.iter().all(|l| l.len() == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::HeapJob;
+    use std::sync::Arc;
+
+    /// A JobRef that records `id` into `log` when executed.
+    fn tagged(log: &Arc<Mutex<Vec<u32>>>, id: u32) -> JobRef {
+        let log = Arc::clone(log);
+        HeapJob::new(move || log.lock().unwrap().push(id)).into_job_ref()
+    }
+
+    fn drain_order(lane: &Lane, log: &Arc<Mutex<Vec<u32>>>) -> Vec<u32> {
+        while let Some(job) = lane.pop() {
+            unsafe { job.execute() };
+        }
+        log.lock().unwrap().clone()
+    }
+
+    #[test]
+    fn fifo_lane_ignores_class_and_keeps_arrival_order() {
+        let lane = Lane::new_fifo();
+        assert!(!lane.is_qos());
+        let log = Arc::new(Mutex::new(Vec::new()));
+        lane.push_class(tagged(&log, 0), QosClass::Batch);
+        lane.push_class(tagged(&log, 1), QosClass::Latency);
+        lane.push_class(tagged(&log, 2), QosClass::Batch);
+        // FIFO lanes never report a class.
+        let (job, class) = lane.pop_class().unwrap();
+        assert_eq!(class, None);
+        unsafe { job.execute() };
+        assert_eq!(drain_order(&lane, &log), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn qos_lane_serves_latency_first_without_starving_batch() {
+        let lane = Lane::new_qos();
+        assert!(lane.is_qos());
+        let log = Arc::new(Mutex::new(Vec::new()));
+        // 20 latency jobs (ids 0..20) and 4 batch jobs (ids 100..104),
+        // batch pushed first so plain FIFO would drain it first.
+        for id in 100..104 {
+            lane.push_class(tagged(&log, id), QosClass::Batch);
+        }
+        for id in 0..20 {
+            lane.push_class(tagged(&log, id), QosClass::Latency);
+        }
+        let order = drain_order(&lane, &log);
+        // Single-threaded DRR is deterministic: 8 latency, 1 batch per
+        // round while both are backlogged, then the survivor at full
+        // speed. Batch is served every 9th pop — prioritized but never
+        // starved — despite arriving first.
+        let mut expected: Vec<u32> = Vec::new();
+        expected.extend(0..8);
+        expected.push(100);
+        expected.extend(8..16);
+        expected.push(101);
+        expected.extend(16..20);
+        expected.extend([102, 103]);
+        assert_eq!(order, expected);
+    }
+
+    #[test]
+    fn qos_lane_is_work_conserving_when_one_class_is_empty() {
+        let lane = Lane::new_qos();
+        let log = Arc::new(Mutex::new(Vec::new()));
+        // Only batch work queued: it must drain at full speed even though
+        // the latency sub-lane holds all the initial DRR credit.
+        for id in 0..30 {
+            lane.push_class(tagged(&log, id), QosClass::Batch);
+        }
+        let mut classes = Vec::new();
+        while let Some((job, class)) = lane.pop_class() {
+            unsafe { job.execute() };
+            classes.push(class);
+        }
+        assert_eq!(log.lock().unwrap().len(), 30);
+        assert!(classes.iter().all(|c| *c == Some(QosClass::Batch)));
+        assert_eq!(log.lock().unwrap().as_slice(), (0..30).collect::<Vec<_>>().as_slice());
+    }
+
+    #[test]
+    fn bank_qos_mode_tracks_lane_count() {
+        assert!(!InjectLanes::new(1).qos_enabled());
+        assert!(InjectLanes::new(2).qos_enabled());
+        assert!(InjectLanes::new(8).qos_enabled());
+    }
+
+    #[test]
+    fn take_reports_the_serving_class() {
+        let lanes = InjectLanes::new(2);
+        let log = Arc::new(Mutex::new(Vec::new()));
+        lanes.push(0, tagged(&log, 1), QosClass::Batch);
+        let (job, lane, class) = lanes.take(0, 1).unwrap();
+        assert_eq!(lane, 0);
+        assert_eq!(class, Some(QosClass::Batch));
+        unsafe { job.execute() };
+        assert!(lanes.is_empty());
     }
 }

@@ -49,6 +49,7 @@ pub mod util;
 
 pub use cancel::{CancelToken, Cancelled};
 pub use health::{PoolHealth, StallReport};
+pub use inject::{QosClass, DRR_WEIGHTS};
 pub use job::POISONED_JOB_MSG;
 pub use join::join;
 pub use latch::{CountLatch, Latch, LockLatch, Probe, SpinLatch};

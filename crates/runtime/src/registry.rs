@@ -29,7 +29,7 @@ use parloop_trace::{CounterBank, NoopSink, TraceEvent, TraceSink, WorkerStats};
 
 use crate::deque::{self, Steal, Stealer};
 use crate::health::{PoolHealth, StallReport};
-use crate::inject::{InjectLanes, Lane};
+use crate::inject::{InjectLanes, Lane, QosClass};
 use crate::job::{HeapJob, JobRef, StackJob};
 use crate::latch::{CountLatch, Latch, LockLatch, Probe, SpinLatch};
 use crate::rng::XorShift64Star;
@@ -150,6 +150,16 @@ impl Registry {
     /// already notified for (the sleep protocol's lost-wakeup argument
     /// relies on this order).
     pub(crate) fn inject(&self, job: JobRef) {
+        // Untagged external work defaults to the latency class: blocking
+        // `install` calls are interactive by nature and must not queue
+        // behind a tenant's batch backlog. Single-lane pools ignore the
+        // class entirely (strict FIFO).
+        self.inject_class(job, QosClass::Latency);
+    }
+
+    /// [`inject`](Self::inject) with an explicit QoS class (the tenant
+    /// layer's path).
+    pub(crate) fn inject_class(&self, job: JobRef, class: QosClass) {
         let mut lane = self.injected.home_lane();
         let mut drop_wake = false;
         if self.chaos_on {
@@ -170,7 +180,7 @@ impl Registry {
                 FaultAction::None => {}
             }
         }
-        self.injected.push(lane, job);
+        self.injected.push(lane, job, class);
         self.counters.note_injected();
         if !drop_wake {
             self.sleep.notify_one();
@@ -397,8 +407,13 @@ impl WorkerThread {
     fn take_injected(&self) -> Option<JobRef> {
         let lanes = self.registry.injected.num_lanes();
         let sweep_start = if lanes > 1 { self.rng.next_below(lanes) } else { 0 };
-        let (job, lane) = self.registry.injected.take(self.index, sweep_start)?;
+        let (job, lane, class) = self.registry.injected.take(self.index, sweep_start)?;
         self.registry.counters.note_lane_job(self.index);
+        match class {
+            Some(QosClass::Latency) => self.registry.counters.note_latency_job(self.index),
+            Some(QosClass::Batch) => self.registry.counters.note_batch_job(self.index),
+            None => {}
+        }
         self.trace(TraceEvent::InjectLane { lane: lane as u32 });
         Some(job)
     }
@@ -692,7 +707,7 @@ impl ThreadPoolBuilder {
         });
         let registry = Arc::new(Registry {
             stealers,
-            mailboxes: (0..n).map(|_| Lane::new()).collect(),
+            mailboxes: (0..n).map(|_| Lane::new_fifo()).collect(),
             injected: InjectLanes::new(self.inject_lanes.unwrap_or(n)),
             sleep: Arc::new(Sleep::with_base(self.backstop_interval)),
             terminate: AtomicBool::new(false),
@@ -770,6 +785,32 @@ impl ThreadPool {
         self.registry.injected.num_lanes()
     }
 
+    /// Whether this pool's injection lanes route by [`QosClass`]: true
+    /// with more than one lane, false for `inject_lanes(1)` pools, where
+    /// priority sub-lanes degrade to the old strict-FIFO single queue
+    /// (the injection bench's baseline mode). Class tags on
+    /// [`install_class`](Self::install_class) /
+    /// [`spawn_detached_class`](Self::spawn_detached_class) are accepted
+    /// but ignored in FIFO mode.
+    pub fn qos_enabled(&self) -> bool {
+        self.registry.injected.qos_enabled()
+    }
+
+    /// Consult the pool's fault injector at `site` on behalf of an
+    /// *external* (non-worker) thread — the tenant layer's admission path.
+    /// Never traced (trace sinks index per-worker rings), and an injected
+    /// `Panic` is demoted to `Fail` so faults cannot unwind into user
+    /// submitter threads. Returns [`FaultAction::None`] when chaos is off.
+    pub fn chaos_decide_external(&self, site: Site) -> FaultAction {
+        if !self.registry.chaos_on {
+            return FaultAction::None;
+        }
+        match self.registry.chaos.decide(EXTERNAL_SUBMITTER, site) {
+            FaultAction::Panic => FaultAction::Fail,
+            action => action,
+        }
+    }
+
     /// Snapshot of the pool's scheduler counters (totals across workers).
     pub fn stats(&self) -> PoolStats {
         let t = self.registry.counters.totals();
@@ -815,23 +856,45 @@ impl ThreadPool {
 
     /// Spawn a detached job on the pool. It runs at some point before the
     /// pool shuts down; there is no completion handle (use
-    /// [`scope`](crate::scope) for structured spawning).
+    /// [`scope`](crate::scope) for structured spawning). Injected work
+    /// defaults to the latency class; see
+    /// [`spawn_detached_class`](Self::spawn_detached_class).
     pub fn spawn_detached(&self, f: impl FnOnce() + Send + 'static) {
+        self.spawn_detached_class(QosClass::Latency, f)
+    }
+
+    /// [`spawn_detached`](Self::spawn_detached) with an explicit QoS
+    /// class for the injection lanes. The class only matters when the
+    /// calling thread is external to the pool (worker-local spawns go to
+    /// the worker's own deque) and the pool runs QoS lanes.
+    pub fn spawn_detached_class(&self, class: QosClass, f: impl FnOnce() + Send + 'static) {
         let job = HeapJob::new(f);
         unsafe {
             match WorkerThread::current() {
                 Some(wt) if Arc::ptr_eq(wt.registry(), &self.registry) => {
                     wt.push(job.into_job_ref())
                 }
-                _ => self.registry.inject(job.into_job_ref()),
+                _ => self.registry.inject_class(job.into_job_ref(), class),
             }
         }
     }
 
     /// Run `op` on the pool, blocking until it completes and returning its
     /// result. If the calling thread is already a worker of this pool, `op`
-    /// runs inline.
+    /// runs inline. Injected work defaults to the latency class; see
+    /// [`install_class`](Self::install_class).
     pub fn install<R, F>(&self, op: F) -> R
+    where
+        R: Send,
+        F: FnOnce() -> R + Send,
+    {
+        self.install_class(QosClass::Latency, op)
+    }
+
+    /// [`install`](Self::install) with an explicit QoS class: `Latency`
+    /// work drains ahead of `Batch` work at the DRR weights when both are
+    /// backlogged. On single-lane (FIFO) pools the class is ignored.
+    pub fn install_class<R, F>(&self, class: QosClass, op: F) -> R
     where
         R: Send,
         F: FnOnce() -> R + Send,
@@ -845,7 +908,7 @@ impl ThreadPool {
         }
         let job = StackJob::new(op, LockLatch::new());
         let jref = unsafe { job.as_job_ref() };
-        self.registry.inject(jref);
+        self.registry.inject_class(jref, class);
         job.latch.wait();
         unsafe { job.into_result() }
     }

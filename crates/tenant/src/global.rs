@@ -1,0 +1,103 @@
+//! The process-global pool registry.
+//!
+//! Rayon-style semantics: the first use builds a default pool (one worker
+//! per available core), [`init_global`] installs a custom configuration
+//! but errors once any pool exists, and — unlike rayon's leaked `Once`
+//! registry — [`teardown_global`] can shut the pool down again so tests
+//! can verify no worker threads leak. A `Mutex<Option<Arc<..>>>` instead
+//! of a `Once` is what makes teardown possible; the lock is only touched
+//! on pool acquisition (handles clone the `Arc` once and keep it), so it
+//! is nowhere near any loop hot path.
+
+use std::sync::{Arc, Mutex, PoisonError};
+
+use parloop_runtime::{ThreadPool, ThreadPoolBuilder};
+
+static GLOBAL: Mutex<Option<Arc<ThreadPool>>> = Mutex::new(None);
+
+/// Errors from explicit global-registry management.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GlobalError {
+    /// [`init_global`] was called after the global pool already existed
+    /// (built explicitly earlier, or lazily by a [`global_pool`] call).
+    AlreadyInitialized,
+    /// [`teardown_global`] found outstanding references to the global
+    /// pool (live [`Tenant`](crate::Tenant) handles or `Arc` clones); the
+    /// pool was left running.
+    Busy,
+}
+
+impl std::fmt::Display for GlobalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GlobalError::AlreadyInitialized => {
+                f.write_str("the global pool is already initialized")
+            }
+            GlobalError::Busy => f.write_str("the global pool still has outstanding references"),
+        }
+    }
+}
+
+impl std::error::Error for GlobalError {}
+
+/// Ignore mutex poisoning: the registry state (an `Option<Arc>`) is valid
+/// after any panic, and tests that panic must not wedge every later test.
+fn lock() -> std::sync::MutexGuard<'static, Option<Arc<ThreadPool>>> {
+    GLOBAL.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// The process-global pool, building it with default settings (one worker
+/// per available core) on first use. Concurrent first calls race on the
+/// registry lock; exactly one builds, the rest receive the same pool.
+pub fn global_pool() -> Arc<ThreadPool> {
+    let mut g = lock();
+    g.get_or_insert_with(|| {
+        let n = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        Arc::new(
+            ThreadPoolBuilder::new().num_workers(n).thread_name_prefix("parloop-global").build(),
+        )
+    })
+    .clone()
+}
+
+/// The global pool if one exists, without triggering lazy construction.
+pub fn global_pool_if_initialized() -> Option<Arc<ThreadPool>> {
+    lock().clone()
+}
+
+/// Install a custom-configured global pool. Fails with
+/// [`GlobalError::AlreadyInitialized`] if any global pool already exists
+/// — call it before the first [`global_pool`] use (rayon's
+/// `build_global` contract).
+pub fn init_global(builder: ThreadPoolBuilder) -> Result<Arc<ThreadPool>, GlobalError> {
+    let mut g = lock();
+    if g.is_some() {
+        return Err(GlobalError::AlreadyInitialized);
+    }
+    let pool = Arc::new(builder.build());
+    *g = Some(Arc::clone(&pool));
+    Ok(pool)
+}
+
+/// Shut the global pool down, joining its worker threads. `Ok(true)` if a
+/// pool was torn down, `Ok(false)` if none existed;
+/// [`GlobalError::Busy`] (pool left running) if other `Arc` references
+/// are still outstanding — drop tenant handles first.
+pub fn teardown_global() -> Result<bool, GlobalError> {
+    let mut g = lock();
+    match g.take() {
+        None => Ok(false),
+        Some(pool) => match Arc::try_unwrap(pool) {
+            Ok(pool) => {
+                // Drop outside nothing: joining here, under the registry
+                // lock, is fine — workers never touch the registry.
+                drop(pool);
+                Ok(true)
+            }
+            Err(pool) => {
+                *g = Some(pool);
+                Err(GlobalError::Busy)
+            }
+        },
+    }
+}

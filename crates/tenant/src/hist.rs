@@ -1,0 +1,113 @@
+//! A lock-free log2-bucketed latency histogram.
+//!
+//! Sixty-four buckets, one per power of two of nanoseconds: recording is
+//! one relaxed `fetch_add` on the bucket for `floor(log2(nanos))`, so
+//! submitter threads can record install latencies concurrently with no
+//! lock and no allocation. Quantiles come back as the *upper bound* of
+//! the bucket holding the requested rank — at most 2x the true value,
+//! which is ample for p50/p99 ratios across orders of magnitude.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Concurrent histogram of durations in power-of-two nanosecond buckets.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; 64],
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram { buckets: std::array::from_fn(|_| AtomicU64::new(0)) }
+    }
+
+    /// Record one sample. Zero durations land in bucket 0.
+    pub fn record(&self, sample: Duration) {
+        let nanos = sample.as_nanos().min(u64::MAX as u128) as u64;
+        let bucket = nanos.max(1).ilog2() as usize;
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total recorded samples (racy snapshot).
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) as the upper bound of the bucket
+    /// containing that rank; `None` while the histogram is empty.
+    pub fn quantile(&self, q: f64) -> Option<Duration> {
+        let counts: Vec<u64> = self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (bucket, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // Upper bound of bucket b is 2^(b+1) - 1 nanos.
+                let bound = if bucket >= 63 { u64::MAX } else { (1u64 << (bucket + 1)) - 1 };
+                return Some(Duration::from_nanos(bound));
+            }
+        }
+        unreachable!("rank is bounded by the total")
+    }
+
+    /// Median sample, by bucket upper bound.
+    pub fn p50(&self) -> Option<Duration> {
+        self.quantile(0.50)
+    }
+
+    /// 99th-percentile sample, by bucket upper bound.
+    pub fn p99(&self) -> Option<Duration> {
+        self.quantile(0.99)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_has_no_quantiles() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.p50(), None);
+        assert_eq!(h.p99(), None);
+    }
+
+    #[test]
+    fn quantiles_track_bucket_bounds() {
+        let h = LatencyHistogram::new();
+        // 99 samples at ~1µs, 1 sample at ~1ms.
+        for _ in 0..99 {
+            h.record(Duration::from_micros(1));
+        }
+        h.record(Duration::from_millis(1));
+        assert_eq!(h.count(), 100);
+        let p50 = h.p50().unwrap();
+        let p99 = h.p99().unwrap();
+        // p50 stays within 2x of 1µs; p99 still in the µs population.
+        assert!(p50 >= Duration::from_micros(1) && p50 < Duration::from_micros(3), "{p50:?}");
+        assert!(p99 < Duration::from_micros(3), "{p99:?}");
+        // The max (q=1.0) reaches the millisecond outlier's bucket.
+        assert!(h.quantile(1.0).unwrap() >= Duration::from_millis(1));
+    }
+
+    #[test]
+    fn zero_and_huge_samples_do_not_panic() {
+        let h = LatencyHistogram::new();
+        h.record(Duration::ZERO);
+        h.record(Duration::from_secs(u64::MAX / 2));
+        assert_eq!(h.count(), 2);
+        assert!(h.p99().is_some());
+    }
+}

@@ -1,0 +1,413 @@
+//! Tenant handles: QoS class, fair-share weight, deadline, admission.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parloop_chaos::{chaos_spin, FaultAction, Site};
+use parloop_core::{try_par_for_chunks, Schedule};
+use parloop_runtime::{CancelToken, QosClass, ThreadPool, TraceEvent, WorkerToken};
+
+use crate::global::global_pool;
+use crate::hist::LatencyHistogram;
+
+/// Default admission window per unit of [`TenantBuilder::weight`]: a
+/// tenant may have `weight * DEFAULT_DEPTH_PER_WEIGHT` loops in flight
+/// before [`TenantError::Overloaded`] rejections start. Weight-scaling
+/// the window is the fairness mechanism — equal-weight tenants get equal
+/// standing demand on the lanes, and the DRR drain does the rest.
+pub const DEFAULT_DEPTH_PER_WEIGHT: usize = 4;
+
+/// Process-wide tenant id allocator (ids tag trace events).
+static NEXT_TENANT_ID: AtomicU32 = AtomicU32::new(0);
+
+/// Errors a tenant loop can return without running (or completing) the
+/// loop body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TenantError {
+    /// Admission control rejected the loop: the tenant already had its
+    /// full depth-limit of loops in flight (or the chaos layer forced a
+    /// rejection at [`Site::Admission`]). Nothing was queued; no
+    /// iteration ran. Back off and retry.
+    Overloaded,
+    /// The tenant's deadline passed before the loop completed. Chunks
+    /// that started before the deadline was observed ran exactly once;
+    /// no new chunks were claimed after it.
+    DeadlineExceeded,
+}
+
+impl std::fmt::Display for TenantError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TenantError::Overloaded => f.write_str("tenant over its admission depth limit"),
+            TenantError::DeadlineExceeded => f.write_str("tenant deadline exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for TenantError {}
+
+/// Point-in-time snapshot of one tenant's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TenantStats {
+    /// Loops admitted and installed on the pool.
+    pub installed: u64,
+    /// Loops rejected by admission control ([`TenantError::Overloaded`]).
+    pub rejected: u64,
+    /// Loops cancelled by the tenant deadline
+    /// ([`TenantError::DeadlineExceeded`]).
+    pub cancelled_by_deadline: u64,
+    /// Loops currently admitted and not yet finished.
+    pub in_flight: usize,
+}
+
+/// The shared state behind a [`Tenant`] and its clones.
+struct Shared {
+    id: u32,
+    name: String,
+    class: QosClass,
+    weight: u32,
+    deadline: Option<Duration>,
+    depth_limit: usize,
+    in_flight: AtomicUsize,
+    installed: AtomicU64,
+    rejected: AtomicU64,
+    cancelled_by_deadline: AtomicU64,
+    install_latency: LatencyHistogram,
+}
+
+/// Decrement-on-drop admission slot, so a panicking loop body (or an
+/// early return) can never leak in-flight accounting and wedge the
+/// tenant at its depth limit. Owns its `Arc` so detached jobs can carry
+/// the slot onto a worker and release it when the job finishes.
+struct AdmitGuard(Arc<Shared>);
+
+impl Drop for AdmitGuard {
+    fn drop(&mut self) {
+        self.0.in_flight.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// Configures a [`Tenant`]; created via [`Tenant::builder`].
+pub struct TenantBuilder {
+    name: String,
+    class: QosClass,
+    weight: u32,
+    deadline: Option<Duration>,
+    max_in_flight: Option<usize>,
+}
+
+impl TenantBuilder {
+    /// QoS class for every loop this tenant submits. Default:
+    /// [`QosClass::Batch`] — latency standing is something a tenant opts
+    /// into, not the bulk default.
+    pub fn class(mut self, class: QosClass) -> Self {
+        self.class = class;
+        self
+    }
+
+    /// Fair-share weight (≥ 1). Scales the admission window:
+    /// `weight * DEFAULT_DEPTH_PER_WEIGHT` loops in flight unless
+    /// [`max_in_flight`](Self::max_in_flight) overrides it.
+    pub fn weight(mut self, weight: u32) -> Self {
+        assert!(weight >= 1, "tenant weight must be at least 1");
+        self.weight = weight;
+        self
+    }
+
+    /// Per-loop deadline: each loop gets a fresh
+    /// [`CancelToken::cancel_after`]`(deadline)` and returns
+    /// [`TenantError::DeadlineExceeded`] if it fires first.
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Explicit admission window, overriding the weight-scaled default.
+    pub fn max_in_flight(mut self, depth: usize) -> Self {
+        assert!(depth >= 1, "a tenant needs an admission window of at least 1");
+        self.max_in_flight = Some(depth);
+        self
+    }
+
+    /// Build the tenant on the process-global pool (creating the pool
+    /// with defaults if this is the first use — see
+    /// [`global_pool`](crate::global_pool)).
+    pub fn build(self) -> Tenant {
+        let pool = global_pool();
+        self.build_on(pool)
+    }
+
+    /// Build the tenant on an explicit pool (tests, benches, and
+    /// embedders that manage their own fleet).
+    pub fn build_on(self, pool: Arc<ThreadPool>) -> Tenant {
+        let depth_limit =
+            self.max_in_flight.unwrap_or(self.weight as usize * DEFAULT_DEPTH_PER_WEIGHT);
+        Tenant {
+            pool,
+            shared: Arc::new(Shared {
+                id: NEXT_TENANT_ID.fetch_add(1, Ordering::Relaxed),
+                name: self.name,
+                class: self.class,
+                weight: self.weight,
+                deadline: self.deadline,
+                depth_limit,
+                in_flight: AtomicUsize::new(0),
+                installed: AtomicU64::new(0),
+                rejected: AtomicU64::new(0),
+                cancelled_by_deadline: AtomicU64::new(0),
+                install_latency: LatencyHistogram::new(),
+            }),
+        }
+    }
+}
+
+/// A caller's handle onto the shared fleet. Cloning is cheap and clones
+/// share class, weight, admission window, and stats — hand clones to the
+/// tenant's submitter threads.
+#[derive(Clone)]
+pub struct Tenant {
+    pool: Arc<ThreadPool>,
+    shared: Arc<Shared>,
+}
+
+impl Tenant {
+    /// Start configuring a tenant named `name` (names are for humans and
+    /// stats; ids tag trace events).
+    pub fn builder(name: impl Into<String>) -> TenantBuilder {
+        TenantBuilder {
+            name: name.into(),
+            class: QosClass::Batch,
+            weight: 1,
+            deadline: None,
+            max_in_flight: None,
+        }
+    }
+
+    /// This tenant's process-unique id (tags `tenant_installed` /
+    /// `tenant_deadline` trace events).
+    pub fn id(&self) -> u32 {
+        self.shared.id
+    }
+
+    /// The name given at build time.
+    pub fn name(&self) -> &str {
+        &self.shared.name
+    }
+
+    /// The QoS class every loop of this tenant is injected with.
+    pub fn class(&self) -> QosClass {
+        self.shared.class
+    }
+
+    /// The fair-share weight.
+    pub fn weight(&self) -> u32 {
+        self.shared.weight
+    }
+
+    /// The admission window (maximum in-flight loops).
+    pub fn depth_limit(&self) -> usize {
+        self.shared.depth_limit
+    }
+
+    /// The pool this tenant submits to.
+    pub fn pool(&self) -> &Arc<ThreadPool> {
+        &self.pool
+    }
+
+    /// Snapshot of this tenant's counters.
+    pub fn stats(&self) -> TenantStats {
+        TenantStats {
+            installed: self.shared.installed.load(Ordering::Relaxed),
+            rejected: self.shared.rejected.load(Ordering::Relaxed),
+            cancelled_by_deadline: self.shared.cancelled_by_deadline.load(Ordering::Relaxed),
+            in_flight: self.shared.in_flight.load(Ordering::Relaxed),
+        }
+    }
+
+    /// p50 install latency (admission to first instruction on a worker),
+    /// as the upper bound of its log2 bucket. `None` before any install.
+    pub fn p50_install_latency(&self) -> Option<Duration> {
+        self.shared.install_latency.p50()
+    }
+
+    /// p99 install latency; see
+    /// [`p50_install_latency`](Self::p50_install_latency).
+    pub fn p99_install_latency(&self) -> Option<Duration> {
+        self.shared.install_latency.p99()
+    }
+
+    /// Claim an admission slot, or reject. The chaos site runs first so a
+    /// forced rejection exercises the exact path real overload takes.
+    fn admit(&self) -> Result<AdmitGuard, TenantError> {
+        if self.pool.chaos_enabled() {
+            // `Panic` is already demoted to `Fail` by the runtime: faults
+            // must never unwind into user submitter threads.
+            match self.pool.chaos_decide_external(Site::Admission) {
+                FaultAction::Fail | FaultAction::Panic => {
+                    self.shared.rejected.fetch_add(1, Ordering::Relaxed);
+                    return Err(TenantError::Overloaded);
+                }
+                FaultAction::Delay(spins) => chaos_spin(spins),
+                FaultAction::None => {}
+            }
+        }
+        let mut cur = self.shared.in_flight.load(Ordering::Relaxed);
+        loop {
+            if cur >= self.shared.depth_limit {
+                self.shared.rejected.fetch_add(1, Ordering::Relaxed);
+                return Err(TenantError::Overloaded);
+            }
+            match self.shared.in_flight.compare_exchange_weak(
+                cur,
+                cur + 1,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Ok(AdmitGuard(Arc::clone(&self.shared))),
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// A fresh cancellation token for one loop: a deadline token if the
+    /// tenant has a deadline (one code path with every other
+    /// `cancel_after` user), otherwise a plain never-firing token.
+    fn loop_token(&self) -> CancelToken {
+        match self.shared.deadline {
+            Some(d) => CancelToken::cancel_after(d),
+            None => CancelToken::new(),
+        }
+    }
+
+    /// Run a chunked parallel loop under this tenant's class, weight
+    /// window, and deadline. See
+    /// [`try_par_for_chunks`](parloop_core::try_par_for_chunks) for the
+    /// chunk semantics; on `Err` nothing leaks — admission slots are
+    /// released and every chunk that started ran exactly once.
+    pub fn par_for_chunks<F>(
+        &self,
+        range: Range<usize>,
+        sched: Schedule,
+        body: F,
+    ) -> Result<(), TenantError>
+    where
+        F: Fn(Range<usize>) + Sync,
+    {
+        let _slot = self.admit()?;
+        let cancel = self.loop_token();
+        let shared = &self.shared;
+        let pool = &self.pool;
+        let submitted = Instant::now();
+        let result = pool.install_class(shared.class, || {
+            // First instruction on the worker: the queueing delay QoS is
+            // supposed to bound. The nested loop entry below installs
+            // inline (same pool), so this is the only injected hop.
+            shared.install_latency.record(submitted.elapsed());
+            shared.installed.fetch_add(1, Ordering::Relaxed);
+            if let Some(token) = WorkerToken::current() {
+                token.trace(TraceEvent::TenantInstalled {
+                    tenant: shared.id,
+                    class: shared.class.as_u8(),
+                });
+            }
+            let r = try_par_for_chunks(pool, range, sched, &cancel, &body);
+            if r.is_err() {
+                // Still on the worker: the deadline event must be traced
+                // here (trace sinks index per-worker rings; the submitter
+                // thread has none).
+                if let Some(token) = WorkerToken::current() {
+                    token.trace(TraceEvent::TenantDeadline { tenant: shared.id });
+                }
+            }
+            r
+        });
+        match result {
+            Ok(()) => Ok(()),
+            Err(_cancelled) => {
+                shared.cancelled_by_deadline.fetch_add(1, Ordering::Relaxed);
+                Err(TenantError::DeadlineExceeded)
+            }
+        }
+    }
+
+    /// Per-index convenience over [`par_for_chunks`](Self::par_for_chunks).
+    pub fn par_for<F>(
+        &self,
+        range: Range<usize>,
+        sched: Schedule,
+        body: F,
+    ) -> Result<(), TenantError>
+    where
+        F: Fn(usize) + Sync,
+    {
+        self.par_for_chunks(range, sched, |chunk| {
+            for i in chunk {
+                body(i);
+            }
+        })
+    }
+
+    /// Fire-and-forget: run `f` on the pool under this tenant's class,
+    /// holding one admission slot until the job finishes (the slot rides
+    /// inside the job, so a rejected spawn queues nothing and a finished
+    /// job frees its slot even if `f` panics).
+    pub fn spawn_detached<F>(&self, f: F) -> Result<(), TenantError>
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        let slot = self.admit()?;
+        let shared = Arc::clone(&self.shared);
+        let submitted = Instant::now();
+        self.pool.spawn_detached_class(shared.class, move || {
+            let _slot = slot;
+            shared.install_latency.record(submitted.elapsed());
+            shared.installed.fetch_add(1, Ordering::Relaxed);
+            if let Some(token) = WorkerToken::current() {
+                token.trace(TraceEvent::TenantInstalled {
+                    tenant: shared.id,
+                    class: shared.class.as_u8(),
+                });
+            }
+            f()
+        });
+        Ok(())
+    }
+
+    /// Run an arbitrary closure on the pool under this tenant's class and
+    /// admission window (no deadline — the closure has no cooperative
+    /// cancellation points).
+    pub fn install<R, F>(&self, op: F) -> Result<R, TenantError>
+    where
+        R: Send,
+        F: FnOnce() -> R + Send,
+    {
+        let _slot = self.admit()?;
+        let shared = &self.shared;
+        let submitted = Instant::now();
+        Ok(self.pool.install_class(shared.class, || {
+            shared.install_latency.record(submitted.elapsed());
+            shared.installed.fetch_add(1, Ordering::Relaxed);
+            if let Some(token) = WorkerToken::current() {
+                token.trace(TraceEvent::TenantInstalled {
+                    tenant: shared.id,
+                    class: shared.class.as_u8(),
+                });
+            }
+            op()
+        }))
+    }
+}
+
+impl std::fmt::Debug for Tenant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tenant")
+            .field("id", &self.shared.id)
+            .field("name", &self.shared.name)
+            .field("class", &self.shared.class)
+            .field("weight", &self.shared.weight)
+            .field("depth_limit", &self.shared.depth_limit)
+            .finish_non_exhaustive()
+    }
+}

@@ -20,6 +20,8 @@ struct PaddedCounters {
     steals: AtomicU64,
     failed_steal_sweeps: AtomicU64,
     lane_jobs: AtomicU64,
+    latency_jobs: AtomicU64,
+    batch_jobs: AtomicU64,
     notified_wakes: AtomicU64,
     backstop_wakes: AtomicU64,
 }
@@ -43,6 +45,12 @@ pub struct WorkerStats {
     /// Externally-injected jobs this worker drained from the sharded
     /// injection lanes (its own lane or another's during a sweep).
     pub lane_jobs: u64,
+    /// Lane jobs drained from the latency-class priority sub-lane (QoS
+    /// pools only; always `0` when the pool runs class-blind FIFO lanes).
+    pub latency_jobs: u64,
+    /// Lane jobs drained from the batch-class sub-lane (see
+    /// [`latency_jobs`](Self::latency_jobs)).
+    pub batch_jobs: u64,
     /// Parks that ended in a targeted notification (a real wake).
     pub notified_wakes: u64,
     /// Parks that ended in the timeout backstop firing (a poll, not a
@@ -102,6 +110,18 @@ impl CounterBank {
         self.workers[worker].lane_jobs.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Count one latency-class lane job drained by `worker`.
+    #[inline]
+    pub fn note_latency_job(&self, worker: usize) {
+        self.workers[worker].latency_jobs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one batch-class lane job drained by `worker`.
+    #[inline]
+    pub fn note_batch_job(&self, worker: usize) {
+        self.workers[worker].batch_jobs.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Count one park of `worker` ended by a targeted notification.
     #[inline]
     pub fn note_notified_wake(&self, worker: usize) {
@@ -135,6 +155,8 @@ impl CounterBank {
             steals: c.steals.load(Ordering::Relaxed),
             failed_steal_sweeps: c.failed_steal_sweeps.load(Ordering::Relaxed),
             lane_jobs: c.lane_jobs.load(Ordering::Relaxed),
+            latency_jobs: c.latency_jobs.load(Ordering::Relaxed),
+            batch_jobs: c.batch_jobs.load(Ordering::Relaxed),
             notified_wakes: c.notified_wakes.load(Ordering::Relaxed),
             backstop_wakes: c.backstop_wakes.load(Ordering::Relaxed),
         }
@@ -156,6 +178,8 @@ impl CounterBank {
             t.steals += s.steals;
             t.failed_steal_sweeps += s.failed_steal_sweeps;
             t.lane_jobs += s.lane_jobs;
+            t.latency_jobs += s.latency_jobs;
+            t.batch_jobs += s.batch_jobs;
             t.notified_wakes += s.notified_wakes;
             t.backstop_wakes += s.backstop_wakes;
         }
@@ -181,6 +205,9 @@ mod tests {
         bank.note_failed_sweep(2);
         bank.note_injected();
         bank.note_lane_job(1);
+        bank.note_latency_job(1);
+        bank.note_batch_job(2);
+        bank.note_batch_job(2);
         bank.note_notified_wake(0);
         bank.note_backstop_wake(2);
         bank.note_backstop_wake(2);
@@ -190,6 +217,8 @@ mod tests {
         assert_eq!(bank.worker(1).steals, 1);
         assert_eq!(bank.worker(2).failed_steal_sweeps, 1);
         assert_eq!(bank.worker(1).lane_jobs, 1);
+        assert_eq!(bank.worker(1).latency_jobs, 1);
+        assert_eq!(bank.worker(2).batch_jobs, 2);
         assert_eq!(bank.worker(0).notified_wakes, 1);
         assert_eq!(bank.worker(2).backstop_wakes, 2);
         let t = bank.totals();
@@ -199,6 +228,8 @@ mod tests {
         assert_eq!(t.steals, 1);
         assert_eq!(t.failed_steal_sweeps, 1);
         assert_eq!(t.lane_jobs, 1);
+        assert_eq!(t.latency_jobs, 1);
+        assert_eq!(t.batch_jobs, 2);
         assert_eq!(t.notified_wakes, 1);
         assert_eq!(t.backstop_wakes, 2);
         assert_eq!(bank.injected(), 1);

@@ -53,6 +53,12 @@ fn classify(event: &TraceEvent) -> Option<Record> {
         TraceEvent::AssistChunk { start, len } => {
             Record::Instant("assist_chunk", format!(r#"{{"start":{start},"len":{len}}}"#))
         }
+        TraceEvent::TenantInstalled { tenant, class } => {
+            Record::Instant("tenant_installed", format!(r#"{{"tenant":{tenant},"class":{class}}}"#))
+        }
+        TraceEvent::TenantDeadline { tenant } => {
+            Record::Instant("tenant_deadline", format!(r#"{{"tenant":{tenant}}}"#))
+        }
         // Push/pop are too fine for a timeline view; CSV keeps them.
         TraceEvent::JobPushed | TraceEvent::JobPopped => return None,
     })
@@ -137,7 +143,7 @@ pub fn chrome_trace_json(snap: &TraceSnapshot) -> String {
 /// per-kind payload fields.
 pub fn csv(snap: &TraceSnapshot) -> String {
     let mut out = String::from(
-        "ts_nanos,worker,event,success,index,partition,victim,start,len,site,action,lane\n",
+        "ts_nanos,worker,event,success,index,partition,victim,start,len,site,action,lane,tenant,class\n",
     );
     for e in &snap.events {
         let (mut success, mut index, mut partition, mut victim, mut start, mut len) = (
@@ -149,9 +155,15 @@ pub fn csv(snap: &TraceSnapshot) -> String {
             String::new(),
         );
         let (mut site, mut action, mut lane) = (String::new(), String::new(), String::new());
+        let (mut tenant, mut class) = (String::new(), String::new());
         match e.event {
             TraceEvent::Stolen { victim: v } => victim = v.to_string(),
             TraceEvent::InjectLane { lane: l } => lane = l.to_string(),
+            TraceEvent::TenantInstalled { tenant: t, class: c } => {
+                tenant = t.to_string();
+                class = c.to_string();
+            }
+            TraceEvent::TenantDeadline { tenant: t } => tenant = t.to_string(),
             TraceEvent::ClaimAttempt { success: s, index: i, partition: p } => {
                 success = (s as u8).to_string();
                 index = i.to_string();
@@ -171,7 +183,7 @@ pub fn csv(snap: &TraceSnapshot) -> String {
         }
         let _ = writeln!(
             out,
-            "{},{},{},{success},{index},{partition},{victim},{start},{len},{site},{action},{lane}",
+            "{},{},{},{success},{index},{partition},{victim},{start},{len},{site},{action},{lane},{tenant},{class}",
             e.ts_nanos,
             e.worker,
             e.event.name(),
@@ -231,15 +243,19 @@ mod tests {
             (6, 1, TraceEvent::ChunkEnd { start: 10, len: 4 }),
             (7, 0, TraceEvent::FaultInjected { site: 4, action: 1 }),
             (8, 1, TraceEvent::InjectLane { lane: 3 }),
+            (9, 0, TraceEvent::TenantInstalled { tenant: 12, class: 1 }),
+            (10, 0, TraceEvent::TenantDeadline { tenant: 12 }),
         ]);
         let text = csv(&s);
         let lines: Vec<&str> = text.lines().collect();
-        assert_eq!(lines.len(), 5);
+        assert_eq!(lines.len(), 7);
         assert!(lines[0].starts_with("ts_nanos,worker,event"));
-        assert_eq!(lines[1], "5,0,claim_attempt,1,2,6,,,,,,");
-        assert_eq!(lines[2], "6,1,chunk_end,,,,,10,4,,,");
-        assert_eq!(lines[3], "7,0,fault_injected,,,,,,,4,1,");
-        assert_eq!(lines[4], "8,1,inject_lane,,,,,,,,,3");
+        assert_eq!(lines[1], "5,0,claim_attempt,1,2,6,,,,,,,,");
+        assert_eq!(lines[2], "6,1,chunk_end,,,,,10,4,,,,,");
+        assert_eq!(lines[3], "7,0,fault_injected,,,,,,,4,1,,,");
+        assert_eq!(lines[4], "8,1,inject_lane,,,,,,,,,3,,");
+        assert_eq!(lines[5], "9,0,tenant_installed,,,,,,,,,,12,1");
+        assert_eq!(lines[6], "10,0,tenant_deadline,,,,,,,,,,12,");
     }
 
     #[test]
@@ -268,5 +284,17 @@ mod tests {
         assert!(json.contains(r#""lane":2"#), "{json}");
         assert!(json.contains(r#""name":"wake_targeted""#));
         assert!(json.contains(r#""name":"backstop_wake""#));
+    }
+
+    #[test]
+    fn tenant_events_render_as_instants() {
+        let s = snap(vec![
+            (1, 0, TraceEvent::TenantInstalled { tenant: 3, class: 0 }),
+            (2, 0, TraceEvent::TenantDeadline { tenant: 3 }),
+        ]);
+        let json = chrome_trace_json(&s);
+        assert!(json.contains(r#""name":"tenant_installed""#), "{json}");
+        assert!(json.contains(r#""tenant":3,"class":0"#), "{json}");
+        assert!(json.contains(r#""name":"tenant_deadline""#), "{json}");
     }
 }

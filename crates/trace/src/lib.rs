@@ -134,6 +134,23 @@ pub enum TraceEvent {
         /// Number of iterations in the claimed chunk.
         len: u32,
     },
+    /// A worker began executing work submitted through the multi-tenant
+    /// layer (`parloop-tenant`). Emitted at the start of the tenant's
+    /// install frame, so the gap to the submission timestamp is the
+    /// install latency the tenant stats histogram records.
+    TenantInstalled {
+        /// The submitting tenant's id.
+        tenant: u32,
+        /// The tenant's QoS class code (`0` latency, `1` batch — kept as a
+        /// raw byte so this crate stays a dependency leaf).
+        class: u8,
+    },
+    /// A tenant loop observed its deadline-derived `CancelToken` fired and
+    /// returned `Err` (recorded by the worker running the install frame).
+    TenantDeadline {
+        /// The cancelled tenant's id.
+        tenant: u32,
+    },
 }
 
 impl TraceEvent {
@@ -159,6 +176,8 @@ impl TraceEvent {
             TraceEvent::BackstopWake => "backstop_wake",
             TraceEvent::AssistJoin => "assist_join",
             TraceEvent::AssistChunk { .. } => "assist_chunk",
+            TraceEvent::TenantInstalled { .. } => "tenant_installed",
+            TraceEvent::TenantDeadline { .. } => "tenant_deadline",
         }
     }
 
@@ -188,6 +207,10 @@ impl TraceEvent {
             TraceEvent::BackstopWake => (17, 0),
             TraceEvent::AssistJoin => (18, 0),
             TraceEvent::AssistChunk { start, len } => (19 | (len as u64) << 32, start),
+            TraceEvent::TenantInstalled { tenant, class } => {
+                (20 | (class as u64) << 8, tenant as u64)
+            }
+            TraceEvent::TenantDeadline { tenant } => (21, tenant as u64),
         }
     }
 
@@ -218,6 +241,8 @@ impl TraceEvent {
             17 => TraceEvent::BackstopWake,
             18 => TraceEvent::AssistJoin,
             19 => TraceEvent::AssistChunk { start: b, len: (a >> 32) as u32 },
+            20 => TraceEvent::TenantInstalled { tenant: b as u32, class: (a >> 8) as u8 },
+            21 => TraceEvent::TenantDeadline { tenant: b as u32 },
             _ => return None,
         })
     }
@@ -295,6 +320,9 @@ mod tests {
             TraceEvent::AssistJoin,
             TraceEvent::AssistChunk { start: 0, len: 1 },
             TraceEvent::AssistChunk { start: u64::MAX >> 1, len: u32::MAX },
+            TraceEvent::TenantInstalled { tenant: 0, class: 0 },
+            TraceEvent::TenantInstalled { tenant: u32::MAX, class: u8::MAX },
+            TraceEvent::TenantDeadline { tenant: u32::MAX },
         ];
         for ev in events {
             let (a, b) = ev.pack();

@@ -56,6 +56,10 @@ pub struct EventCounts {
     pub assist_chunks: u64,
     /// Iterations covered by assistant-claimed chunks.
     pub assist_iterations: u64,
+    /// Tenant loop installs admitted onto the pool.
+    pub tenant_installs: u64,
+    /// Tenant loops cancelled by their deadline.
+    pub tenant_deadlines: u64,
 }
 
 impl EventCounts {
@@ -101,6 +105,8 @@ pub fn event_counts(snap: &TraceSnapshot) -> EventCounts {
                 c.assist_chunks += 1;
                 c.assist_iterations += len as u64;
             }
+            TraceEvent::TenantInstalled { .. } => c.tenant_installs += 1,
+            TraceEvent::TenantDeadline { .. } => c.tenant_deadlines += 1,
         }
     }
     c

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
-# Perf-trajectory harness: run the split-policy benchmark in full mode and
-# emit the stable top-level BENCH_parloop.json (flat {name, value, unit}
-# entries — ns/iter for the micro kernel under lazy vs eager splitting,
-# plus deque pushes per loop) so results are comparable across commits.
+# Perf-trajectory harness: run the split-policy and multi-tenant traffic
+# benchmarks in full mode and emit the stable top-level BENCH_parloop.json
+# (flat {name, value, unit} entries — ns/iter for the micro kernel under
+# lazy vs eager splitting, deque pushes per loop, and the tenant/* QoS
+# latency series) so results are comparable across commits.
 #
 #   --smoke   reduced sizes + relaxed wall-clock bars (CI boxes)
 set -euo pipefail
@@ -30,6 +31,15 @@ if [ "$rc" -ne 0 ]; then
   exit "$rc"
 fi
 
+echo "== traffic_bench ${SMOKE[*]:-} =="
+# Appends its tenant/* series into the same document split_bench wrote.
+rc=0
+./target/release/traffic_bench "${SMOKE[@]:-}" --bench-json BENCH_parloop.json || rc=$?
+if [ "$rc" -ne 0 ]; then
+  echo "bench.sh: traffic_bench failed (exit $rc); BENCH_parloop.json may be partial" >&2
+  exit "$rc"
+fi
+
 test -s BENCH_parloop.json \
   || { echo "bench.sh: BENCH_parloop.json missing or empty" >&2; exit 1; }
 
@@ -48,12 +58,14 @@ for e in results:
 names = [e["name"] for e in results]
 assert any(n.startswith("split/lazy/") for n in names), "no split/lazy/* series"
 assert any(n.startswith("floor/") for n in names), "no floor/* series"
+assert any(n.startswith("tenant/") for n in names), "no tenant/* series"
 print(f"bench.sh: schema OK ({len(results)} entries)")
 EOF
 else
   # Fallback without python3: the series markers must at least be present.
   grep -q '"name": "split/lazy/' BENCH_parloop.json \
     && grep -q '"name": "floor/' BENCH_parloop.json \
+    && grep -q '"name": "tenant/' BENCH_parloop.json \
     || { echo "bench.sh: BENCH_parloop.json lacks expected series" >&2; exit 1; }
 fi
 echo "bench.sh: wrote BENCH_parloop.json"

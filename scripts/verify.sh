@@ -98,6 +98,16 @@ if [ "$QUICK" -eq 0 ]; then
   test -s results/lazy_split.json \
     || { echo "verify.sh: results/lazy_split.json missing or empty" >&2; exit 1; }
 
+  # Multi-tenant acceptance: fairness-ratio sanity and zero lost jobs
+  # under concurrent tenants (exactly-once conservation — the p99 QoS
+  # speedup bar is full-mode only; smoke sizes are too shallow for a
+  # stable ratio). Exits non-zero when a bar is missed and writes
+  # results/traffic.json.
+  echo "== traffic_bench --smoke =="
+  ./target/release/traffic_bench --smoke
+  test -s results/traffic.json \
+    || { echo "verify.sh: results/traffic.json missing or empty" >&2; exit 1; }
+
   # Leaf vectorization gate: the stride-1 micro kernels must still compile
   # to packed SIMD in release (also runnable alone via `verify.sh --asm`).
   asm_check
@@ -105,6 +115,7 @@ else
   echo "== chaos stress skipped (--quick) =="
   echo "== inject_bench skipped (--quick) =="
   echo "== split_bench skipped (--quick) =="
+  echo "== traffic_bench skipped (--quick) =="
 fi
 
 echo "verify.sh: all gates passed"

@@ -22,6 +22,22 @@ fn facade_reexports_are_usable() {
     assert_eq!(hits.load(Ordering::Relaxed), 10);
     let (a, b) = pool.install(|| parloop::join(|| 1, || 2));
     assert_eq!(a + b, 3);
+
+    // The tenant-layer facade from the README (on an explicit pool, so
+    // this test never touches the process-global registry).
+    let pool = std::sync::Arc::new(parloop::ThreadPool::new(2));
+    let tenant = parloop::Tenant::builder("readme")
+        .class(parloop::QosClass::Latency)
+        .weight(2)
+        .build_on(pool);
+    let hits = AtomicUsize::new(0);
+    tenant
+        .par_for(0..10, parloop::Schedule::hybrid(), |_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        })
+        .unwrap();
+    assert_eq!(hits.load(Ordering::Relaxed), 10);
+    assert_eq!(tenant.stats().installed, 1);
 }
 
 #[test]

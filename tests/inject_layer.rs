@@ -18,11 +18,11 @@
 //!   at least 10x below the old fixed-interval polling rate, while a late
 //!   `install` is still served promptly.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use parloop::{FaultAction, FaultInjector, Site, ThreadPool, ThreadPoolBuilder};
+use parloop::{FaultAction, FaultInjector, QosClass, Site, ThreadPool, ThreadPoolBuilder};
 
 /// Let every worker reach its parked state: they spin/yield for a few
 /// iterations before blocking, so a short idle interval suffices.
@@ -142,6 +142,73 @@ fn single_lane_baseline_keeps_the_same_guarantees() {
     // the injection benchmark's baseline); it must stay correct.
     let pool = ThreadPoolBuilder::new().num_workers(4).inject_lanes(1).build();
     stress(&pool, 8, 500);
+}
+
+#[test]
+fn single_lane_pool_degrades_qos_to_strict_fifo() {
+    // Regression for the QoS sub-lanes: with `inject_lanes(1)` the
+    // priority sub-lanes must collapse to the old single strict-FIFO
+    // queue — class tags are ignored, post order is execution order, and
+    // the per-class counters never tick (the pool is class-blind).
+    let pool = ThreadPoolBuilder::new().num_workers(1).inject_lanes(1).build();
+    assert!(!pool.qos_enabled());
+
+    // Hold the worker so a mixed-class backlog builds up behind it.
+    let gate = Arc::new(AtomicBool::new(false));
+    let started = Arc::new(AtomicBool::new(false));
+    {
+        let gate = Arc::clone(&gate);
+        let started = Arc::clone(&started);
+        pool.spawn_detached(move || {
+            started.store(true, Ordering::Release);
+            while !gate.load(Ordering::Acquire) {
+                std::thread::yield_now();
+            }
+        });
+    }
+    while !started.load(Ordering::Acquire) {
+        std::thread::yield_now();
+    }
+
+    let order = Arc::new(Mutex::new(Vec::new()));
+    for i in 0..20usize {
+        let order = Arc::clone(&order);
+        // Alternate classes; a QoS pool would reorder this sequence.
+        let class = if i % 2 == 0 { QosClass::Batch } else { QosClass::Latency };
+        pool.spawn_detached_class(class, move || order.lock().unwrap().push(i));
+    }
+    gate.store(true, Ordering::Release);
+    pool.install(|| {}); // same lane: completion barrier for the backlog
+    assert_eq!(*order.lock().unwrap(), (0..20).collect::<Vec<_>>());
+
+    // Class-blind lanes report no class, so neither counter moves.
+    for w in pool.worker_stats() {
+        assert_eq!(w.latency_jobs, 0, "FIFO pool counted latency jobs");
+        assert_eq!(w.batch_jobs, 0, "FIFO pool counted batch jobs");
+    }
+}
+
+#[test]
+fn qos_pool_counts_jobs_by_class() {
+    let pool = ThreadPoolBuilder::new().num_workers(2).inject_lanes(2).build();
+    assert!(pool.qos_enabled());
+    let done = Arc::new(AtomicUsize::new(0));
+    for i in 0..12 {
+        let done = Arc::clone(&done);
+        let class = if i < 8 { QosClass::Latency } else { QosClass::Batch };
+        pool.spawn_detached_class(class, move || {
+            done.fetch_add(1, Ordering::Release);
+        });
+    }
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while done.load(Ordering::Acquire) < 12 {
+        assert!(Instant::now() < deadline, "class-tagged jobs not drained");
+        std::thread::yield_now();
+    }
+    let latency_jobs: u64 = pool.worker_stats().iter().map(|w| w.latency_jobs).sum();
+    let batch_jobs: u64 = pool.worker_stats().iter().map(|w| w.batch_jobs).sum();
+    assert_eq!(latency_jobs, 8);
+    assert_eq!(batch_jobs, 4);
 }
 
 /// Injector that returns a fixed action at `Site::InjectLane` and nothing

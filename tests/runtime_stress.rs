@@ -3,9 +3,10 @@
 //! heavily preempted — a good adversarial schedule generator).
 
 use parloop::core::{par_for, Schedule};
-use parloop::runtime::{join, scope, ThreadPool};
+use parloop::runtime::{join, scope, ThreadPool, ThreadPoolBuilder};
+use parloop::{global_pool, init_global, teardown_global, GlobalError};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 #[test]
 fn many_short_lived_pools() {
@@ -123,6 +124,112 @@ fn results_flow_out_of_install() {
     });
     assert_eq!(v.len(), 200);
     assert_eq!(v[199], 398);
+}
+
+// ---------------------------------------------------------------------
+// Global-registry lifecycle (`parloop::tenant::global`).
+//
+// The registry is process-global state, and `cargo test` runs every
+// `#[test]` in this binary concurrently — so the lifecycle tests
+// serialize on one mutex and each starts from a torn-down registry.
+// ---------------------------------------------------------------------
+
+static GLOBAL_REGISTRY_LOCK: Mutex<()> = Mutex::new(());
+
+/// Live OS threads of this process whose name carries the global pool's
+/// `parloop-global` prefix (`/proc/<pid>/task/<tid>/comm`; other pools
+/// use different prefixes, so concurrent tests don't pollute the count).
+fn global_worker_threads() -> usize {
+    std::fs::read_dir("/proc/self/task")
+        .expect("linux procfs")
+        .filter(|entry| {
+            let comm = entry.as_ref().unwrap().path().join("comm");
+            std::fs::read_to_string(comm).is_ok_and(|name| name.starts_with("parloop-global"))
+        })
+        .count()
+}
+
+/// Start from no global pool, whatever earlier tests did.
+fn reset_global() {
+    match teardown_global() {
+        Ok(_) => {}
+        Err(e) => panic!("stale global-pool reference leaked by an earlier test: {e}"),
+    }
+    assert_eq!(global_worker_threads(), 0, "torn-down global pool left threads alive");
+}
+
+#[test]
+fn global_pool_initializes_once_under_a_first_use_race() {
+    let _serial = GLOBAL_REGISTRY_LOCK.lock().unwrap();
+    reset_global();
+
+    // Many threads race the lazy first use: exactly one pool is built and
+    // everyone gets it.
+    let pools: Vec<_> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..8).map(|_| s.spawn(global_pool)).collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let first = Arc::as_ptr(&pools[0]);
+    assert!(pools.iter().all(|p| Arc::as_ptr(p) == first), "racing first uses built two pools");
+    assert!(global_worker_threads() >= 1);
+
+    // The pool works like any explicit pool.
+    let count = AtomicUsize::new(0);
+    par_for(&pools[0], 0..512, Schedule::hybrid(), |_| {
+        count.fetch_add(1, Ordering::Relaxed);
+    });
+    assert_eq!(count.load(Ordering::Relaxed), 512);
+
+    drop(pools);
+    assert_eq!(teardown_global(), Ok(true));
+    assert_eq!(global_worker_threads(), 0, "teardown_global leaked worker threads");
+}
+
+#[test]
+fn init_global_after_any_pool_exists_is_an_error() {
+    let _serial = GLOBAL_REGISTRY_LOCK.lock().unwrap();
+    reset_global();
+
+    // Explicit init wins when it comes first...
+    let pool =
+        init_global(ThreadPoolBuilder::new().num_workers(2).thread_name_prefix("parloop-global"))
+            .expect("first init on an empty registry");
+    assert_eq!(pool.num_workers(), 2);
+    assert_eq!(Arc::as_ptr(&global_pool()), Arc::as_ptr(&pool));
+
+    // ...and a second init errors instead of replacing a live pool.
+    let again = ThreadPoolBuilder::new().num_workers(1).thread_name_prefix("parloop-global");
+    assert!(matches!(init_global(again), Err(GlobalError::AlreadyInitialized)));
+
+    drop(pool);
+    assert_eq!(teardown_global(), Ok(true));
+
+    // The same error fires when the pool was built lazily.
+    drop(global_pool());
+    let late = ThreadPoolBuilder::new().num_workers(1).thread_name_prefix("parloop-global");
+    assert!(matches!(init_global(late), Err(GlobalError::AlreadyInitialized)));
+    assert_eq!(teardown_global(), Ok(true));
+}
+
+#[test]
+fn teardown_is_refused_while_handles_live_and_joins_when_they_drop() {
+    let _serial = GLOBAL_REGISTRY_LOCK.lock().unwrap();
+    reset_global();
+
+    assert_eq!(teardown_global(), Ok(false), "teardown of nothing is a no-op");
+    assert!(parloop::tenant::global_pool_if_initialized().is_none());
+
+    let handle = global_pool();
+    assert!(global_worker_threads() >= 1);
+
+    // A live handle blocks teardown and the pool keeps running.
+    assert_eq!(teardown_global(), Err(GlobalError::Busy));
+    assert_eq!(handle.install(|| 6 * 7), 42);
+
+    drop(handle);
+    assert_eq!(teardown_global(), Ok(true));
+    assert_eq!(global_worker_threads(), 0, "teardown_global leaked worker threads");
+    assert!(parloop::tenant::global_pool_if_initialized().is_none());
 }
 
 #[test]
