@@ -80,11 +80,18 @@ pub enum Site {
     /// the tenant layer — unwinding into a submitter thread would take
     /// user code down, which is not a runtime fault.
     Admission,
+    /// Top of the worker run loop, *between* jobs (never inside one, so
+    /// the worker holds no claims or latch obligations when consulted).
+    /// The only site that receives [`FaultAction::Kill`]: the worker
+    /// rescues its deque into the injection lanes and exits its thread
+    /// fatally, exercising the self-healing respawn path. Consulted only
+    /// by worker threads, never by submitters.
+    WorkerExit,
 }
 
 impl Site {
     /// Every site, in code order.
-    pub const ALL: [Site; 10] = [
+    pub const ALL: [Site; 11] = [
         Site::MainLoop,
         Site::StealSweep,
         Site::StealVictim,
@@ -95,6 +102,7 @@ impl Site {
         Site::InjectLane,
         Site::AssistClaim,
         Site::Admission,
+        Site::WorkerExit,
     ];
 
     /// Dense index into per-site tables.
@@ -125,6 +133,7 @@ impl Site {
             Site::InjectLane => "inject_lane",
             Site::AssistClaim => "assist_claim",
             Site::Admission => "admission",
+            Site::WorkerExit => "worker_exit",
         }
     }
 
@@ -153,6 +162,12 @@ pub enum FaultAction {
     Delay(u32),
     /// Raise a panic at the site.
     Panic,
+    /// Kill the worker thread fatally (deterministic thread death). Only
+    /// meaningful at [`Site::WorkerExit`]; every other site demotes it to
+    /// [`FaultAction::Fail`] — a kill mid-operation could strand a held
+    /// claim or latch, which is not an interleaving the real system can
+    /// produce.
+    Kill,
 }
 
 impl FaultAction {
@@ -163,6 +178,7 @@ impl FaultAction {
             FaultAction::Fail => 1,
             FaultAction::Delay(_) => 2,
             FaultAction::Panic => 3,
+            FaultAction::Kill => 4,
         }
     }
 
@@ -256,6 +272,8 @@ pub struct PlannedInjector {
     delay_spins: u32,
     /// One-shot panics: `(site, nth query)`.
     panic_plan: Vec<(Site, u64)>,
+    /// One-shot worker kills: nth queries of [`Site::WorkerExit`].
+    kill_plan: Vec<u64>,
     queries: [PaddedCounter; N_SITES],
     injected: [PaddedCounter; N_SITES],
 }
@@ -279,6 +297,7 @@ impl PlannedInjector {
                 Site::InjectLane => RATE_DENOM / 16,
                 Site::AssistClaim => RATE_DENOM / 2,
                 Site::Admission => RATE_DENOM / 16,
+                Site::WorkerExit => RATE_DENOM / 64,
             };
             // Seed-dependent rate in [ceil/2, ceil).
             let h = splitmix64(seed ^ (site.index() as u64).wrapping_mul(0xA076_1D64_78BD_642F));
@@ -294,6 +313,7 @@ impl PlannedInjector {
             rates: [0; N_SITES],
             delay_spins: 200,
             panic_plan: Vec::new(),
+            kill_plan: Vec::new(),
             queries: Default::default(),
             injected: Default::default(),
         }
@@ -317,6 +337,14 @@ impl PlannedInjector {
         self
     }
 
+    /// Arm a one-shot worker kill at the `nth` visit (0-based) of
+    /// [`Site::WorkerExit`] — deterministic fatal thread death for the
+    /// self-healing respawn path.
+    pub fn with_kill_at(mut self, nth: u64) -> Self {
+        self.kill_plan.push(nth);
+        self
+    }
+
     /// The seed this plan was built from.
     pub fn seed(&self) -> u64 {
         self.seed
@@ -328,6 +356,9 @@ impl PlannedInjector {
     pub fn preview(&self, site: Site, k: u64) -> FaultAction {
         if self.panic_plan.iter().any(|&(s, n)| s == site && n == k) {
             return FaultAction::Panic;
+        }
+        if site == Site::WorkerExit && self.kill_plan.contains(&k) {
+            return FaultAction::Kill;
         }
         let s = site.index();
         if self.rates[s] == 0 {
@@ -342,8 +373,10 @@ impl PlannedInjector {
             return FaultAction::None;
         }
         // Which fault: sites where "fail" has no meaning always delay;
-        // others mix failures with occasional delays.
+        // `WorkerExit` always kills; others mix failures with occasional
+        // delays.
         match site {
+            Site::WorkerExit => FaultAction::Kill,
             Site::MainLoop | Site::PartitionBody => FaultAction::Delay(self.delay_spins),
             _ => {
                 if (h >> 32) & 7 == 0 {
@@ -400,6 +433,7 @@ impl std::fmt::Debug for PlannedInjector {
             .field("rates", &self.rates)
             .field("delay_spins", &self.delay_spins)
             .field("panic_plan", &self.panic_plan)
+            .field("kill_plan", &self.kill_plan)
             .finish_non_exhaustive()
     }
 }
@@ -476,6 +510,43 @@ mod tests {
         }
         assert_eq!(inj.injected_total(), 1);
         assert_eq!(inj.queries_total(), 8);
+    }
+
+    #[test]
+    fn kill_plan_is_one_shot_and_worker_exit_only() {
+        let inj = PlannedInjector::quiet(11).with_kill_at(2);
+        for k in 0..6u64 {
+            let a = inj.decide(0, Site::WorkerExit);
+            if k == 2 {
+                assert_eq!(a, FaultAction::Kill);
+            } else {
+                assert_eq!(a, FaultAction::None, "k={k}");
+            }
+        }
+        // The kill plan never bleeds into other sites.
+        for site in Site::ALL.into_iter().filter(|&s| s != Site::WorkerExit) {
+            for _ in 0..6 {
+                assert_eq!(inj.decide(0, site), FaultAction::None, "{site}");
+            }
+        }
+        assert_eq!(inj.injected_total(), 1);
+    }
+
+    #[test]
+    fn from_seed_worker_exit_only_ever_kills() {
+        for seed in 0..8 {
+            let inj = PlannedInjector::from_seed(seed);
+            for k in 0..4096 {
+                let a = inj.preview(Site::WorkerExit, k);
+                assert!(
+                    matches!(a, FaultAction::None | FaultAction::Kill),
+                    "seed {seed}, k={k}: {a:?}"
+                );
+                for site in Site::ALL.into_iter().filter(|&s| s != Site::WorkerExit) {
+                    assert_ne!(inj.preview(site, k), FaultAction::Kill, "seed {seed}, {site}");
+                }
+            }
+        }
     }
 
     #[test]

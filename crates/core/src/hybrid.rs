@@ -131,6 +131,20 @@ impl std::fmt::Debug for HybridError {
     }
 }
 
+impl std::fmt::Display for HybridError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Allocation-free: static strings only. The payload is opaque
+        // (`dyn Any`) and the stats live behind `.stats()` for callers
+        // that want numbers — `?`-chain error messages stay cheap.
+        match self {
+            HybridError::Cancelled(_) => f.write_str("hybrid loop cancelled before completion"),
+            HybridError::Panicked { .. } => f.write_str("hybrid loop body panicked"),
+        }
+    }
+}
+
+impl std::error::Error for HybridError {}
+
 /// Shared per-loop state. `F` is the (chunk) body type; the state never
 /// owns the body — `body` is a lifetime-erased pointer to the caller's
 /// borrow, dereferenced only while the caller still blocks on `latch`.
@@ -400,7 +414,9 @@ where
     // the CAS so a dropped or panicked publish never burns budget.
     if token.chaos_enabled() {
         match token.chaos_decide(Site::FramePublish) {
-            FaultAction::Fail => return false,
+            // `Kill` is only honored at the runtime's worker-exit site;
+            // at loop sites it demotes to a failed operation.
+            FaultAction::Fail | FaultAction::Kill => return false,
             FaultAction::Delay(spins) => chaos_spin(spins),
             FaultAction::Panic => panic!("{INJECTED_PANIC_MSG} (frame publish)"),
             FaultAction::None => {}
@@ -508,7 +524,7 @@ where
         let mut forced_loss = false;
         if chaos {
             match token.chaos_decide(Site::Claim) {
-                FaultAction::Fail => forced_loss = true,
+                FaultAction::Fail | FaultAction::Kill => forced_loss = true,
                 FaultAction::Delay(spins) => chaos_spin(spins),
                 FaultAction::Panic => panic!("{INJECTED_PANIC_MSG} (claim)"),
                 FaultAction::None => {}
@@ -584,7 +600,7 @@ where
             match token.chaos_decide(Site::PartitionBody) {
                 FaultAction::Delay(spins) => chaos_spin(spins),
                 FaultAction::Panic => panic!("{INJECTED_PANIC_MSG} (partition body)"),
-                FaultAction::Fail | FaultAction::None => {}
+                FaultAction::Fail | FaultAction::Kill | FaultAction::None => {}
             }
         }
         ws_for_chunks_policy(range, state.grain, state.policy, body)

@@ -494,7 +494,7 @@ fn claim_loop<F>(
         }
         if chaos && !gate_bypassed {
             match token.chaos_decide(Site::AssistClaim) {
-                FaultAction::Fail => {
+                FaultAction::Fail | FaultAction::Kill => {
                     gate_bypassed = true;
                     continue;
                 }

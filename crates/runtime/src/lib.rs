@@ -48,7 +48,7 @@ mod scope;
 pub mod util;
 
 pub use cancel::{CancelToken, Cancelled};
-pub use health::{PoolHealth, StallReport};
+pub use health::{PoolHealth, StallReport, WorkerState};
 pub use inject::{QosClass, DRR_WEIGHTS};
 pub use job::POISONED_JOB_MSG;
 pub use join::join;

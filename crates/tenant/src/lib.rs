@@ -57,7 +57,9 @@ pub use global::{
     global_pool, global_pool_if_initialized, init_global, teardown_global, GlobalError,
 };
 pub use hist::LatencyHistogram;
-pub use tenant::{Tenant, TenantBuilder, TenantError, TenantStats, DEFAULT_DEPTH_PER_WEIGHT};
+pub use tenant::{
+    RetryPolicy, Tenant, TenantBuilder, TenantError, TenantStats, DEFAULT_DEPTH_PER_WEIGHT,
+};
 
 /// Re-exported so tenant callers need not name `parloop-runtime` directly.
 pub use parloop_runtime::QosClass;

@@ -151,6 +151,41 @@ pub enum TraceEvent {
         /// The cancelled tenant's id.
         tenant: u32,
     },
+    /// A replacement thread took over worker slot `worker` (after a fatal
+    /// worker death or an in-place recovery from quarantine), bumping the
+    /// slot's respawn epoch.
+    WorkerRespawned {
+        /// The worker slot that was restored to service.
+        worker: u32,
+        /// The slot's respawn epoch after the bump (first respawn = 1).
+        epoch: u32,
+    },
+    /// The watchdog escalated a persistently-stalled worker to quarantine:
+    /// its lane is fenced off and its queued work swept to live workers.
+    WorkerQuarantined {
+        /// The quarantined worker slot.
+        worker: u32,
+    },
+    /// One orphaned job from a dead or quarantined worker's deque or lane
+    /// was re-published into the live injection lanes.
+    OrphanRescued {
+        /// The worker slot the job was rescued from.
+        from: u32,
+    },
+    /// A tenant submission was rejected and is backing off before its
+    /// next attempt under the tenant's `RetryPolicy`.
+    TenantRetry {
+        /// The retrying tenant's id.
+        tenant: u32,
+        /// Which retry attempt is being scheduled (first retry = 1).
+        attempt: u32,
+    },
+    /// A tenant's circuit breaker tripped open after consecutive
+    /// rejections: submissions fail fast until the cooldown elapses.
+    BreakerOpen {
+        /// The tenant whose breaker opened.
+        tenant: u32,
+    },
 }
 
 impl TraceEvent {
@@ -178,6 +213,11 @@ impl TraceEvent {
             TraceEvent::AssistChunk { .. } => "assist_chunk",
             TraceEvent::TenantInstalled { .. } => "tenant_installed",
             TraceEvent::TenantDeadline { .. } => "tenant_deadline",
+            TraceEvent::WorkerRespawned { .. } => "worker_respawned",
+            TraceEvent::WorkerQuarantined { .. } => "worker_quarantined",
+            TraceEvent::OrphanRescued { .. } => "orphan_rescued",
+            TraceEvent::TenantRetry { .. } => "tenant_retry",
+            TraceEvent::BreakerOpen { .. } => "breaker_open",
         }
     }
 
@@ -211,6 +251,15 @@ impl TraceEvent {
                 (20 | (class as u64) << 8, tenant as u64)
             }
             TraceEvent::TenantDeadline { tenant } => (21, tenant as u64),
+            TraceEvent::WorkerRespawned { worker, epoch } => {
+                (22 | (epoch as u64) << 32, worker as u64)
+            }
+            TraceEvent::WorkerQuarantined { worker } => (23, worker as u64),
+            TraceEvent::OrphanRescued { from } => (24, from as u64),
+            TraceEvent::TenantRetry { tenant, attempt } => {
+                (25 | (attempt as u64) << 32, tenant as u64)
+            }
+            TraceEvent::BreakerOpen { tenant } => (26, tenant as u64),
         }
     }
 
@@ -243,6 +292,11 @@ impl TraceEvent {
             19 => TraceEvent::AssistChunk { start: b, len: (a >> 32) as u32 },
             20 => TraceEvent::TenantInstalled { tenant: b as u32, class: (a >> 8) as u8 },
             21 => TraceEvent::TenantDeadline { tenant: b as u32 },
+            22 => TraceEvent::WorkerRespawned { worker: b as u32, epoch: (a >> 32) as u32 },
+            23 => TraceEvent::WorkerQuarantined { worker: b as u32 },
+            24 => TraceEvent::OrphanRescued { from: b as u32 },
+            25 => TraceEvent::TenantRetry { tenant: b as u32, attempt: (a >> 32) as u32 },
+            26 => TraceEvent::BreakerOpen { tenant: b as u32 },
             _ => return None,
         })
     }
@@ -262,6 +316,12 @@ pub trait TraceSink: Send + Sync {
     /// caller must uphold the single-writer discipline: at most one thread
     /// records for a given `worker` id at a time.
     fn record(&self, worker: usize, event: TraceEvent);
+
+    /// Record an event from *outside* the per-worker single-writer
+    /// discipline: watchdog reporters, submitter threads, supervision
+    /// paths. May be called from any thread concurrently; sinks that
+    /// cannot accept that serialize or drop internally. Default: drop.
+    fn record_external(&self, _event: TraceEvent) {}
 }
 
 /// The default sink: discards everything and reports itself disabled.
@@ -323,6 +383,13 @@ mod tests {
             TraceEvent::TenantInstalled { tenant: 0, class: 0 },
             TraceEvent::TenantInstalled { tenant: u32::MAX, class: u8::MAX },
             TraceEvent::TenantDeadline { tenant: u32::MAX },
+            TraceEvent::WorkerRespawned { worker: 0, epoch: 1 },
+            TraceEvent::WorkerRespawned { worker: u32::MAX, epoch: u32::MAX },
+            TraceEvent::WorkerQuarantined { worker: 3 },
+            TraceEvent::OrphanRescued { from: u32::MAX },
+            TraceEvent::TenantRetry { tenant: 7, attempt: 1 },
+            TraceEvent::TenantRetry { tenant: u32::MAX, attempt: u32::MAX },
+            TraceEvent::BreakerOpen { tenant: 9 },
         ];
         for ev in events {
             let (a, b) = ev.pack();

@@ -60,6 +60,17 @@ pub struct EventCounts {
     pub tenant_installs: u64,
     /// Tenant loops cancelled by their deadline.
     pub tenant_deadlines: u64,
+    /// Worker slots restored to service by a replacement thread or an
+    /// in-place recovery.
+    pub worker_respawns: u64,
+    /// Workers escalated from stall to quarantine by the watchdog.
+    pub worker_quarantines: u64,
+    /// Orphaned jobs swept from dead/quarantined workers into live lanes.
+    pub orphans_rescued: u64,
+    /// Tenant submissions scheduled for a backed-off retry.
+    pub tenant_retries: u64,
+    /// Tenant circuit breakers tripped open.
+    pub breaker_opens: u64,
 }
 
 impl EventCounts {
@@ -107,6 +118,11 @@ pub fn event_counts(snap: &TraceSnapshot) -> EventCounts {
             }
             TraceEvent::TenantInstalled { .. } => c.tenant_installs += 1,
             TraceEvent::TenantDeadline { .. } => c.tenant_deadlines += 1,
+            TraceEvent::WorkerRespawned { .. } => c.worker_respawns += 1,
+            TraceEvent::WorkerQuarantined { .. } => c.worker_quarantines += 1,
+            TraceEvent::OrphanRescued { .. } => c.orphans_rescued += 1,
+            TraceEvent::TenantRetry { .. } => c.tenant_retries += 1,
+            TraceEvent::BreakerOpen { .. } => c.breaker_opens += 1,
         }
     }
     c

@@ -21,6 +21,7 @@
 //! count.
 
 use std::sync::atomic::{fence, AtomicU64, Ordering};
+use std::sync::Mutex;
 
 use crate::{now_nanos, TraceEvent, TraceSink};
 
@@ -151,8 +152,18 @@ impl TraceSnapshot {
 /// [`snapshot`](RingTraceSink::snapshot) or [`drain`](RingTraceSink::drain)
 /// concurrently. Events recorded for worker ids beyond `num_workers` are
 /// silently discarded (e.g. a sink sized for a smaller pool).
+///
+/// Events recorded through [`TraceSink::record_external`] (watchdog
+/// reporters, supervision paths — any thread, any time) land in one extra
+/// shared ring whose writers serialize on a mutex; snapshots tag them
+/// with the pseudo worker id `num_workers`.
 pub struct RingTraceSink {
     rings: Box<[WorkerRing]>,
+    external: WorkerRing,
+    /// Serializes `record_external` callers so the external ring keeps
+    /// the owner-only write discipline `WorkerRing::push` assumes (the
+    /// unlock/lock pair is the happens-before edge between writers).
+    external_writer: Mutex<()>,
 }
 
 impl RingTraceSink {
@@ -166,7 +177,11 @@ impl RingTraceSink {
     pub fn with_capacity(num_workers: usize, capacity: usize) -> Self {
         crate::init_clock();
         let capacity = capacity.max(2).next_power_of_two();
-        RingTraceSink { rings: (0..num_workers).map(|_| WorkerRing::new(capacity)).collect() }
+        RingTraceSink {
+            rings: (0..num_workers).map(|_| WorkerRing::new(capacity)).collect(),
+            external: WorkerRing::new(capacity),
+            external_writer: Mutex::new(()),
+        }
     }
 
     /// Number of per-worker rings.
@@ -210,6 +225,20 @@ impl RingTraceSink {
             recorded.push(head - floor);
             dropped.push((head - floor) - (events.len() as u64 - before));
         }
+        // The shared external ring rides along tagged with the pseudo
+        // worker id `num_workers`; its counts stay out of the per-worker
+        // `recorded`/`dropped` vectors (those are per *worker*).
+        {
+            let ring = &self.external;
+            let head = ring.head.load(Ordering::Acquire);
+            let cap = ring.slots.len() as u64;
+            let floor = if consume { ring.read_cursor.load(Ordering::Acquire) } else { 0 };
+            let lo = head.saturating_sub(cap).max(floor);
+            ring.read_window(lo, head, self.rings.len() as u32, &mut events);
+            if consume {
+                ring.read_cursor.store(head, Ordering::Release);
+            }
+        }
         // Stable by timestamp: per-worker ring order survives ties because
         // each ring's events were appended in order.
         events.sort_by_key(|e| e.ts_nanos);
@@ -226,6 +255,12 @@ impl TraceSink for RingTraceSink {
         if let Some(ring) = self.rings.get(worker) {
             ring.push(event);
         }
+    }
+
+    fn record_external(&self, event: TraceEvent) {
+        let guard = self.external_writer.lock().unwrap_or_else(|e| e.into_inner());
+        self.external.push(event);
+        drop(guard);
     }
 }
 
@@ -290,6 +325,41 @@ mod tests {
         let sink = RingTraceSink::with_capacity(2, 8);
         sink.record(5, TraceEvent::JobPushed);
         assert!(sink.snapshot().is_empty());
+    }
+
+    #[test]
+    fn external_events_ride_along_with_pseudo_worker_id() {
+        let sink = RingTraceSink::with_capacity(2, 8);
+        sink.record(0, TraceEvent::JobPushed);
+        sink.record_external(TraceEvent::WorkerQuarantined { worker: 1 });
+        sink.record_external(TraceEvent::OrphanRescued { from: 1 });
+        let snap = sink.snapshot();
+        assert_eq!(snap.len(), 3);
+        // Per-worker accounting is untouched by external events.
+        assert_eq!(snap.recorded, vec![1, 0]);
+        assert_eq!(snap.dropped, vec![0, 0]);
+        let ext: Vec<_> = snap.events.iter().filter(|e| e.worker == 2).collect();
+        assert_eq!(ext.len(), 2);
+        assert_eq!(ext[0].event, TraceEvent::WorkerQuarantined { worker: 1 });
+        assert_eq!(ext[1].event, TraceEvent::OrphanRescued { from: 1 });
+        // Drain consumes the external ring alongside the worker rings.
+        assert_eq!(sink.drain().len(), 3);
+        assert!(sink.drain().is_empty());
+    }
+
+    #[test]
+    fn external_writers_may_race() {
+        let sink = RingTraceSink::with_capacity(1, 256);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..32 {
+                        sink.record_external(TraceEvent::BreakerOpen { tenant: 0 });
+                    }
+                });
+            }
+        });
+        assert_eq!(sink.snapshot().len(), 128);
     }
 
     #[test]

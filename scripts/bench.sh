@@ -2,8 +2,9 @@
 # Perf-trajectory harness: run the split-policy and multi-tenant traffic
 # benchmarks in full mode and emit the stable top-level BENCH_parloop.json
 # (flat {name, value, unit} entries — ns/iter for the micro kernel under
-# lazy vs eager splitting, deque pushes per loop, and the tenant/* QoS
-# latency series) so results are comparable across commits.
+# lazy vs eager splitting, deque pushes per loop, the tenant/* QoS
+# latency series, and the resilience/* dip-and-recovery series) so
+# results are comparable across commits.
 #
 #   --smoke   reduced sizes + relaxed wall-clock bars (CI boxes)
 set -euo pipefail
@@ -40,6 +41,15 @@ if [ "$rc" -ne 0 ]; then
   exit "$rc"
 fi
 
+echo "== resilience_bench ${SMOKE[*]:-} =="
+# Appends its resilience/* series into the same document.
+rc=0
+./target/release/resilience_bench "${SMOKE[@]:-}" --bench-json BENCH_parloop.json || rc=$?
+if [ "$rc" -ne 0 ]; then
+  echo "bench.sh: resilience_bench failed (exit $rc); BENCH_parloop.json may be partial" >&2
+  exit "$rc"
+fi
+
 test -s BENCH_parloop.json \
   || { echo "bench.sh: BENCH_parloop.json missing or empty" >&2; exit 1; }
 
@@ -59,6 +69,7 @@ names = [e["name"] for e in results]
 assert any(n.startswith("split/lazy/") for n in names), "no split/lazy/* series"
 assert any(n.startswith("floor/") for n in names), "no floor/* series"
 assert any(n.startswith("tenant/") for n in names), "no tenant/* series"
+assert any(n.startswith("resilience/") for n in names), "no resilience/* series"
 print(f"bench.sh: schema OK ({len(results)} entries)")
 EOF
 else
@@ -66,6 +77,7 @@ else
   grep -q '"name": "split/lazy/' BENCH_parloop.json \
     && grep -q '"name": "floor/' BENCH_parloop.json \
     && grep -q '"name": "tenant/' BENCH_parloop.json \
+    && grep -q '"name": "resilience/' BENCH_parloop.json \
     || { echo "bench.sh: BENCH_parloop.json lacks expected series" >&2; exit 1; }
 fi
 echo "bench.sh: wrote BENCH_parloop.json"

@@ -108,6 +108,16 @@ if [ "$QUICK" -eq 0 ]; then
   test -s results/traffic.json \
     || { echo "verify.sh: results/traffic.json missing or empty" >&2; exit 1; }
 
+  # Self-healing acceptance: the seeded worker-kill sweep (honors
+  # CHAOS_SEEDS) must hold exactly-once, full respawn recovery and the
+  # OS thread census; the dip-and-recovery throughput ratio is reported
+  # but only enforced in full mode. Exits non-zero when a bar is missed
+  # and writes results/resilience.json.
+  echo "== resilience_bench --smoke (CHAOS_SEEDS=16) =="
+  CHAOS_SEEDS=16 ./target/release/resilience_bench --smoke
+  test -s results/resilience.json \
+    || { echo "verify.sh: results/resilience.json missing or empty" >&2; exit 1; }
+
   # Leaf vectorization gate: the stride-1 micro kernels must still compile
   # to packed SIMD in release (also runnable alone via `verify.sh --asm`).
   asm_check
@@ -116,6 +126,7 @@ else
   echo "== inject_bench skipped (--quick) =="
   echo "== split_bench skipped (--quick) =="
   echo "== traffic_bench skipped (--quick) =="
+  echo "== resilience_bench skipped (--quick) =="
 fi
 
 echo "verify.sh: all gates passed"

@@ -44,10 +44,10 @@ pub use parloop_core::{
 };
 pub use parloop_runtime::{
     join, scope, CancelToken, Cancelled, PoolHealth, QosClass, StallReport, ThreadPool,
-    ThreadPoolBuilder,
+    ThreadPoolBuilder, WorkerState,
 };
 pub use parloop_tenant::{
-    global_pool, init_global, teardown_global, GlobalError, Tenant, TenantBuilder, TenantError,
-    TenantStats,
+    global_pool, init_global, teardown_global, GlobalError, RetryPolicy, Tenant, TenantBuilder,
+    TenantError, TenantStats,
 };
 pub use parloop_trace::{NoopSink, RingTraceSink, TraceEvent, TraceSink, WorkerStats};

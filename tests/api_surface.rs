@@ -154,6 +154,28 @@ fn pinning_valid_for_odd_machines() {
 }
 
 #[test]
+fn error_types_implement_error_and_display() {
+    use parloop::{HybridError, TenantError};
+
+    // `dyn Error` coercion is the whole point: downstream `?`-chains and
+    // anyhow-style boxing must accept both error types.
+    fn takes_error(e: &dyn std::error::Error) -> String {
+        e.to_string()
+    }
+
+    assert_eq!(takes_error(&TenantError::Overloaded), "tenant over its admission depth limit");
+    assert_eq!(takes_error(&TenantError::DeadlineExceeded), "tenant deadline exceeded");
+    assert_eq!(takes_error(&TenantError::BreakerOpen), "tenant circuit breaker open");
+
+    let cancelled = HybridError::Cancelled(Default::default());
+    assert_eq!(takes_error(&cancelled), "hybrid loop cancelled before completion");
+    let panicked = HybridError::Panicked { stats: Default::default(), payload: Box::new("boom") };
+    assert_eq!(takes_error(&panicked), "hybrid loop body panicked");
+    // The counters stay reachable through the typed error.
+    assert_eq!(panicked.stats().partitions, 0);
+}
+
+#[test]
 fn micro_params_weights_match_iterations() {
     for balanced in [true, false] {
         let p = MicroParams::new(4 << 20, balanced);

@@ -308,6 +308,222 @@ fn chaos_runs_actually_inject_faults() {
     assert!(claim_faults > 0, "claim site never injected at ~25% rate across 10 runs");
 }
 
+/// Live threads of this process whose name starts with `prefix`
+/// (`/proc/self/task/*/comm`); other tests' pools use other prefixes, so
+/// concurrent tests don't pollute the count.
+fn threads_named(prefix: &str) -> usize {
+    std::fs::read_dir("/proc/self/task")
+        .expect("linux procfs")
+        .filter(|entry| {
+            let comm = entry.as_ref().unwrap().path().join("comm");
+            std::fs::read_to_string(comm).is_ok_and(|name| name.starts_with(prefix))
+        })
+        .count()
+}
+
+/// Self-healing under worker death, across a seed sweep: a one-shot
+/// `Kill` at the `WorkerExit` site takes a worker down mid-service. The
+/// pool must preserve exactly-once for every loop, respawn the dead slot
+/// (epoch recorded in `PoolHealth`), end with zero degraded/quarantined
+/// workers, and settle back to exactly `P` live worker threads.
+#[test]
+fn worker_exit_kill_sweep_recovers_exactly_once() {
+    let p = 3;
+    let n = 384;
+    for seed in 0..seed_count() {
+        let injector = Arc::new(PlannedInjector::quiet(seed).with_kill_at(seed % 4));
+        let prefix = format!("kswp{seed}");
+        init_clock();
+        let pool = ThreadPoolBuilder::new()
+            .num_workers(p)
+            .thread_name_prefix(&prefix)
+            .fault_injector(Arc::clone(&injector) as _)
+            .build();
+
+        for round in 0..3 {
+            let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+            let cancel = CancelToken::new();
+            try_hybrid_for(&pool, 0..n, Some(8), &cancel, |i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            })
+            .unwrap_or_else(|e| panic!("seed {seed} round {round}: loop failed: {e:?}"));
+            for (i, h) in hits.iter().enumerate() {
+                assert_eq!(
+                    h.load(Ordering::Relaxed),
+                    1,
+                    "seed {seed} round {round}: iteration {i} not exactly-once"
+                );
+            }
+        }
+
+        // The one-shot kill fires between jobs; idle run-loop passes keep
+        // visiting the site, so recovery lands promptly after the loops.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        let health = loop {
+            let h = pool.health();
+            if h.total_respawns() >= 1 && !h.is_quarantined() {
+                break h;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "seed {seed}: kill never recovered (health: {h:?})"
+            );
+            std::thread::yield_now();
+        };
+        assert!(
+            injector.queries_at(Site::WorkerExit) > 0,
+            "seed {seed}: WorkerExit site never consulted"
+        );
+        assert_eq!(health.respawn_epochs.len(), p);
+        assert!(
+            health.respawn_epochs.iter().any(|&e| e >= 1),
+            "seed {seed}: no slot recorded a respawn epoch: {health:?}"
+        );
+        assert_eq!(
+            threads_named(&prefix),
+            p,
+            "seed {seed}: thread census off after respawn (dead thread unreaped or doubled)"
+        );
+
+        // Post-recovery service check: the replacement participates.
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        let cancel = CancelToken::new();
+        try_hybrid_for(&pool, 0..n, Some(8), &cancel, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        })
+        .unwrap_or_else(|e| panic!("seed {seed}: post-recovery loop failed: {e:?}"));
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1), "seed {seed}");
+        drop(pool);
+        assert_eq!(threads_named(&prefix), 0, "seed {seed}: drop leaked worker threads");
+    }
+}
+
+/// Off-path pin for the self-healing machinery: with chaos disabled the
+/// `WorkerExit` site must never be consulted — worker death detection
+/// costs exactly one untaken branch per run-loop pass.
+#[test]
+fn worker_exit_site_is_never_consulted_when_chaos_off() {
+    struct CountingDisabled(AtomicUsize);
+    impl FaultInjector for CountingDisabled {
+        fn enabled(&self) -> bool {
+            false
+        }
+        fn decide(&self, _worker: usize, site: Site) -> FaultAction {
+            if site == Site::WorkerExit {
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+            FaultAction::None
+        }
+    }
+    let counter = Arc::new(CountingDisabled(AtomicUsize::new(0)));
+    let pool =
+        ThreadPoolBuilder::new().num_workers(3).fault_injector(Arc::clone(&counter) as _).build();
+    for _ in 0..5 {
+        let sum = AtomicUsize::new(0);
+        parloop::par_for(&pool, 0..500, Schedule::hybrid(), |i| {
+            sum.fetch_add(i, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 124_750);
+    }
+    drop(pool);
+    assert_eq!(
+        counter.0.load(Ordering::Relaxed),
+        0,
+        "disabled injector was consulted at WorkerExit"
+    );
+}
+
+/// Stuck-worker quarantine end to end: one worker wedges inside a job,
+/// the waiting worker's watchdog escalates it to `Quarantined`, and once
+/// the wedge releases the worker self-heals on its next run-loop pass —
+/// so the pool drops cleanly (joining all threads) right afterwards.
+#[test]
+fn quarantined_worker_heals_and_pool_drops_cleanly() {
+    let pool = Arc::new(
+        ThreadPoolBuilder::new()
+            .num_workers(2)
+            .stall_threshold(Duration::from_millis(30))
+            .on_stall(|_| {}) // expected stall; keep stderr quiet
+            .build(),
+    );
+    let gate = Arc::new(AtomicBool::new(false));
+    let started = Arc::new(AtomicBool::new(false));
+    {
+        let gate = Arc::clone(&gate);
+        let started = Arc::clone(&started);
+        pool.spawn_detached(move || {
+            started.store(true, Ordering::Release);
+            while !gate.load(Ordering::Acquire) {
+                std::hint::spin_loop();
+            }
+        });
+    }
+    // Only once the wedge is running do we occupy the other worker —
+    // otherwise the waiter could adopt the wedge job itself.
+    while !started.load(Ordering::Acquire) {
+        std::thread::yield_now();
+    }
+
+    // Observer: release the wedge as soon as quarantine lands.
+    let observer = {
+        let pool = Arc::clone(&pool);
+        let gate = Arc::clone(&gate);
+        std::thread::spawn(move || {
+            let deadline = std::time::Instant::now() + Duration::from_secs(10);
+            while !pool.health().is_quarantined() {
+                assert!(
+                    std::time::Instant::now() < deadline,
+                    "watchdog never quarantined the wedged worker: {:?}",
+                    pool.health()
+                );
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            gate.store(true, Ordering::Release);
+        })
+    };
+
+    // The healthy worker waits on a latch resolved only after the gate
+    // opens; its watchdog ticks while it waits and performs the
+    // escalation (reporter != victim, victim unparked and flat).
+    pool.install(|| {
+        let token = WorkerToken::current().expect("install runs on a worker");
+        let latch = Arc::new(token.count_latch(1));
+        let releaser = {
+            let latch = Arc::clone(&latch);
+            let gate = Arc::clone(&gate);
+            std::thread::spawn(move || {
+                while !gate.load(Ordering::Acquire) {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                latch.set();
+            })
+        };
+        token.wait_until(&*latch);
+        releaser.join().unwrap();
+    });
+    observer.join().unwrap();
+
+    // The wedged worker heals at the top of its run loop: epoch bump,
+    // unfenced lane, Healthy again — observable before (and after) drop.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let h = pool.health();
+        if !h.is_quarantined() && h.total_respawns() >= 1 {
+            break;
+        }
+        assert!(std::time::Instant::now() < deadline, "wedged worker never healed: {h:?}");
+        std::thread::yield_now();
+    }
+
+    // Healed pool is fully usable, then drops cleanly (joins everything).
+    let sum = AtomicUsize::new(0);
+    parloop::par_for(&pool, 0..100, Schedule::hybrid(), |i| {
+        sum.fetch_add(i, Ordering::Relaxed);
+    });
+    assert_eq!(sum.load(Ordering::Relaxed), 4950);
+    drop(pool);
+}
+
 /// The worker-token chaos surface (`chaos_enabled` / `chaos_decide`) is
 /// public, so downstream schedulers can add their own injection sites.
 #[test]

@@ -232,6 +232,57 @@ fn teardown_is_refused_while_handles_live_and_joins_when_they_drop() {
     assert!(parloop::tenant::global_pool_if_initialized().is_none());
 }
 
+/// Teardown racing the self-healing respawn path: the global pool runs
+/// under a chaos plan that keeps killing workers at the `WorkerExit`
+/// site, and `teardown_global` lands while respawns may be in flight.
+/// Drop must wait out in-flight respawns (never orphaning a replacement
+/// thread, never double-joining a slot) and release every thread.
+#[test]
+fn teardown_global_during_respawn_joins_everything() {
+    let _serial = GLOBAL_REGISTRY_LOCK.lock().unwrap();
+    reset_global();
+
+    for seed in 0..8u64 {
+        // A kill every ~200 WorkerExit visits: respawn churn for the
+        // whole lifetime of the pool, including the teardown window.
+        let mut injector = parloop::PlannedInjector::quiet(seed);
+        for k in 0..64 {
+            injector = injector.with_kill_at(k * 200);
+        }
+        let pool = init_global(
+            ThreadPoolBuilder::new()
+                .num_workers(3)
+                .thread_name_prefix("parloop-global")
+                .fault_injector(Arc::new(injector)),
+        )
+        .expect("registry torn down at loop top");
+
+        let ran = Arc::new(AtomicUsize::new(0));
+        for _ in 0..16 {
+            let ran = Arc::clone(&ran);
+            pool.spawn_detached(move || {
+                ran.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        let count = AtomicUsize::new(0);
+        par_for(&pool, 0..512, Schedule::hybrid(), |_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 512, "seed {seed}");
+
+        // Tear down immediately — kills (and therefore respawns) may
+        // still be in flight from the loop above.
+        drop(pool);
+        assert_eq!(teardown_global(), Ok(true), "seed {seed}");
+        assert_eq!(
+            global_worker_threads(),
+            0,
+            "seed {seed}: teardown under respawn churn leaked worker threads"
+        );
+        assert_eq!(ran.load(Ordering::SeqCst), 16, "seed {seed}: detached job lost in teardown");
+    }
+}
+
 #[test]
 fn dropping_pool_with_running_and_panicking_detached_jobs_is_clean() {
     // Detached jobs are fire-and-forget: some run long, some panic, and
