@@ -1,0 +1,303 @@
+//! Locality benchmark: topology-aware hybrid scheduling at scale.
+//!
+//! Two phases:
+//!
+//! * **Scaled sim sweep** — the skewed (unbalanced) microbenchmark on a
+//!   scaled multi-socket machine (128 virtual cores over 16 sockets;
+//!   full mode adds 512 cores over 32). `hybrid` (uniform victim
+//!   selection, identity claim anchors) runs against `hybrid_sf`
+//!   (socket-first stealing + NUMA-earmarked anchors); compared on the
+//!   consecutive-loop same-socket fraction, the local-steal fraction and
+//!   the simulated L3 hit rate — the scaled-up Figure 4 comparison.
+//! * **Flat-map real pool** — a `SocketFirst` thread pool built with the
+//!   default single-socket topology map runs real hybrid loops next to a
+//!   `Uniform` pool. On a flat map socket-first stealing must degenerate
+//!   to the uniform baseline: zero remote steals, exactly-once intact,
+//!   wall time within noise (reported, not enforced).
+//!
+//! Measurements land in `results/locality.json`; with `--bench-json PATH`
+//! the `locality/*` series is merged into the flat cross-commit file.
+//!
+//! Acceptance (process exits 1 otherwise):
+//! * `hybrid_sf` same-socket fraction >= `hybrid`'s at every simulated
+//!   scale, and its L3 hit rate is no worse;
+//! * the flat-map `SocketFirst` pool reports zero remote steals and
+//!   exactly-once iteration counts.
+//!
+//! Usage: `cargo run --release -p parloop-bench --bin locality_bench
+//! [--smoke] [--bench-json PATH]`
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use parloop_bench::Table;
+use parloop_core::{par_for, Schedule};
+use parloop_runtime::{StealPolicy, ThreadPoolBuilder};
+use parloop_sim::{micro_app, simulate, CostModel, MicroParams, PolicyKind, SimConfig};
+use parloop_topo::{AccessLevel, LatencyTable, MachineSpec, PinningPolicy};
+
+/// One scheme's numbers at one simulated scale.
+struct SimRow {
+    cores: usize,
+    kind: PolicyKind,
+    socket_affinity: f64,
+    local_steal_fraction: f64,
+    l3_hit_rate: f64,
+    remote_steals: u64,
+    cycles: f64,
+}
+
+fn sim_scale(sockets: usize, cores_per_socket: usize, iterations: usize) -> Vec<SimRow> {
+    let p = sockets * cores_per_socket;
+    // The skewed workload: an exponential 64x block-size ramp, so both the
+    // data and the work are concentrated — the shape that forces stealing
+    // and thereby separates victim-selection policies.
+    let app = micro_app(MicroParams {
+        working_set: 4 << 20,
+        iterations,
+        passes: 1,
+        outer: 4,
+        balanced: false,
+    });
+    let cfg = SimConfig {
+        machine: MachineSpec::scaled(sockets, cores_per_socket),
+        latency: LatencyTable::xeon_e5_4620(),
+        cost: CostModel::xeon(),
+        pinning: PinningPolicy::Compact,
+    };
+    [PolicyKind::Hybrid, PolicyKind::HybridSocketFirst]
+        .into_iter()
+        .map(|kind| {
+            let r = simulate(&app, kind, p, &cfg);
+            SimRow {
+                cores: p,
+                kind,
+                socket_affinity: r.mean_socket_affinity(&app),
+                local_steal_fraction: r.local_steal_fraction().unwrap_or(1.0),
+                l3_hit_rate: r.counts.get(AccessLevel::LocalL3) as f64 / r.counts.total() as f64,
+                remote_steals: r.remote_steals,
+                cycles: r.total_cycles,
+            }
+        })
+        .collect()
+}
+
+struct FlatPoolResult {
+    uniform_ms: f64,
+    socket_first_ms: f64,
+    remote_steals: u64,
+    lost_iterations: u64,
+}
+
+/// Real-pool sanity: with the default 1-socket map, `SocketFirst` must be
+/// indistinguishable from `Uniform` — all victims are local, so the sweep
+/// order coincides and no steal can be remote.
+fn flat_pool_comparison(p: usize, n: usize, rounds: usize) -> FlatPoolResult {
+    let run = |policy: StealPolicy| -> (f64, u64, u64) {
+        let pool = ThreadPoolBuilder::new().num_workers(p).steal_policy(policy).build();
+        let mut lost = 0u64;
+        let t0 = Instant::now();
+        for _ in 0..rounds {
+            let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+            par_for(&pool, 0..n, Schedule::hybrid(), |i| {
+                std::hint::black_box(i.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+            lost += hits.iter().filter(|h| h.load(Ordering::Relaxed) != 1).count() as u64;
+        }
+        let ms = t0.elapsed().as_secs_f64() * 1e3 / rounds as f64;
+        (ms, pool.stats().remote_steals, lost)
+    };
+    let (uniform_ms, _, lost_u) = run(StealPolicy::Uniform);
+    let (socket_first_ms, remote_steals, lost_sf) = run(StealPolicy::SocketFirst);
+    FlatPoolResult { uniform_ms, socket_first_ms, remote_steals, lost_iterations: lost_u + lost_sf }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let mut bench_json = None;
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--bench-json" {
+            bench_json = Some(args.next().expect("--bench-json requires a path"));
+        }
+    }
+
+    println!(
+        "locality bench: scaled socket-first sim sweep{}",
+        if smoke { " (smoke)" } else { "" }
+    );
+
+    // 128 virtual cores always; 512 only in full mode (it is the long pole).
+    let mut rows = sim_scale(16, 8, 512);
+    if !smoke {
+        rows.extend(sim_scale(32, 16, 2048));
+    }
+
+    let mut t = Table::new(vec![
+        "cores",
+        "scheme",
+        "socket affinity",
+        "local-steal frac",
+        "L3 hit rate",
+        "remote steals",
+        "cycles",
+    ]);
+    for r in &rows {
+        t.row(vec![
+            r.cores.to_string(),
+            r.kind.name().to_string(),
+            format!("{:.4}", r.socket_affinity),
+            format!("{:.4}", r.local_steal_fraction),
+            format!("{:.4}", r.l3_hit_rate),
+            r.remote_steals.to_string(),
+            format!("{:.0}", r.cycles),
+        ]);
+    }
+    t.print();
+
+    let flat_p = 4;
+    let (flat_n, flat_rounds) = if smoke { (20_000, 20) } else { (100_000, 50) };
+    let flat = flat_pool_comparison(flat_p, flat_n, flat_rounds);
+    println!(
+        "\nflat-map real pool (P={flat_p}): uniform {:.3} ms/loop, socket-first {:.3} ms/loop, \
+         {} remote steals, {} lost iterations",
+        flat.uniform_ms, flat.socket_first_ms, flat.remote_steals, flat.lost_iterations
+    );
+
+    let cpus = std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1);
+    let json = render_json(cpus, &rows, &flat);
+    std::fs::create_dir_all("results").expect("create results/");
+    std::fs::write("results/locality.json", &json).expect("write results JSON");
+    println!("wrote results/locality.json");
+
+    if let Some(path) = &bench_json {
+        merge_bench_json(path, &rows, &flat);
+        println!("merged locality/* series into {path}");
+    }
+
+    // Acceptance bars.
+    let mut failed = false;
+    for pair in rows.chunks(2) {
+        let (uni, sf) = (&pair[0], &pair[1]);
+        println!(
+            "\ncheck socket affinity at {} cores: {:.4} (socket-first) vs {:.4} (uniform), need >=",
+            sf.cores, sf.socket_affinity, uni.socket_affinity
+        );
+        if sf.socket_affinity < uni.socket_affinity {
+            failed = true;
+        }
+        println!(
+            "check L3 hit rate at {} cores: {:.4} (socket-first) vs {:.4} (uniform), need >=",
+            sf.cores, sf.l3_hit_rate, uni.l3_hit_rate
+        );
+        if sf.l3_hit_rate < uni.l3_hit_rate {
+            failed = true;
+        }
+    }
+    println!(
+        "check flat-map remote steals: {} (need 0: every victim is local)",
+        flat.remote_steals
+    );
+    if flat.remote_steals != 0 {
+        failed = true;
+    }
+    println!("check lost iterations: {} (need 0: exactly-once)", flat.lost_iterations);
+    if flat.lost_iterations != 0 {
+        failed = true;
+    }
+    if failed {
+        eprintln!("FAILED: locality acceptance bars not met");
+        std::process::exit(1);
+    }
+    println!("ok: socket-first hybrid keeps work on-socket at scale; flat map degenerates cleanly");
+}
+
+fn render_json(cpus: usize, rows: &[SimRow], flat: &FlatPoolResult) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(&format!("  \"host_cpus\": {cpus},\n  \"sim\": [\n"));
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"cores\": {}, \"scheme\": \"{}\", \"socket_affinity\": {:.6}, \
+             \"local_steal_fraction\": {:.6}, \"l3_hit_rate\": {:.6}, \"remote_steals\": {}, \
+             \"cycles\": {:.1}}}{}\n",
+            r.cores,
+            r.kind.name(),
+            r.socket_affinity,
+            r.local_steal_fraction,
+            r.l3_hit_rate,
+            r.remote_steals,
+            r.cycles,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str(&format!(
+        "  \"flat_pool\": {{\"uniform_ms_per_loop\": {:.4}, \"socket_first_ms_per_loop\": {:.4}, \
+         \"remote_steals\": {}, \"lost_iterations\": {}}}\n",
+        flat.uniform_ms, flat.socket_first_ms, flat.remote_steals, flat.lost_iterations
+    ));
+    s.push_str("}\n");
+    s
+}
+
+/// Append the `locality/*` series to the flat bench JSON written by the
+/// earlier bins in `scripts/bench.sh` (or create a fresh document).
+fn merge_bench_json(path: &str, rows: &[SimRow], flat: &FlatPoolResult) {
+    let mut entries: Vec<(String, String, &str)> = Vec::new();
+    for r in rows {
+        let scheme =
+            if r.kind == PolicyKind::HybridSocketFirst { "socket_first" } else { "uniform" };
+        entries.push((
+            format!("locality/{}c/socket_affinity_{scheme}", r.cores),
+            format!("{:.6}", r.socket_affinity),
+            "ratio",
+        ));
+        entries.push((
+            format!("locality/{}c/l3_hit_rate_{scheme}", r.cores),
+            format!("{:.6}", r.l3_hit_rate),
+            "ratio",
+        ));
+        entries.push((
+            format!("locality/{}c/remote_steals_{scheme}", r.cores),
+            r.remote_steals.to_string(),
+            "steals",
+        ));
+    }
+    entries.push((
+        "locality/flat_pool_socket_first_ms".to_string(),
+        format!("{:.4}", flat.socket_first_ms),
+        "ms/loop",
+    ));
+    entries.push((
+        "locality/flat_pool_uniform_ms".to_string(),
+        format!("{:.4}", flat.uniform_ms),
+        "ms/loop",
+    ));
+    entries.push((
+        "locality/flat_pool_remote_steals".to_string(),
+        flat.remote_steals.to_string(),
+        "steals",
+    ));
+    let rendered: Vec<String> = entries
+        .iter()
+        .map(|(name, value, unit)| {
+            format!("    {{\"name\": \"{name}\", \"value\": {value}, \"unit\": \"{unit}\"}}")
+        })
+        .collect();
+    let doc = match std::fs::read_to_string(path) {
+        Ok(existing) if existing.contains("\"results\": [") => {
+            let tail = "  ]\n}\n";
+            let body = existing
+                .strip_suffix(tail)
+                .unwrap_or_else(|| panic!("{path} does not end with the expected results layout"));
+            format!("{},\n{}\n{}", body.trim_end_matches('\n'), rendered.join(",\n"), tail)
+        }
+        _ => format!(
+            "{{\n  \"benchmark\": \"parloop\",\n  \"results\": [\n{}\n  ]\n}}\n",
+            rendered.join(",\n")
+        ),
+    };
+    std::fs::write(path, doc).expect("write bench JSON");
+}

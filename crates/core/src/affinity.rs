@@ -102,6 +102,12 @@ pub fn same_worker_fraction(prev: &[u32], cur: &[u32]) -> f64 {
 /// (given `socket_of[w]` for each worker) — a coarser locality metric than
 /// [`same_worker_fraction`]: an iteration that migrates between cores of
 /// one socket still hits the shared L3.
+///
+/// Owner ids outside `socket_of` are treated like [`UNRECORDED`] and
+/// skipped rather than indexed: owner maps can legitimately carry ids the
+/// socket table does not cover (a pool rebuilt with more workers than the
+/// map, or a respawned slot observed mid-handover), and a locality
+/// *metric* must not panic on the data it measures.
 pub fn same_socket_fraction(prev: &[u32], cur: &[u32], socket_of: &[u32]) -> f64 {
     assert_eq!(prev.len(), cur.len(), "owner maps must cover the same range");
     let mut same = 0usize;
@@ -110,8 +116,11 @@ pub fn same_socket_fraction(prev: &[u32], cur: &[u32], socket_of: &[u32]) -> f64
         if a == UNRECORDED || b == UNRECORDED {
             continue;
         }
+        let (Some(sa), Some(sb)) = (socket_of.get(a as usize), socket_of.get(b as usize)) else {
+            continue;
+        };
         comparable += 1;
-        if socket_of[a as usize] == socket_of[b as usize] {
+        if sa == sb {
             same += 1;
         }
     }
@@ -237,5 +246,22 @@ mod tests {
         let prev = vec![0, 0, 0, 0];
         let cur = vec![0, 1, 2, 3]; // half moved to socket 1
         assert_eq!(same_socket_fraction(&prev, &cur, &sockets), 0.5);
+    }
+
+    #[test]
+    fn socket_fraction_skips_owners_outside_the_table() {
+        // Regression: owner ids beyond the socket table (worker 4 of a
+        // rebuilt pool against a 4-entry map) must be skipped, not
+        // indexed.
+        let sockets = vec![0, 0, 1, 1];
+        let prev = vec![0, 4, 7, 2];
+        let cur = vec![1, 0, 4, 2];
+        // Index 0 (same socket) and index 3 (same worker) are comparable;
+        // indices 1 and 2 carry out-of-table owners on one side.
+        assert_eq!(same_socket_fraction(&prev, &cur, &sockets), 1.0);
+        // All owners out of table: no comparable iterations.
+        assert_eq!(same_socket_fraction(&[9], &[9], &sockets), 1.0);
+        // An empty socket table never panics either.
+        assert_eq!(same_socket_fraction(&[0, 1], &[0, 1], &[]), 1.0);
     }
 }

@@ -69,9 +69,11 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 use parloop_runtime::chaos::{chaos_spin, INJECTED_PANIC_MSG};
-use parloop_runtime::{CancelToken, CountLatch, FaultAction, Site, TraceEvent, WorkerToken};
+use parloop_runtime::{
+    CancelToken, CountLatch, FaultAction, Site, TopologyMap, TraceEvent, WorkerToken,
+};
 
-use crate::claim::{partitions_oversubscribed, ClaimTable, ClaimWalker};
+use crate::claim::{locality_earmark, partitions_oversubscribed, ClaimTable, ClaimWalker};
 use crate::lazy::SplitPolicy;
 use crate::range::block_bounds;
 use crate::stealing::ws_for_chunks_policy;
@@ -171,9 +173,26 @@ struct HybridState<F> {
     /// Cooperative cancellation for the `try_` entry points; `None` for the
     /// infallible API (the common path pays one `Option` check per claim).
     cancel: Option<CancelToken>,
+    /// The pool's worker → socket map, anchoring each participant's claim
+    /// walk at a partition homed on its own socket ([`locality_earmark`]).
+    /// Under the default flat map the earmark is the paper's `r = w`.
+    topology: Arc<TopologyMap>,
 }
 
 impl<F> HybridState<F> {
+    /// The partition worker `w` anchors its claim walk at. The blocked
+    /// partition → socket mapping matches `NumaPolicy::BlockedByRange`,
+    /// so under first-touch the earmarked partition's pages live on the
+    /// claimer's socket. The *steal* side of locality is the runtime's
+    /// `StealPolicy::SocketFirst`; both consult the same topology map, so
+    /// "local" means the same thing in both layers.
+    fn earmark(&self, w: usize) -> usize {
+        if self.topology.is_flat() {
+            // Identity fast path — and the exact pre-topology behavior.
+            return w % self.r_parts;
+        }
+        locality_earmark(self.topology.socket_table(), self.topology.sockets(), w, self.r_parts)
+    }
     #[inline]
     fn cancelled(&self) -> bool {
         self.cancel.as_ref().is_some_and(|c| c.is_cancelled())
@@ -368,6 +387,7 @@ where
         poisoned: AtomicBool::new(false),
         skipped: AtomicUsize::new(0),
         cancel,
+        topology: token.topology(),
     });
 
     // Publish the DoHybridLoop frame for thieves, then run it ourselves.
@@ -460,7 +480,10 @@ where
     }
     let w = token.index();
     debug_assert!(w < state.r_parts, "worker id exceeds partition count");
-    if state.table.is_claimed(w) {
+    // The same earmark `claim_walk` will anchor at — the protocol's
+    // "designated partition" check and the walk must agree, or a thief
+    // could decline to adopt a loop whose anchor it would have won.
+    if state.table.is_claimed(state.earmark(w)) {
         // Designated starting partition taken: fall back to ordinary
         // randomized work stealing (the worker can still steal chunks of
         // claimed partitions' inner loops).
@@ -508,7 +531,7 @@ where
     let w = token.index();
     let tracing = token.tracing_enabled();
     let chaos = token.chaos_enabled();
-    let mut walker = ClaimWalker::new(w, state.r_parts);
+    let mut walker = ClaimWalker::with_start(state.earmark(w), state.r_parts);
     // One combined latch decrement per walk instead of one per partition
     // (flushed on drop — including an unwind from an injected panic).
     let mut done = LatchBatch::new(&state.latch);
@@ -646,6 +669,25 @@ mod tests {
             );
             assert_eq!(stats.partitions, p.next_power_of_two());
         }
+    }
+
+    #[test]
+    fn multi_socket_earmarks_keep_exactly_once() {
+        // A 2-socket map with socket-first stealing relabels every worker's
+        // claim anchor; coverage and exactly-once must be unaffected.
+        use parloop_runtime::{StealPolicy, ThreadPoolBuilder, TopologyMap};
+        let pool = ThreadPoolBuilder::new()
+            .num_workers(8)
+            .topology(TopologyMap::from_sockets(vec![0, 0, 0, 0, 1, 1, 1, 1]))
+            .steal_policy(StealPolicy::SocketFirst)
+            .build();
+        let n = 5000;
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        let stats = run_hybrid(&pool, n, 64, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        assert_eq!(stats.partitions, 8);
     }
 
     #[test]
@@ -813,6 +855,7 @@ mod tests {
                 poisoned: AtomicBool::new(false),
                 skipped: AtomicUsize::new(0),
                 cancel: None,
+                topology: token.topology(),
             });
             // Claim everything so the published frames are inert no-ops.
             state.table.try_claim(0);

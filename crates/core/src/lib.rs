@@ -46,8 +46,8 @@ pub use affinity::{
     same_socket_fraction, same_worker_fraction, AffinityProbe, ConsecutiveAffinity, UNRECORDED,
 };
 pub use claim::{
-    index_group, partition_group, partitions_for_workers, partitions_oversubscribed,
-    run_claim_heuristic, ClaimTable, ClaimWalker, HeuristicStats,
+    index_group, locality_earmark, partition_group, partition_home_socket, partitions_for_workers,
+    partitions_oversubscribed, run_claim_heuristic, ClaimTable, ClaimWalker, HeuristicStats,
 };
 pub use hybrid::{HybridError, HybridStats};
 #[doc(hidden)]

@@ -54,7 +54,7 @@ pub use job::POISONED_JOB_MSG;
 pub use join::join;
 pub use latch::{CountLatch, Latch, LockLatch, Probe, SpinLatch};
 pub use registry::{
-    current_worker_index, PoolStats, ThreadPool, ThreadPoolBuilder, WorkerToken,
+    current_worker_index, PoolStats, StealPolicy, ThreadPool, ThreadPoolBuilder, WorkerToken,
     DEFAULT_STALL_THRESHOLD,
 };
 pub use scope::{scope, Scope};
@@ -70,3 +70,8 @@ pub use parloop_trace::{NoopSink, RingTraceSink, TraceEvent, TraceSink, WorkerSt
 /// need not name `parloop-chaos` directly).
 pub use parloop_chaos as chaos;
 pub use parloop_chaos::{FaultAction, FaultInjector, NoopInjector, PlannedInjector, Site};
+
+/// The machine-topology layer: the worker → socket map consumed by
+/// [`ThreadPoolBuilder::topology`] (re-exported so pool users need not
+/// name `parloop-topo` directly).
+pub use parloop_topo::TopologyMap;

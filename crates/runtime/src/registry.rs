@@ -26,6 +26,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use parloop_chaos::{chaos_spin, FaultAction, FaultInjector, NoopInjector, Site};
+use parloop_topo::TopologyMap;
 use parloop_trace::{CounterBank, NoopSink, TraceEvent, TraceSink, WorkerStats};
 
 use crate::deque::{self, Steal, Stealer};
@@ -74,6 +75,26 @@ impl<T: ?Sized> SendPtr<T> {
     }
 }
 
+/// How an idle worker orders steal victims.
+///
+/// Localized stealing (in the sense of Suksompong–Leiserson–Schardl)
+/// prefers victims whose deques live in the thief's own L3 domain: a
+/// stolen chunk's pages are more likely to be resident in the shared
+/// last-level cache, and the paper's Fig. 4 locality wins depend on most
+/// steals staying on-socket.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum StealPolicy {
+    /// One randomized sweep over all other workers — the classic
+    /// uniform-victim baseline (and the default).
+    #[default]
+    Uniform,
+    /// Two-phase sweep: a randomized pass over *same-socket* victims
+    /// first, then a randomized pass over remote-socket victims. Under a
+    /// flat (single-socket) [`TopologyMap`] every victim is local and
+    /// this coincides with [`Uniform`](Self::Uniform).
+    SocketFirst,
+}
+
 /// Sentinel "worker" id the registry hands the fault injector for
 /// decisions made on external submitter threads (which have no worker id).
 /// It must never be used to index per-worker state — in particular, such
@@ -98,6 +119,10 @@ pub struct PoolStats {
     pub assist_joins: u64,
     /// Successful steals.
     pub steals: u64,
+    /// The subset of [`steals`](Self::steals) whose victim lived on a
+    /// different socket of the pool's [`TopologyMap`]. Always `0` under
+    /// the default flat map.
+    pub remote_steals: u64,
     /// Steal sweeps that found nothing.
     pub failed_steal_sweeps: u64,
     /// Jobs injected from external threads.
@@ -184,8 +209,22 @@ pub(crate) struct Registry {
     watchdog_trips: AtomicU64,
     stall_threshold: Duration,
     stall_handler: StallHandler,
+    /// Worker → socket map (flat by default). Shared with loop layers via
+    /// [`WorkerToken::topology`] so partition earmarking and victim
+    /// selection agree on what "local" means.
+    topology: Arc<TopologyMap>,
+    steal_policy: StealPolicy,
+    /// Per-worker victim lists: `(local, remote)`, each excluding the
+    /// worker itself. Under [`StealPolicy::Uniform`] every victim is in
+    /// `local` (one phase); under [`StealPolicy::SocketFirst`] the split
+    /// follows the topology map. Built once — sweeps only index.
+    victims: VictimTable,
     n: usize,
 }
+
+/// One `(local, remote)` steal-victim partition per worker (see
+/// [`Registry::victims`]).
+type VictimTable = Box<[(Box<[usize]>, Box<[usize]>)]>;
 
 /// Callback invoked with each watchdog [`StallReport`].
 type StallHandler = Arc<dyn Fn(&StallReport) + Send + Sync>;
@@ -551,7 +590,12 @@ impl WorkerThread {
         job
     }
 
-    /// One full randomized sweep over all other workers' deques.
+    /// One full randomized sweep over other workers' deques: under
+    /// [`StealPolicy::Uniform`] a single pass over everyone; under
+    /// [`StealPolicy::SocketFirst`] a pass over same-socket victims, then
+    /// — only if the whole local phase came up empty — a pass over remote
+    /// sockets. Each phase randomizes its own start, so no victim inside
+    /// a phase is structurally favored.
     fn steal(&self) -> Option<JobRef> {
         let n = self.registry.n;
         if n <= 1 {
@@ -572,39 +616,70 @@ impl WorkerThread {
                 FaultAction::None => {}
             }
         }
-        let start = self.rng.next_below(n);
-        for k in 0..n {
-            let victim = (start + k) % n;
-            if victim == self.index {
-                continue;
-            }
-            if self.registry.chaos_on {
-                match self.chaos_point_runtime(Site::StealVictim) {
-                    // Forced victim re-roll: skip this victim as if its
-                    // deque raced empty.
-                    FaultAction::Fail | FaultAction::Kill => continue,
-                    FaultAction::Delay(spins) => chaos_spin(spins),
-                    FaultAction::Panic => {
-                        panic!("{} at steal victim", parloop_chaos::INJECTED_PANIC_MSG)
-                    }
-                    FaultAction::None => {}
-                }
-            }
-            loop {
-                match self.registry.stealers[victim].steal() {
-                    Steal::Success(job) => {
-                        self.registry.counters.note_steal(self.index);
-                        self.trace(TraceEvent::Stolen { victim: victim as u32 });
-                        return Some(job);
-                    }
-                    Steal::Empty => break,
-                    Steal::Retry => std::hint::spin_loop(),
-                }
-            }
+        let (local, remote) = &self.registry.victims[self.index];
+        if let Some(job) = self.sweep_phase(local).or_else(|| self.sweep_phase(remote)) {
+            return Some(job);
         }
         self.registry.counters.note_failed_sweep(self.index);
         self.trace(TraceEvent::StealFailed);
         None
+    }
+
+    /// One randomized pass over a precomputed victim list.
+    fn sweep_phase(&self, victims: &[usize]) -> Option<JobRef> {
+        let len = victims.len();
+        if len == 0 {
+            return None;
+        }
+        let start = self.rng.next_below(len);
+        (0..len).find_map(|k| self.try_steal_from(victims[(start + k) % len]))
+    }
+
+    /// Probe one victim's deque: chaos re-roll, lifecycle skip, then the
+    /// Chase–Lev steal loop.
+    fn try_steal_from(&self, victim: usize) -> Option<JobRef> {
+        if self.registry.chaos_on {
+            match self.chaos_point_runtime(Site::StealVictim) {
+                // Forced victim re-roll: skip this victim as if its
+                // deque raced empty.
+                FaultAction::Fail | FaultAction::Kill => return None,
+                FaultAction::Delay(spins) => chaos_spin(spins),
+                FaultAction::Panic => {
+                    panic!("{} at steal victim", parloop_chaos::INJECTED_PANIC_MSG)
+                }
+                FaultAction::None => {}
+            }
+        }
+        // Slots out of ordinary service are skipped: a quarantined slot's
+        // deque was already rescued into live lanes, and a respawning
+        // slot's deque is mid-ownership-handover. Probing them wastes the
+        // sweep's time at best (and races the handover's promote at
+        // worst); one `Acquire` state load is far cheaper than a steal
+        // attempt. Healthy and Degraded slots stay ordinary victims.
+        if matches!(
+            self.registry.worker_state(victim),
+            WorkerState::Quarantined | WorkerState::Respawning
+        ) {
+            return None;
+        }
+        loop {
+            match self.registry.stealers[victim].steal() {
+                Steal::Success(job) => {
+                    self.registry.counters.note_steal(self.index);
+                    if self.registry.topology.same_socket(self.index, victim) {
+                        self.trace(TraceEvent::Stolen { victim: victim as u32 });
+                    } else {
+                        // Emitted *instead of* `Stolen`: local + remote
+                        // partition the successful steals.
+                        self.registry.counters.note_remote_steal(self.index);
+                        self.trace(TraceEvent::StolenRemote { victim: victim as u32 });
+                    }
+                    return Some(job);
+                }
+                Steal::Empty => return None,
+                Steal::Retry => std::hint::spin_loop(),
+            }
+        }
     }
 
     /// Drain one externally-injected job: this worker's own lane first,
@@ -764,8 +839,10 @@ impl WorkerThread {
             }
         }
         // Then the deque, through the victim's stealer (safe from any
-        // thread). A wedged-but-alive victim may push more later; those
-        // jobs stay stealable the ordinary way.
+        // thread). A wedged-but-alive victim may push more later; steal
+        // sweeps skip quarantined slots, so those jobs are executed by
+        // the victim itself (work-first: own deque before anything else)
+        // and become ordinarily stealable again once it heals.
         loop {
             match reg.stealers[victim].steal() {
                 Steal::Success(job) => {
@@ -973,6 +1050,8 @@ pub struct ThreadPoolBuilder {
     stall_handler: Option<StallHandler>,
     inject_lanes: Option<usize>,
     backstop_interval: Duration,
+    topology: Option<TopologyMap>,
+    steal_policy: StealPolicy,
 }
 
 impl ThreadPoolBuilder {
@@ -987,6 +1066,8 @@ impl ThreadPoolBuilder {
             stall_handler: None,
             inject_lanes: None,
             backstop_interval: crate::sleep::DEFAULT_BACKSTOP_INTERVAL,
+            topology: None,
+            steal_policy: StealPolicy::Uniform,
         }
     }
 
@@ -1065,6 +1146,22 @@ impl ThreadPoolBuilder {
         self
     }
 
+    /// Install a worker → socket map (see [`TopologyMap`]). The map must
+    /// describe exactly this pool's workers. Defaults to the flat
+    /// single-socket map, under which every steal victim is local and
+    /// partition earmarking is the identity.
+    pub fn topology(mut self, map: TopologyMap) -> Self {
+        self.topology = Some(map);
+        self
+    }
+
+    /// Choose how idle workers order steal victims (see [`StealPolicy`]).
+    /// Default: [`StealPolicy::Uniform`].
+    pub fn steal_policy(mut self, policy: StealPolicy) -> Self {
+        self.steal_policy = policy;
+        self
+    }
+
     pub fn build(self) -> ThreadPool {
         let n = self.num_workers;
         let mut workers = Vec::with_capacity(n);
@@ -1081,6 +1178,30 @@ impl ThreadPoolBuilder {
         let stall_handler = self.stall_handler.unwrap_or_else(|| {
             Arc::new(|report: &StallReport| eprintln!("parloop-runtime watchdog: {report}"))
         });
+        let topology = Arc::new(self.topology.unwrap_or_else(|| TopologyMap::flat(n)));
+        assert_eq!(
+            topology.workers(),
+            n,
+            "topology map describes {} workers but the pool has {n}",
+            topology.workers(),
+        );
+        // Per-worker victim lists. Uniform keeps everyone in one phase —
+        // including under a multi-socket map, so the policy knob alone
+        // decides sweep order and the topology alone decides how steals
+        // are *classified* (local vs. remote).
+        let victims: VictimTable = (0..n)
+            .map(|w| {
+                let others = (0..n).filter(|&v| v != w);
+                match self.steal_policy {
+                    StealPolicy::Uniform => (others.collect(), Box::from([])),
+                    StealPolicy::SocketFirst => {
+                        let (local, remote): (Vec<usize>, Vec<usize>) =
+                            others.partition(|&v| topology.same_socket(w, v));
+                        (local.into(), remote.into())
+                    }
+                }
+            })
+            .collect();
         let now = Instant::now();
         let registry = Arc::new(Registry {
             stealers,
@@ -1106,6 +1227,9 @@ impl ThreadPoolBuilder {
             watchdog_trips: AtomicU64::new(0),
             stall_threshold: self.stall_threshold,
             stall_handler,
+            topology,
+            steal_policy: self.steal_policy,
+            victims,
             n,
         });
 
@@ -1211,9 +1335,21 @@ impl ThreadPool {
             jobs_pushed: t.jobs_pushed,
             assist_joins: t.assist_joins,
             steals: t.steals,
+            remote_steals: t.remote_steals,
             failed_steal_sweeps: t.failed_steal_sweeps,
             injected: self.registry.counters.injected(),
         }
+    }
+
+    /// The pool's worker → socket map (flat unless one was installed via
+    /// [`ThreadPoolBuilder::topology`]).
+    pub fn topology(&self) -> Arc<TopologyMap> {
+        Arc::clone(&self.registry.topology)
+    }
+
+    /// How this pool's idle workers order steal victims.
+    pub fn steal_policy(&self) -> StealPolicy {
+        self.registry.steal_policy
     }
 
     /// Per-worker breakdown of the counters behind [`stats`](Self::stats),
@@ -1508,6 +1644,24 @@ impl WorkerToken {
         let w = self.worker();
         w.registry().counters.note_assist_join(w.index());
     }
+
+    /// The pool's worker → socket map. Loop layers use it to earmark
+    /// partitions near their data with the *same* notion of locality the
+    /// steal sweep uses.
+    pub fn topology(&self) -> Arc<TopologyMap> {
+        Arc::clone(&self.worker().registry().topology)
+    }
+
+    /// The socket this worker lives on (`0` under the flat default map).
+    pub fn socket(&self) -> usize {
+        let w = self.worker();
+        w.registry().topology.socket_of(w.index())
+    }
+
+    /// Number of sockets in the pool's topology map.
+    pub fn num_sockets(&self) -> usize {
+        self.worker().registry().topology.sockets()
+    }
 }
 
 #[cfg(test)]
@@ -1790,6 +1944,75 @@ mod tests {
         drop(pool);
         // Every detached job ran exactly once despite worker deaths.
         assert_eq!(total.load(Ordering::Relaxed), 32);
+    }
+
+    #[test]
+    fn default_pool_is_flat_uniform() {
+        let pool = ThreadPool::new(3);
+        assert_eq!(pool.steal_policy(), StealPolicy::Uniform);
+        assert!(pool.topology().is_flat());
+        assert_eq!(pool.topology().workers(), 3);
+        // Uniform keeps everyone in one phase.
+        let (local, remote) = &pool.registry.victims[1];
+        assert_eq!(&local[..], &[0, 2]);
+        assert!(remote.is_empty());
+    }
+
+    #[test]
+    fn socket_first_partitions_victims_by_socket() {
+        let pool = ThreadPoolBuilder::new()
+            .num_workers(4)
+            .topology(TopologyMap::from_sockets(vec![0, 0, 1, 1]))
+            .steal_policy(StealPolicy::SocketFirst)
+            .build();
+        assert_eq!(pool.steal_policy(), StealPolicy::SocketFirst);
+        assert_eq!(pool.topology().sockets(), 2);
+        let (local, remote) = &pool.registry.victims[0];
+        assert_eq!(&local[..], &[1]);
+        assert_eq!(&remote[..], &[2, 3]);
+        let (local, remote) = &pool.registry.victims[3];
+        assert_eq!(&local[..], &[2]);
+        assert_eq!(&remote[..], &[0, 1]);
+        // The pool still schedules work.
+        assert_eq!(pool.install(|| 6 * 7), 42);
+        pool.broadcast_all(|_| {});
+    }
+
+    #[test]
+    fn worker_token_reports_socket() {
+        let pool = ThreadPoolBuilder::new()
+            .num_workers(4)
+            .topology(TopologyMap::from_sockets(vec![0, 0, 1, 1]))
+            .build();
+        pool.broadcast_all(|w| {
+            let t = WorkerToken::current().unwrap();
+            assert_eq!(t.socket(), w / 2);
+            assert_eq!(t.num_sockets(), 2);
+            assert_eq!(t.topology().socket_of(w), w / 2);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "topology map describes")]
+    fn mismatched_topology_is_rejected() {
+        let _ = ThreadPoolBuilder::new()
+            .num_workers(4)
+            .topology(TopologyMap::from_sockets(vec![0, 1]))
+            .build();
+    }
+
+    #[test]
+    fn socket_first_on_flat_map_never_steals_remotely() {
+        let pool =
+            ThreadPoolBuilder::new().num_workers(4).steal_policy(StealPolicy::SocketFirst).build();
+        for _ in 0..64 {
+            pool.install(|| {
+                crate::join(|| std::hint::black_box(1), || std::hint::black_box(2));
+            });
+        }
+        let stats = pool.stats();
+        assert_eq!(stats.remote_steals, 0);
+        assert!(stats.remote_steals <= stats.steals);
     }
 
     #[test]

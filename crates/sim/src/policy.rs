@@ -12,7 +12,8 @@
 
 use std::collections::VecDeque;
 
-use parloop_core::{block_bounds, ClaimWalker};
+use parloop_core::{block_bounds, locality_earmark, ClaimWalker};
+use parloop_topo::TopologyMap;
 
 use crate::costs::CostModel;
 
@@ -46,6 +47,11 @@ pub enum PolicyKind {
     /// The hybrid scheme with `R = next_pow2(P · factor)` partitions
     /// (Theorem 5's general `R`; the A3 ablation).
     HybridOversub(u8),
+    /// The hybrid scheme made topology-aware: claim walks anchored at a
+    /// NUMA-earmarked partition and two-phase socket-first stealing
+    /// (same-socket victims before remote ones). Coincides with
+    /// [`Hybrid`](PolicyKind::Hybrid) on a flat (single-socket) topology.
+    HybridSocketFirst,
     /// OpenMP `schedule(static, chunk)`: deterministic round-robin chunks.
     StaticCyclic(u16),
     /// No parallel constructs at all (the `T_s` baseline).
@@ -63,6 +69,7 @@ impl PolicyKind {
             PolicyKind::Guided => "omp_guided",
             PolicyKind::Stealing => "vanilla",
             PolicyKind::HybridOversub(_) => "hybrid_oversub",
+            PolicyKind::HybridSocketFirst => "hybrid_sf",
             PolicyKind::StaticCyclic(_) => "omp_static_c",
             PolicyKind::Sequential => "sequential",
         }
@@ -98,6 +105,12 @@ impl PolicyKind {
 /// A policy instance for one loop execution.
 pub trait Policy {
     fn next(&mut self, w: usize) -> Action;
+
+    /// Successful steals so far, classified against the topology as
+    /// `(same-socket, remote)`. Schemes without steals report `(0, 0)`.
+    fn steal_counts(&self) -> (u64, u64) {
+        (0, 0)
+    }
 }
 
 /// Build a policy for a loop of `n` iterations on `p` workers.
@@ -110,6 +123,11 @@ pub trait Policy {
 /// consecutive loops of an iterative application do not replay identical
 /// dynamic schedules — on real machines they never do, which is exactly
 /// why non-static schemes lose affinity (paper, Figure 2).
+///
+/// `topo` is the worker → socket map the engine derives from its pinned
+/// virtual cores; it classifies steals as local/remote for every stealing
+/// scheme and drives victim ordering plus claim-anchor earmarking for
+/// [`PolicyKind::HybridSocketFirst`].
 pub fn make_policy(
     kind: PolicyKind,
     n: usize,
@@ -117,6 +135,7 @@ pub fn make_policy(
     chunk_hint: usize,
     cost: CostModel,
     seed: u64,
+    topo: &TopologyMap,
 ) -> Box<dyn Policy> {
     match kind {
         PolicyKind::Sequential => Box::new(SequentialPolicy { n, done: false }),
@@ -124,10 +143,18 @@ pub fn make_policy(
         PolicyKind::StaticSharing => Box::new(StaticSharingPolicy::new(n, p, cost)),
         PolicyKind::WorkSharing => Box::new(SharingPolicy::fixed(n, p, chunk_hint, cost)),
         PolicyKind::Guided => Box::new(SharingPolicy::guided(n, p, 1, cost)),
-        PolicyKind::Stealing => Box::new(StealingPolicy::new(n, p, chunk_hint, cost, seed)),
-        PolicyKind::Hybrid => Box::new(HybridPolicy::new(n, p, chunk_hint, cost, seed, 1)),
+        PolicyKind::Stealing => Box::new(StealingPolicy::new(n, p, chunk_hint, cost, seed, topo)),
+        PolicyKind::Hybrid => {
+            let shape = HybridShape { oversub: 1, socket_first: false };
+            Box::new(HybridPolicy::new(n, p, chunk_hint, cost, seed, shape, topo))
+        }
         PolicyKind::HybridOversub(f) => {
-            Box::new(HybridPolicy::new(n, p, chunk_hint, cost, seed, f.max(1) as usize))
+            let shape = HybridShape { oversub: f.max(1) as usize, socket_first: false };
+            Box::new(HybridPolicy::new(n, p, chunk_hint, cost, seed, shape, topo))
+        }
+        PolicyKind::HybridSocketFirst => {
+            let shape = HybridShape { oversub: 1, socket_first: true };
+            Box::new(HybridPolicy::new(n, p, chunk_hint, cost, seed, shape, topo))
         }
         PolicyKind::StaticCyclic(chunk) => {
             Box::new(StaticCyclicPolicy::new(n, p, chunk.max(1) as usize))
@@ -302,16 +329,42 @@ struct DequeSet {
     queued: usize,
     rng: u64,
     cost: CostModel,
+    /// Worker → socket, for classifying steals as local or remote.
+    socket_of: Vec<usize>,
+    /// Per-worker `(same-socket victims, remote victims)` sweep lists;
+    /// built only for socket-first stealing (empty under uniform).
+    victims: Vec<(Vec<usize>, Vec<usize>)>,
+    local_steals: u64,
+    remote_steals: u64,
 }
 
 impl DequeSet {
-    fn new(p: usize, grain: usize, cost: CostModel, seed: u64) -> Self {
+    fn new(
+        p: usize,
+        grain: usize,
+        cost: CostModel,
+        seed: u64,
+        topo: &TopologyMap,
+        socket_first: bool,
+    ) -> Self {
+        let socket_of: Vec<usize> = (0..p).map(|w| topo.socket_of(w)).collect();
+        let victims = if socket_first {
+            (0..p)
+                .map(|w| (0..p).filter(|&v| v != w).partition(|&v| socket_of[v] == socket_of[w]))
+                .collect()
+        } else {
+            Vec::new()
+        };
         DequeSet {
             deques: vec![VecDeque::new(); p],
             grain: grain.max(1),
             queued: 0,
             rng: seed | 1,
             cost,
+            socket_of,
+            victims,
+            local_steals: 0,
+            remote_steals: 0,
         }
     }
 
@@ -338,8 +391,8 @@ impl DequeSet {
         Some(self.split_down(w, lo, hi, 0.0))
     }
 
-    /// One steal attempt at a random victim; `Run` on success, `Stall` on
-    /// failure, `None` if no work exists anywhere.
+    /// One steal attempt at a uniformly random victim; `Run` on success,
+    /// `Stall` on failure, `None` if no work exists anywhere.
     fn steal(&mut self, w: usize) -> Option<Action> {
         if self.queued == 0 {
             return None;
@@ -349,10 +402,47 @@ impl DequeSet {
         if victim != w {
             if let Some((lo, hi)) = self.deques[victim].pop_front() {
                 self.queued -= hi - lo;
+                self.note_steal(w, victim);
                 return Some(self.split_down(w, lo, hi, self.cost.steal_success));
             }
         }
         Some(Action::Stall(self.cost.steal_attempt))
+    }
+
+    /// One two-phase localized steal sweep: same-socket victims first from
+    /// a random start, then remote ones, mirroring the threaded runtime.
+    /// Probing an empty deque is a cheap load there, so only the terminal
+    /// outcome is charged: `steal_success` on a hit, one `steal_attempt`
+    /// for a whole failed sweep (the runtime's `StealFailed` + backoff).
+    fn steal_socket_first(&mut self, w: usize) -> Option<Action> {
+        if self.queued == 0 {
+            return None;
+        }
+        for phase in 0..2 {
+            let len = if phase == 0 { self.victims[w].0.len() } else { self.victims[w].1.len() };
+            if len == 0 {
+                continue;
+            }
+            let start = (self.next_rand() % len as u64) as usize;
+            for k in 0..len {
+                let ix = (start + k) % len;
+                let v = if phase == 0 { self.victims[w].0[ix] } else { self.victims[w].1[ix] };
+                if let Some((lo, hi)) = self.deques[v].pop_front() {
+                    self.queued -= hi - lo;
+                    self.note_steal(w, v);
+                    return Some(self.split_down(w, lo, hi, self.cost.steal_success));
+                }
+            }
+        }
+        Some(Action::Stall(self.cost.steal_attempt))
+    }
+
+    fn note_steal(&mut self, thief: usize, victim: usize) {
+        if self.socket_of[thief] == self.socket_of[victim] {
+            self.local_steals += 1;
+        } else {
+            self.remote_steals += 1;
+        }
     }
 
     fn split_down(&mut self, w: usize, lo: usize, mut hi: usize, base: f64) -> Action {
@@ -372,8 +462,15 @@ struct StealingPolicy {
 }
 
 impl StealingPolicy {
-    fn new(n: usize, p: usize, grain: usize, cost: CostModel, seed: u64) -> Self {
-        let mut set = DequeSet::new(p, grain, cost, seed);
+    fn new(
+        n: usize,
+        p: usize,
+        grain: usize,
+        cost: CostModel,
+        seed: u64,
+        topo: &TopologyMap,
+    ) -> Self {
+        let mut set = DequeSet::new(p, grain, cost, seed, topo, false);
         if n > 0 {
             set.push(0, 0, n); // the initiator owns the whole range
         }
@@ -391,11 +488,23 @@ impl Policy for StealingPolicy {
             None => Action::Finished,
         }
     }
+
+    fn steal_counts(&self) -> (u64, u64) {
+        (self.set.local_steals, self.set.remote_steals)
+    }
 }
 
 // ------------------------------------------------------------------
 // The hybrid scheme
 // ------------------------------------------------------------------
+
+/// Static shape of a hybrid-policy instance: Theorem 5's oversubscription
+/// factor plus whether the topology-aware variant is in force.
+#[derive(Debug, Clone, Copy)]
+struct HybridShape {
+    oversub: usize,
+    socket_first: bool,
+}
 
 struct HybridPolicy {
     n: usize,
@@ -404,18 +513,39 @@ struct HybridPolicy {
     walkers: Vec<ClaimWalker>,
     set: DequeSet,
     cost: CostModel,
+    socket_first: bool,
 }
 
 impl HybridPolicy {
-    fn new(n: usize, p: usize, grain: usize, cost: CostModel, seed: u64, oversub: usize) -> Self {
-        let r_parts = (p * oversub).next_power_of_two();
+    fn new(
+        n: usize,
+        p: usize,
+        grain: usize,
+        cost: CostModel,
+        seed: u64,
+        shape: HybridShape,
+        topo: &TopologyMap,
+    ) -> Self {
+        let r_parts = (p * shape.oversub).next_power_of_two();
+        // Topology-aware anchors: worker w starts its claim walk at the
+        // partition earmarked to its socket (NUMA-blocked ranges), not at
+        // partition w. The XOR walk's coverage/termination proofs only
+        // depend on the walk shape, so relabeling anchors is safe.
+        let anchor = |w: usize| -> usize {
+            if shape.socket_first && !topo.is_flat() {
+                locality_earmark(topo.socket_table(), topo.sockets(), w, r_parts)
+            } else {
+                w % r_parts
+            }
+        };
         HybridPolicy {
             n,
             r_parts,
             claimed: vec![false; r_parts],
-            walkers: (0..p).map(|w| ClaimWalker::new(w, r_parts)).collect(),
-            set: DequeSet::new(p, grain, cost, seed),
+            walkers: (0..p).map(|w| ClaimWalker::with_start(anchor(w), r_parts)).collect(),
+            set: DequeSet::new(p, grain, cost, seed, topo, shape.socket_first),
             cost,
+            socket_first: shape.socket_first,
         }
     }
 }
@@ -442,10 +572,16 @@ impl Policy for HybridPolicy {
             return Action::Stall(self.cost.claim);
         }
         // Heuristic exhausted: ordinary work stealing.
-        match self.set.steal(w) {
+        let stolen =
+            if self.socket_first { self.set.steal_socket_first(w) } else { self.set.steal(w) };
+        match stolen {
             Some(a) => a,
             None => Action::Finished,
         }
+    }
+
+    fn steal_counts(&self) -> (u64, u64) {
+        (self.set.local_steals, self.set.remote_steals)
     }
 }
 
@@ -455,9 +591,13 @@ mod tests {
 
     /// Drive a policy round-robin (all workers at equal pace) and collect
     /// which iterations ran where; checks exactly-once coverage.
-    #[allow(clippy::needless_range_loop)]
     fn drive(kind: PolicyKind, n: usize, p: usize) -> Vec<Option<usize>> {
-        let mut pol = make_policy(kind, n, p, 16, CostModel::xeon(), 7);
+        drive_topo(kind, n, p, &TopologyMap::flat(p))
+    }
+
+    #[allow(clippy::needless_range_loop)]
+    fn drive_topo(kind: PolicyKind, n: usize, p: usize, topo: &TopologyMap) -> Vec<Option<usize>> {
+        let mut pol = make_policy(kind, n, p, 16, CostModel::xeon(), 7, topo);
         let mut owner = vec![None; n];
         let mut finished = vec![false; p];
         let mut guard = 0;
@@ -518,7 +658,8 @@ mod tests {
     fn hybrid_lone_worker_first_claims_its_own_partition() {
         // With one worker active (others never scheduled), the claim order
         // must start at partition w.
-        let mut pol = make_policy(PolicyKind::Hybrid, 64, 4, 4, CostModel::xeon(), 7);
+        let mut pol =
+            make_policy(PolicyKind::Hybrid, 64, 4, 4, CostModel::xeon(), 7, &TopologyMap::flat(4));
         // Worker 2 acts alone.
         let mut first_range = None;
         for _ in 0..100 {
@@ -566,7 +707,15 @@ mod tests {
 
     #[test]
     fn guided_chunks_decrease() {
-        let mut pol = make_policy(PolicyKind::Guided, 1000, 4, 1, CostModel::xeon(), 7);
+        let mut pol = make_policy(
+            PolicyKind::Guided,
+            1000,
+            4,
+            1,
+            CostModel::xeon(),
+            7,
+            &TopologyMap::flat(4),
+        );
         let mut sizes = Vec::new();
         loop {
             match pol.next(0) {
@@ -584,7 +733,15 @@ mod tests {
 
     #[test]
     fn work_sharing_uses_fixed_chunks() {
-        let mut pol = make_policy(PolicyKind::WorkSharing, 100, 4, 16, CostModel::xeon(), 7);
+        let mut pol = make_policy(
+            PolicyKind::WorkSharing,
+            100,
+            4,
+            16,
+            CostModel::xeon(),
+            7,
+            &TopologyMap::flat(4),
+        );
         let mut sizes = Vec::new();
         loop {
             match pol.next(1) {
@@ -622,9 +779,87 @@ mod tests {
     }
 
     #[test]
+    fn hybrid_socket_first_covers_exactly_once() {
+        // Earmarked anchors relabel the claim walks; coverage must hold on
+        // balanced and ragged shapes alike.
+        let topo = TopologyMap::from_sockets(vec![0, 0, 1, 1, 2, 2, 3, 3]);
+        for (n, p) in [(100, 4), (1000, 8), (7, 3), (64, 8), (1, 1)] {
+            let owner = drive_topo(PolicyKind::HybridSocketFirst, n, p, &topo);
+            assert!(owner.iter().all(|o| o.is_some()), "(n={n}, p={p}): missed iterations");
+        }
+    }
+
+    #[test]
+    fn socket_first_sweep_prefers_local_victims() {
+        let topo = TopologyMap::from_sockets(vec![0, 0, 1, 1]);
+        let mut set = DequeSet::new(4, 8, CostModel::xeon(), 7, &topo, true);
+        // Work on worker 1 (thief's socket) and worker 3 (remote).
+        set.push(1, 0, 8);
+        set.push(3, 8, 16);
+        // Worker 0's sweep must take the same-socket victim first.
+        match set.steal_socket_first(0).expect("work is queued") {
+            Action::Run { lo, .. } => assert_eq!(lo, 0, "stole from the remote victim first"),
+            a => panic!("expected a successful steal, got {a:?}"),
+        }
+        assert_eq!((set.local_steals, set.remote_steals), (1, 0));
+        // Local phase exhausted: the sweep falls through to the remote one.
+        match set.steal_socket_first(0).expect("work is queued") {
+            Action::Run { lo, .. } => assert_eq!(lo, 8),
+            a => panic!("expected a successful steal, got {a:?}"),
+        }
+        assert_eq!((set.local_steals, set.remote_steals), (1, 1));
+    }
+
+    #[test]
+    fn socket_first_lone_worker_first_claims_its_earmark() {
+        // Scatter pinning [0,1,0,1]: worker 2 is the second worker of
+        // socket 0, whose NUMA block covers partitions 0..2 — so its walk
+        // anchors at partition 1, not at partition 2.
+        let topo = TopologyMap::from_sockets(vec![0, 1, 0, 1]);
+        let mut pol =
+            make_policy(PolicyKind::HybridSocketFirst, 64, 4, 4, CostModel::xeon(), 7, &topo);
+        let mut first_range = None;
+        for _ in 0..100 {
+            match pol.next(2) {
+                Action::Run { lo, hi, .. } => {
+                    first_range = Some((lo, hi));
+                    break;
+                }
+                Action::Stall(_) => {}
+                Action::Finished => break,
+            }
+        }
+        let r = parloop_core::block_bounds(64, 4, 1);
+        let (lo, hi) = first_range.expect("worker 2 got work");
+        assert!(lo >= r.start && hi <= r.end, "chunk {lo}..{hi} outside earmarked {r:?}");
+    }
+
+    #[test]
+    fn uniform_stealing_still_classifies_remote_steals() {
+        // Victim ORDER is the policy knob; local/remote CLASSIFICATION
+        // follows the topology even under uniform stealing.
+        let topo = TopologyMap::from_sockets(vec![0, 1]);
+        let mut pol = make_policy(PolicyKind::Stealing, 256, 2, 8, CostModel::xeon(), 7, &topo);
+        let mut finished = [false; 2];
+        let mut guard = 0;
+        while finished.iter().any(|f| !f) {
+            guard += 1;
+            assert!(guard < 100_000);
+            for (w, fin) in finished.iter_mut().enumerate() {
+                if !*fin && pol.next(w) == Action::Finished {
+                    *fin = true;
+                }
+            }
+        }
+        let (local, remote) = pol.steal_counts();
+        assert_eq!(local, 0, "two workers on two sockets cannot steal locally");
+        assert!(remote > 0, "worker 1 must have stolen from the initiator");
+    }
+
+    #[test]
     fn empty_loop_finishes_immediately() {
         for kind in PolicyKind::roster() {
-            let mut pol = make_policy(kind, 0, 4, 8, CostModel::xeon(), 7);
+            let mut pol = make_policy(kind, 0, 4, 8, CostModel::xeon(), 7, &TopologyMap::flat(4));
             for w in 0..4 {
                 let mut steps = 0;
                 loop {

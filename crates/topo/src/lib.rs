@@ -15,7 +15,9 @@
 mod latency;
 mod machine;
 mod pinning;
+mod topology;
 
 pub use latency::{AccessLevel, LatencyTable};
 pub use machine::{CacheGeometry, MachineSpec, NumaPolicy};
 pub use pinning::{pin_order, PinningPolicy};
+pub use topology::TopologyMap;

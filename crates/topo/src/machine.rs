@@ -1,6 +1,17 @@
 //! Description of a shared-memory multicore machine.
 
 /// Geometry of one cache level.
+///
+/// # Invariant
+///
+/// A geometry must describe at least one set: `line > 0`, `ways > 0` and
+/// `capacity >= line * ways` (equivalently `lines() >= ways`). A geometry
+/// violating this is *degenerate* — [`sets`](Self::sets) would be zero and
+/// [`set_of`](Self::set_of) would divide by it. The struct fields stay
+/// public for literal construction of known-good machines; anything built
+/// from computed sizes (e.g. programmatically scaled sim machines) should
+/// go through [`checked`](Self::checked), and the accessors `debug_assert`
+/// the invariant so a degenerate geometry fails loudly near its origin.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheGeometry {
     /// Total capacity in bytes.
@@ -12,21 +23,43 @@ pub struct CacheGeometry {
 }
 
 impl CacheGeometry {
+    /// Validating constructor: `None` when the geometry is degenerate
+    /// (zero line or ways, or fewer lines than ways — i.e. zero sets).
+    pub fn checked(capacity: usize, line: usize, ways: usize) -> Option<Self> {
+        let g = CacheGeometry { capacity, line, ways };
+        g.is_valid().then_some(g)
+    }
+
+    /// Whether the struct invariant holds (at least one set).
+    #[inline]
+    pub fn is_valid(&self) -> bool {
+        self.line > 0 && self.ways > 0 && self.capacity / self.line >= self.ways
+    }
+
     /// Number of cache lines this cache can hold.
     #[inline]
     pub fn lines(&self) -> usize {
+        debug_assert!(self.line > 0, "degenerate CacheGeometry: line size 0");
         self.capacity / self.line
     }
 
     /// Number of sets (`lines / ways`).
     #[inline]
     pub fn sets(&self) -> usize {
+        debug_assert!(
+            self.is_valid(),
+            "degenerate CacheGeometry ({self:?}): capacity < line * ways yields 0 sets"
+        );
         self.lines() / self.ways
     }
 
     /// The set index a byte address maps to.
     #[inline]
     pub fn set_of(&self, addr: u64) -> usize {
+        debug_assert!(
+            self.is_valid(),
+            "degenerate CacheGeometry ({self:?}): set_of would divide by 0 sets"
+        );
         ((addr / self.line as u64) % self.sets() as u64) as usize
     }
 
@@ -104,6 +137,16 @@ impl MachineSpec {
             freq_ghz: 1.0,
             numa: NumaPolicy::BlockedByRange,
         }
+    }
+
+    /// A programmatically scaled machine for large virtual-core sweeps:
+    /// `sockets x cores_per_socket` with the Xeon's per-core and per-socket
+    /// cache geometries, clock and NUMA policy. The per-socket L3 stays at
+    /// 16 MB, so the aggregate last-level capacity grows with the socket
+    /// count exactly as it would across real boards.
+    pub fn scaled(sockets: usize, cores_per_socket: usize) -> Self {
+        assert!(sockets > 0 && cores_per_socket > 0, "scaled machine needs at least one core");
+        MachineSpec { sockets, cores_per_socket, ..Self::xeon_e5_4620() }
     }
 
     /// Total number of cores.
@@ -209,5 +252,46 @@ mod tests {
     fn numa_zero_len_alloc_is_node0() {
         let m = MachineSpec::xeon_e5_4620();
         assert_eq!(m.home_socket(123, 0, 0), 0);
+    }
+
+    #[test]
+    fn checked_geometry_accepts_valid_shapes() {
+        let g = CacheGeometry::checked(1 << 10, 64, 2).unwrap();
+        assert_eq!(g.sets(), 8);
+        // Exactly one set (lines == ways) is the smallest valid geometry.
+        let one = CacheGeometry::checked(128, 64, 2).unwrap();
+        assert_eq!(one.sets(), 1);
+        assert_eq!(one.set_of(0), 0);
+        assert_eq!(one.set_of(1 << 30), 0);
+    }
+
+    #[test]
+    fn checked_geometry_rejects_degenerate_shapes() {
+        // capacity < line * ways: lines() < ways, so sets() would be 0.
+        assert_eq!(CacheGeometry::checked(64, 64, 2), None);
+        // capacity < line: zero lines.
+        assert_eq!(CacheGeometry::checked(32, 64, 1), None);
+        // Zero line / zero ways.
+        assert_eq!(CacheGeometry::checked(1 << 10, 0, 2), None);
+        assert_eq!(CacheGeometry::checked(1 << 10, 64, 0), None);
+        assert!(!CacheGeometry { capacity: 64, line: 64, ways: 2 }.is_valid());
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate CacheGeometry")]
+    #[cfg(debug_assertions)]
+    fn degenerate_sets_fails_loudly_in_debug() {
+        let g = CacheGeometry { capacity: 64, line: 64, ways: 2 };
+        let _ = g.sets();
+    }
+
+    #[test]
+    fn scaled_machine_keeps_xeon_geometry() {
+        let m = MachineSpec::scaled(16, 16);
+        assert_eq!(m.cores(), 256);
+        assert_eq!(m.sockets, 16);
+        assert_eq!(m.l3, MachineSpec::xeon_e5_4620().l3);
+        assert_eq!(m.socket_of(255), 15);
+        assert_eq!(m.numa, NumaPolicy::BlockedByRange);
     }
 }

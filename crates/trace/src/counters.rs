@@ -18,6 +18,7 @@ struct PaddedCounters {
     jobs_pushed: AtomicU64,
     assist_joins: AtomicU64,
     steals: AtomicU64,
+    remote_steals: AtomicU64,
     failed_steal_sweeps: AtomicU64,
     lane_jobs: AtomicU64,
     latency_jobs: AtomicU64,
@@ -41,6 +42,10 @@ pub struct WorkerStats {
     pub assist_joins: u64,
     /// Successful steals by this worker.
     pub steals: u64,
+    /// The subset of [`steals`](Self::steals) whose victim lived on a
+    /// different socket (the second phase of a socket-first sweep). Always
+    /// `0` under a uniform steal policy or a flat topology map.
+    pub remote_steals: u64,
     /// Steal sweeps by this worker that found nothing.
     pub failed_steal_sweeps: u64,
     /// Externally-injected jobs this worker drained from the sharded
@@ -101,6 +106,14 @@ impl CounterBank {
     #[inline]
     pub fn note_steal(&self, worker: usize) {
         self.workers[worker].steals.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one cross-socket steal by `worker` (also counted in
+    /// [`note_steal`](Self::note_steal) — `remote_steals` is a subset of
+    /// `steals`, not a disjoint bucket).
+    #[inline]
+    pub fn note_remote_steal(&self, worker: usize) {
+        self.workers[worker].remote_steals.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Count one empty steal sweep by `worker`.
@@ -166,6 +179,7 @@ impl CounterBank {
             jobs_pushed: c.jobs_pushed.load(Ordering::Relaxed),
             assist_joins: c.assist_joins.load(Ordering::Relaxed),
             steals: c.steals.load(Ordering::Relaxed),
+            remote_steals: c.remote_steals.load(Ordering::Relaxed),
             failed_steal_sweeps: c.failed_steal_sweeps.load(Ordering::Relaxed),
             lane_jobs: c.lane_jobs.load(Ordering::Relaxed),
             latency_jobs: c.latency_jobs.load(Ordering::Relaxed),
@@ -190,6 +204,7 @@ impl CounterBank {
             t.jobs_pushed += s.jobs_pushed;
             t.assist_joins += s.assist_joins;
             t.steals += s.steals;
+            t.remote_steals += s.remote_steals;
             t.failed_steal_sweeps += s.failed_steal_sweeps;
             t.lane_jobs += s.lane_jobs;
             t.latency_jobs += s.latency_jobs;
@@ -217,6 +232,7 @@ mod tests {
         bank.note_job_pushed(2);
         bank.note_assist_join(0);
         bank.note_steal(1);
+        bank.note_remote_steal(1);
         bank.note_failed_sweep(2);
         bank.note_injected();
         bank.note_lane_job(1);
@@ -233,6 +249,7 @@ mod tests {
         assert_eq!(bank.worker(1).jobs_pushed, 2);
         assert_eq!(bank.worker(0).assist_joins, 1);
         assert_eq!(bank.worker(1).steals, 1);
+        assert_eq!(bank.worker(1).remote_steals, 1);
         assert_eq!(bank.worker(2).failed_steal_sweeps, 1);
         assert_eq!(bank.worker(1).lane_jobs, 1);
         assert_eq!(bank.worker(1).latency_jobs, 1);
@@ -245,6 +262,7 @@ mod tests {
         assert_eq!(t.jobs_pushed, 3);
         assert_eq!(t.assist_joins, 1);
         assert_eq!(t.steals, 1);
+        assert_eq!(t.remote_steals, 1);
         assert_eq!(t.failed_steal_sweeps, 1);
         assert_eq!(t.lane_jobs, 1);
         assert_eq!(t.latency_jobs, 1);

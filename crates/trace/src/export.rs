@@ -32,6 +32,9 @@ fn classify(event: &TraceEvent) -> Option<Record> {
         TraceEvent::Stolen { victim } => {
             Record::Instant("steal", format!(r#"{{"victim":{victim}}}"#))
         }
+        TraceEvent::StolenRemote { victim } => {
+            Record::Instant("steal_remote", format!(r#"{{"victim":{victim}}}"#))
+        }
         TraceEvent::StealFailed => Record::Instant("steal_failed", "{}".into()),
         TraceEvent::ClaimAttempt { success, index, partition } => Record::Instant(
             "claim",
@@ -173,7 +176,9 @@ pub fn csv(snap: &TraceSnapshot) -> String {
         let (mut tenant, mut class) = (String::new(), String::new());
         let (mut epoch, mut attempt) = (String::new(), String::new());
         match e.event {
-            TraceEvent::Stolen { victim: v } => victim = v.to_string(),
+            TraceEvent::Stolen { victim: v } | TraceEvent::StolenRemote { victim: v } => {
+                victim = v.to_string()
+            }
             TraceEvent::WorkerRespawned { worker: w, epoch: ep } => {
                 victim = w.to_string();
                 epoch = ep.to_string();
@@ -242,11 +247,14 @@ mod tests {
             (2_000, 1, TraceEvent::ChunkEnd { start: 64, len: 8 }), // orphan close
             (3_000, 0, TraceEvent::ChunkEnd { start: 0, len: 8 }),
             (4_000, 1, TraceEvent::Stolen { victim: 0 }),
+            (5_000, 1, TraceEvent::StolenRemote { victim: 2 }),
         ]);
         let json = chrome_trace_json(&s);
         assert_eq!(json.matches(r#""ph":"X""#).count(), 1, "{json}");
         assert!(json.contains(r#""dur":2.000"#), "{json}");
         assert!(json.contains(r#""name":"steal""#));
+        assert!(json.contains(r#""name":"steal_remote""#), "{json}");
+        assert!(json.contains(r#""victim":2"#), "{json}");
         assert!(json.starts_with("{\"traceEvents\":["));
         assert!(json.ends_with('}'));
     }
@@ -277,10 +285,11 @@ mod tests {
             (13, 2, TraceEvent::OrphanRescued { from: 0 }),
             (14, 0, TraceEvent::TenantRetry { tenant: 12, attempt: 3 }),
             (15, 0, TraceEvent::BreakerOpen { tenant: 12 }),
+            (16, 3, TraceEvent::StolenRemote { victim: 7 }),
         ]);
         let text = csv(&s);
         let lines: Vec<&str> = text.lines().collect();
-        assert_eq!(lines.len(), 12);
+        assert_eq!(lines.len(), 13);
         assert!(lines[0].starts_with("ts_nanos,worker,event"));
         assert_eq!(lines[1], "5,0,claim_attempt,1,2,6,,,,,,,,,,");
         assert_eq!(lines[2], "6,1,chunk_end,,,,,10,4,,,,,,,");
@@ -293,6 +302,7 @@ mod tests {
         assert_eq!(lines[9], "13,2,orphan_rescued,,,,0,,,,,,,,,");
         assert_eq!(lines[10], "14,0,tenant_retry,,,,,,,,,,12,,,3");
         assert_eq!(lines[11], "15,0,breaker_open,,,,,,,,,,12,,,");
+        assert_eq!(lines[12], "16,3,stolen_remote,,,,7,,,,,,,,,");
     }
 
     #[test]

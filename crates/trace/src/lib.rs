@@ -56,6 +56,15 @@ pub enum TraceEvent {
         /// The worker the job was taken from.
         victim: u32,
     },
+    /// A successful steal from `victim`'s deque where the victim lives on
+    /// a *different socket* than the thief (the second phase of the
+    /// socket-first sweep). Emitted instead of — not in addition to —
+    /// [`Stolen`](Self::Stolen), so affinity metrics can split steals into
+    /// local and remote without double counting.
+    StolenRemote {
+        /// The remote-socket worker the job was taken from.
+        victim: u32,
+    },
     /// A full randomized sweep over all other deques found nothing.
     StealFailed,
     /// The worker is about to block on the sleep condvar.
@@ -195,6 +204,7 @@ impl TraceEvent {
             TraceEvent::JobPushed => "job_pushed",
             TraceEvent::JobPopped => "job_popped",
             TraceEvent::Stolen { .. } => "stolen",
+            TraceEvent::StolenRemote { .. } => "stolen_remote",
             TraceEvent::StealFailed => "steal_failed",
             TraceEvent::Parked => "parked",
             TraceEvent::Unparked => "unparked",
@@ -260,6 +270,7 @@ impl TraceEvent {
                 (25 | (attempt as u64) << 32, tenant as u64)
             }
             TraceEvent::BreakerOpen { tenant } => (26, tenant as u64),
+            TraceEvent::StolenRemote { victim } => (27, victim as u64),
         }
     }
 
@@ -297,6 +308,7 @@ impl TraceEvent {
             24 => TraceEvent::OrphanRescued { from: b as u32 },
             25 => TraceEvent::TenantRetry { tenant: b as u32, attempt: (a >> 32) as u32 },
             26 => TraceEvent::BreakerOpen { tenant: b as u32 },
+            27 => TraceEvent::StolenRemote { victim: b as u32 },
             _ => return None,
         })
     }
@@ -390,6 +402,8 @@ mod tests {
             TraceEvent::TenantRetry { tenant: 7, attempt: 1 },
             TraceEvent::TenantRetry { tenant: u32::MAX, attempt: u32::MAX },
             TraceEvent::BreakerOpen { tenant: 9 },
+            TraceEvent::StolenRemote { victim: 0 },
+            TraceEvent::StolenRemote { victim: u32::MAX },
         ];
         for ev in events {
             let (a, b) = ev.pack();

@@ -50,6 +50,16 @@ if [ "$rc" -ne 0 ]; then
   exit "$rc"
 fi
 
+echo "== locality_bench ${SMOKE[*]:-} =="
+# Appends the locality/* series (scaled socket-first sim sweep + flat-map
+# real-pool sanity) into the same document.
+rc=0
+./target/release/locality_bench "${SMOKE[@]:-}" --bench-json BENCH_parloop.json || rc=$?
+if [ "$rc" -ne 0 ]; then
+  echo "bench.sh: locality_bench failed (exit $rc); BENCH_parloop.json may be partial" >&2
+  exit "$rc"
+fi
+
 test -s BENCH_parloop.json \
   || { echo "bench.sh: BENCH_parloop.json missing or empty" >&2; exit 1; }
 
@@ -70,6 +80,7 @@ assert any(n.startswith("split/lazy/") for n in names), "no split/lazy/* series"
 assert any(n.startswith("floor/") for n in names), "no floor/* series"
 assert any(n.startswith("tenant/") for n in names), "no tenant/* series"
 assert any(n.startswith("resilience/") for n in names), "no resilience/* series"
+assert any(n.startswith("locality/") for n in names), "no locality/* series"
 print(f"bench.sh: schema OK ({len(results)} entries)")
 EOF
 else
@@ -78,6 +89,7 @@ else
     && grep -q '"name": "floor/' BENCH_parloop.json \
     && grep -q '"name": "tenant/' BENCH_parloop.json \
     && grep -q '"name": "resilience/' BENCH_parloop.json \
+    && grep -q '"name": "locality/' BENCH_parloop.json \
     || { echo "bench.sh: BENCH_parloop.json lacks expected series" >&2; exit 1; }
 fi
 echo "bench.sh: wrote BENCH_parloop.json"

@@ -118,6 +118,16 @@ if [ "$QUICK" -eq 0 ]; then
   test -s results/resilience.json \
     || { echo "verify.sh: results/resilience.json missing or empty" >&2; exit 1; }
 
+  # Sim locality gate: one 128-virtual-core socket-first sweep on the
+  # skewed workload — hybrid_sf must keep at least as many consecutive
+  # iterations on-socket (and hit L3 at least as often) as the uniform
+  # hybrid, and the flat-map real pool must show zero remote steals.
+  # Exits non-zero when a bar is missed and writes results/locality.json.
+  echo "== locality_bench --smoke (sim gate) =="
+  ./target/release/locality_bench --smoke
+  test -s results/locality.json \
+    || { echo "verify.sh: results/locality.json missing or empty" >&2; exit 1; }
+
   # Leaf vectorization gate: the stride-1 micro kernels must still compile
   # to packed SIMD in release (also runnable alone via `verify.sh --asm`).
   asm_check
@@ -127,6 +137,7 @@ else
   echo "== split_bench skipped (--quick) =="
   echo "== traffic_bench skipped (--quick) =="
   echo "== resilience_bench skipped (--quick) =="
+  echo "== locality_bench skipped (--quick) =="
 fi
 
 echo "verify.sh: all gates passed"
