@@ -15,6 +15,8 @@
 
 use parloop_sim::PolicyKind;
 
+pub mod irregular;
+
 /// A simple left-aligned text table.
 pub struct Table {
     header: Vec<String>,

@@ -87,11 +87,21 @@ pub enum Site {
     /// fatally, exercising the self-healing respawn path. Consulted only
     /// by worker threads, never by submitters.
     WorkerExit,
+    /// The adaptive grain controller about to ingest one loop's feedback
+    /// signals (`parloop-core`'s `adapt` layer). Consulted through the
+    /// pool's external-decision path (the recording thread may be a
+    /// non-worker submitter), so like [`Site::InjectLane`] and
+    /// [`Site::Admission`] a `Panic` is demoted to `Fail` — a perturbed
+    /// controller must never take user loops down. `Fail` drops the
+    /// feedback sample on the floor (the controller misses one
+    /// observation and must still converge); `Delay` stalls the recording
+    /// thread so concurrent loops race their controller updates.
+    GrainAdjust,
 }
 
 impl Site {
     /// Every site, in code order.
-    pub const ALL: [Site; 11] = [
+    pub const ALL: [Site; 12] = [
         Site::MainLoop,
         Site::StealSweep,
         Site::StealVictim,
@@ -103,6 +113,7 @@ impl Site {
         Site::AssistClaim,
         Site::Admission,
         Site::WorkerExit,
+        Site::GrainAdjust,
     ];
 
     /// Dense index into per-site tables.
@@ -134,6 +145,7 @@ impl Site {
             Site::AssistClaim => "assist_claim",
             Site::Admission => "admission",
             Site::WorkerExit => "worker_exit",
+            Site::GrainAdjust => "grain_adjust",
         }
     }
 
@@ -298,6 +310,7 @@ impl PlannedInjector {
                 Site::AssistClaim => RATE_DENOM / 2,
                 Site::Admission => RATE_DENOM / 16,
                 Site::WorkerExit => RATE_DENOM / 64,
+                Site::GrainAdjust => RATE_DENOM / 16,
             };
             // Seed-dependent rate in [ceil/2, ceil).
             let h = splitmix64(seed ^ (site.index() as u64).wrapping_mul(0xA076_1D64_78BD_642F));

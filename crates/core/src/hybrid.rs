@@ -95,6 +95,12 @@ pub struct HybridStats {
     /// had fired. These partitions still resolve the completion latch —
     /// skipping keeps termination alive — but their iterations never ran.
     pub skipped_partitions: usize,
+    /// Assistants that joined the *inner* lazy loops of this loop's
+    /// partitions (summed across partitions). Per-loop — nested hybrid
+    /// loops each count only their own partitions' assists — which is the
+    /// contention signal the adaptive grain controller consumes. Always 0
+    /// under [`SplitPolicy::Eager`] (no assist handles exist there).
+    pub assist_joins: usize,
 }
 
 /// Why a `try_` hybrid loop did not complete normally. Carries the stats
@@ -170,6 +176,8 @@ struct HybridState<F> {
     poisoned: AtomicBool,
     /// Claimed partitions whose body was skipped (poisoned or cancelled).
     skipped: AtomicUsize,
+    /// Assist joins across this loop's partitions' inner lazy loops.
+    assists: AtomicUsize,
     /// Cooperative cancellation for the `try_` entry points; `None` for the
     /// infallible API (the common path pays one `Option` check per claim).
     cancel: Option<CancelToken>,
@@ -215,6 +223,7 @@ impl<F> HybridState<F> {
             adoptions: self.adoptions.load(Ordering::Relaxed),
             failed_claims: self.failed_claims.load(Ordering::Relaxed),
             skipped_partitions: self.skipped.load(Ordering::Relaxed),
+            assist_joins: self.assists.load(Ordering::Relaxed),
         }
     }
 }
@@ -386,6 +395,7 @@ where
         panic: Mutex::new(None),
         poisoned: AtomicBool::new(false),
         skipped: AtomicUsize::new(0),
+        assists: AtomicUsize::new(0),
         cancel,
         topology: token.topology(),
     });
@@ -616,7 +626,7 @@ where
     // `latch.set()`, hence before `hybrid_for` returns.
     let body = unsafe { state.body.get() };
     let chaos = token.chaos_enabled();
-    if let Err(payload) = catch_unwind(AssertUnwindSafe(|| {
+    match catch_unwind(AssertUnwindSafe(|| {
         // Chaos site: faults *inside* the partition body, caught by the
         // same net as a user-code panic.
         if chaos {
@@ -626,9 +636,15 @@ where
                 FaultAction::Fail | FaultAction::Kill | FaultAction::None => {}
             }
         }
-        ws_for_chunks_policy(range, state.grain, state.policy, body)
+        crate::stealing::ws_for_chunks_policy_counted(range, state.grain, state.policy, body)
     })) {
-        state.record_panic(payload);
+        Ok(assists) => {
+            if assists > 0 {
+                // Relaxed: observability counter (module docs).
+                state.assists.fetch_add(assists, Ordering::Relaxed);
+            }
+        }
+        Err(payload) => state.record_panic(payload),
     }
 }
 
@@ -854,6 +870,7 @@ mod tests {
                 panic: Mutex::new(None),
                 poisoned: AtomicBool::new(false),
                 skipped: AtomicUsize::new(0),
+                assists: AtomicUsize::new(0),
                 cancel: None,
                 topology: token.topology(),
             });

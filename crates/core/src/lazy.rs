@@ -165,6 +165,12 @@ struct LoopCoordinator<F> {
     finished: AtomicBool,
     panic: Mutex<Option<Box<dyn Any + Send>>>,
     poisoned: AtomicBool,
+    /// Assistants that actually joined *this* loop (registered while the
+    /// cursor still had work). Per-loop — unlike the pool-global
+    /// `assist_joins` counter — so nested loops attribute each join to the
+    /// loop whose handle was adopted, never the enclosing one. Read once
+    /// by the owner after the latch resolves.
+    assists: AtomicUsize,
 }
 
 impl<F> LoopCoordinator<F> {
@@ -200,10 +206,24 @@ pub fn lazy_for_chunks<F>(range: Range<usize>, grain: usize, body: &F)
 where
     F: Fn(Range<usize>) + Sync,
 {
+    lazy_for_chunks_counted(range, grain, body);
+}
+
+/// [`lazy_for_chunks`] that also reports how many assistants joined *this*
+/// loop. The count is per-loop (each join is charged to the loop whose
+/// handle was adopted, even under nesting), which is what the adaptive
+/// grain controller feeds on — the pool-global `assist_joins` total cannot
+/// distinguish an inner loop's contention from its enclosing loop's. The
+/// bypass paths (off-pool, single chunk, one-worker pool) return 0 by
+/// construction: no assist handle is ever published there.
+pub fn lazy_for_chunks_counted<F>(range: Range<usize>, grain: usize, body: &F) -> usize
+where
+    F: Fn(Range<usize>) + Sync,
+{
     let grain = grain.max(1);
     let n = range.len();
     if n == 0 {
-        return;
+        return 0;
     }
     let Some(token) = WorkerToken::current() else {
         let mut lo = range.start;
@@ -212,24 +232,24 @@ where
             body(lo..hi);
             lo = hi;
         }
-        return;
+        return 0;
     };
     let tracing = token.tracing_enabled();
     if n <= grain {
         run_chunk(&token, tracing, range, body);
-        return;
+        return 0;
     }
     // Single-worker bypass: the coordinator exists only to let thieves
     // join, and a P = 1 pool has none. See `run_uncontended`.
     if token.num_workers() == 1 {
         run_uncontended(&token, tracing, range, grain, body);
-        return;
+        return 0;
     }
     if n > u32::MAX as usize {
         crate::stealing::ws_for_chunks_eager(range, grain, body);
-        return;
+        return 0;
     }
-    coordinated_loop(&token, range, grain, n, body);
+    coordinated_loop(&token, range, grain, n, body)
 }
 
 /// The single-worker fast path: a plain loop over grain-sized chunks.
@@ -290,8 +310,15 @@ where
 }
 
 /// The shared-cursor coordinator path (P > 1, or forced via
-/// [`lazy_for_chunks_coordinator`]).
-fn coordinated_loop<F>(token: &WorkerToken, range: Range<usize>, grain: usize, n: usize, body: &F)
+/// [`lazy_for_chunks_coordinator`]). Returns this loop's assist-join
+/// count (see [`lazy_for_chunks_counted`]).
+fn coordinated_loop<F>(
+    token: &WorkerToken,
+    range: Range<usize>,
+    grain: usize,
+    n: usize,
+    body: &F,
+) -> usize
 where
     F: Fn(Range<usize>) + Sync,
 {
@@ -313,6 +340,7 @@ where
         finished: AtomicBool::new(false),
         panic: Mutex::new(None),
         poisoned: AtomicBool::new(false),
+        assists: AtomicUsize::new(0),
     });
 
     // The single stealable entry point into this loop. On a one-worker
@@ -328,6 +356,9 @@ where
     if let Some(payload) = maybe_panic {
         resume_unwind(payload);
     }
+    // The latch resolved, so every joined assistant already bumped the
+    // counter before its first claim — the load is race-free.
+    state.assists.load(Ordering::Relaxed)
 }
 
 /// Push one assist handle onto the current worker's deque.
@@ -366,6 +397,7 @@ where
         exit_participant(&state);
         return;
     }
+    state.assists.fetch_add(1, Ordering::Relaxed);
     token.note_assist_join();
     token.trace(TraceEvent::AssistJoin);
     // Keep exactly one handle available for further thieves (fan-out is

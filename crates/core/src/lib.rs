@@ -30,6 +30,7 @@
 //! assert_eq!(data[7].load(std::sync::atomic::Ordering::Relaxed), 14);
 //! ```
 
+pub mod adapt;
 pub mod affinity;
 pub mod claim;
 pub mod hybrid;
@@ -42,6 +43,9 @@ mod static_part;
 mod stealing;
 mod util;
 
+pub use adapt::{
+    controller_report, AdaptiveSite, Adjustment, LoopSignals, LoopStart, Phase, SiteSnapshot,
+};
 pub use affinity::{
     same_socket_fraction, same_worker_fraction, AffinityProbe, ConsecutiveAffinity, UNRECORDED,
 };
@@ -52,15 +56,16 @@ pub use claim::{
 pub use hybrid::{HybridError, HybridStats};
 #[doc(hidden)]
 pub use lazy::lazy_for_chunks_coordinator;
-pub use lazy::{lazy_for_chunks, SplitPolicy};
-pub use range::{block_bounds, block_of, default_grain};
+pub use lazy::{lazy_for_chunks, lazy_for_chunks_counted, SplitPolicy};
+pub use range::{block_bounds, block_of, default_grain, grain_bounds};
 pub use reduce::{par_max_f64, par_reduce, par_sum_f64, par_sum_u64};
 pub use schedule::{
-    hybrid_for_with_stats, par_for, par_for_chunks, par_for_chunks_policy,
-    par_for_chunks_with_grain, par_for_dyn, par_for_tracked, try_hybrid_for, try_par_for_chunks,
-    Schedule,
+    hybrid_for_with_stats, par_for, par_for_chunks, par_for_chunks_grain_policy,
+    par_for_chunks_policy, par_for_chunks_with_grain, par_for_dyn, par_for_tracked, try_hybrid_for,
+    try_par_for_chunks, GrainPolicy, Schedule,
 };
 pub use static_part::{static_cyclic_owner, static_owner};
 pub use stealing::{
-    ws_for, ws_for_chunks, ws_for_chunks_eager, ws_for_chunks_policy, ws_for_policy,
+    ws_for, ws_for_chunks, ws_for_chunks_eager, ws_for_chunks_policy, ws_for_chunks_policy_counted,
+    ws_for_policy,
 };

@@ -31,8 +31,41 @@ pub fn block_of(n: usize, parts: usize, i: usize) -> usize {
 
 /// The Cilk default chunk size for a dynamically-scheduled loop:
 /// `min(2048, N / (8 P))`, at least 1.
+///
+/// # Provenance of the 2048 cap
+///
+/// The formula is the MIT Cilk / Cilk Plus `cilk_for` grain-size rule
+/// (`min(2048, N/8P)`), which the paper adopts verbatim for its chunked
+/// baselines. The `N/8P` term aims at ~8 stealable chunks per worker so
+/// late-phase imbalance can still be stolen away; the **2048 ceiling is a
+/// fixed overhead heuristic, not a tuned constant** — it bounds the
+/// per-chunk bookkeeping to a negligible fraction of a ~2048-iteration
+/// chunk body *assuming roughly nanosecond-scale iterations*. The rule
+/// sees only the iteration *count*, never the body's weight, which is
+/// exactly the blind spot the adaptive controller ([`crate::adapt`])
+/// exists to close; both it and the tests share the clamp window through
+/// [`grain_bounds`] so the static rule and the online controller can
+/// never disagree about the legal range.
 pub fn default_grain(n: usize, p: usize) -> usize {
-    (n / (8 * p.max(1))).clamp(1, 2048)
+    let (lo, hi) = grain_bounds(n, p);
+    (n / (8 * p.max(1))).clamp(lo, hi)
+}
+
+/// The inclusive `(min, max)` grain window shared by [`default_grain`]
+/// and the adaptive controller ([`crate::adapt`]): `(1, min(2048,
+/// max(n, 1)))`.
+///
+/// The lower bound is always 1 (a grain of 0 cannot make progress); the
+/// upper bound is the Cilk 2048 cap, additionally clamped to `n` because
+/// a grain above the iteration count is indistinguishable from `n`
+/// itself (the loop runs as a single chunk either way) — keeping the
+/// controller's hill-climb from wandering through equivalent settings.
+/// Degenerate inputs stay well-formed: `n = 0` and `p > n` both yield
+/// `(1, 1)`-style windows where `lo <= hi` still holds. `p` does not
+/// enter the bounds (it shapes the *default* inside the window, not the
+/// window itself) but is accepted so call sites mirror `default_grain`.
+pub fn grain_bounds(n: usize, _p: usize) -> (usize, usize) {
+    (1, n.clamp(1, 2048))
 }
 
 #[cfg(test)]
@@ -92,5 +125,35 @@ mod tests {
         assert_eq!(default_grain(1 << 24, 4), 2048); // capped at 2048
         assert_eq!(default_grain(10, 8), 1); // floors at 1
         assert_eq!(default_grain(0, 4), 1);
+    }
+
+    #[test]
+    fn grain_bounds_clamp_edges() {
+        // n = 0: the window degenerates to (1, 1), never (1, 0).
+        assert_eq!(grain_bounds(0, 4), (1, 1));
+        // p > n: p never shapes the window, only the default within it.
+        assert_eq!(grain_bounds(3, 64), (1, 3));
+        // Huge n: the Cilk 2048 cap holds no matter the magnitude.
+        assert_eq!(grain_bounds(usize::MAX, 1), (1, 2048));
+        assert_eq!(grain_bounds(1 << 40, 128), (1, 2048));
+        // Small n: the cap tightens to n (grain > n is equivalent to n).
+        assert_eq!(grain_bounds(100, 2), (1, 100));
+        assert_eq!(grain_bounds(2048, 1), (1, 2048));
+        assert_eq!(grain_bounds(2049, 1), (1, 2048));
+    }
+
+    #[test]
+    fn default_grain_always_inside_grain_bounds() {
+        for n in [0usize, 1, 10, 100, 2048, 2049, 16_384, 1 << 24, usize::MAX >> 8] {
+            for p in [1usize, 2, 4, 8, 64, 1024] {
+                let (lo, hi) = grain_bounds(n, p);
+                assert!(lo <= hi, "degenerate window for n={n}, p={p}");
+                let g = default_grain(n, p);
+                assert!(
+                    (lo..=hi).contains(&g),
+                    "default_grain({n}, {p}) = {g} outside [{lo}, {hi}]"
+                );
+            }
+        }
     }
 }

@@ -10,9 +10,15 @@
 
 use std::ops::Range;
 use std::panic::resume_unwind;
+use std::time::Instant;
 
-use parloop_runtime::{current_worker_index, CancelToken, Cancelled, ThreadPool, WorkerToken};
+use parloop_runtime::chaos::chaos_spin;
+use parloop_runtime::{
+    current_worker_index, CancelToken, Cancelled, FaultAction, Site, ThreadPool, TraceEvent,
+    WorkerToken,
+};
 
+use crate::adapt::{AdaptiveSite, LoopSignals};
 use crate::affinity::AffinityProbe;
 use crate::hybrid::{
     hybrid_for, hybrid_for_oversub_policy, try_hybrid_for_oversub, HybridError, HybridStats,
@@ -21,7 +27,7 @@ use crate::lazy::SplitPolicy;
 use crate::range::default_grain;
 use crate::sharing::{sharing_for, static_sharing_for, SharingPolicy};
 use crate::static_part::static_for;
-use crate::stealing::ws_for_chunks_policy;
+use crate::stealing::{ws_for_chunks_policy, ws_for_chunks_policy_counted};
 
 /// A loop-scheduling policy — one per platform/scheme the paper compares.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -247,6 +253,115 @@ pub fn par_for_chunks_policy<F>(
                 hybrid_for_oversub_policy(token, range, grain, oversub, policy, &body);
             });
         }
+    }
+}
+
+/// How a loop's grain (and, for the hybrid scheme, its oversubscription
+/// factor `R`) is chosen — the third policy knob after [`SplitPolicy`]
+/// and the runtime's `StealPolicy`.
+#[derive(Debug, Clone, Copy, Default)]
+pub enum GrainPolicy<'a> {
+    /// The schedule's own grain: an explicit pin if the [`Schedule`]
+    /// carries one, else the static Cilk rule ([`default_grain`]).
+    #[default]
+    Static,
+    /// Feedback-driven: the [`AdaptiveSite`] supplies the grain/R before
+    /// the loop and ingests its signals afterwards (see [`crate::adapt`]).
+    Adaptive(&'a AdaptiveSite),
+}
+
+/// [`par_for_chunks_policy`] with an explicit [`GrainPolicy`] — the entry
+/// point for the adaptive grain controller, mirroring how the
+/// [`SplitPolicy`] A/B knob was introduced.
+///
+/// Under [`GrainPolicy::Static`] this is exactly
+/// [`par_for_chunks_policy`]. Under [`GrainPolicy::Adaptive`] the site's
+/// current operating point overrides the schedule's grain (and, for
+/// [`Schedule::Hybrid`], its `oversub`); on measured loops the wall time
+/// and the engine's per-loop contention counters are fed back through
+/// [`AdaptiveSite::record`], gated by the `Site::GrainAdjust` chaos site
+/// (an injected `Fail` drops the sample, a `Delay` stalls the recording
+/// thread — user iterations are never at risk). Accepted adjustments are
+/// counted in `PoolStats::grain_adjustments` and emitted as
+/// `TraceEvent::GrainAdjusted` events.
+pub fn par_for_chunks_grain_policy<F>(
+    pool: &ThreadPool,
+    range: Range<usize>,
+    sched: Schedule,
+    split: SplitPolicy,
+    grain: GrainPolicy<'_>,
+    body: F,
+) where
+    F: Fn(Range<usize>) + Sync,
+{
+    match grain {
+        GrainPolicy::Static => par_for_chunks_policy(pool, range, sched, split, body),
+        GrainPolicy::Adaptive(site) => adaptive_for_chunks(pool, range, sched, split, site, &body),
+    }
+}
+
+/// The adaptive execution path: snapshot the site, run the loop under its
+/// operating point, feed the signals back.
+fn adaptive_for_chunks<F>(
+    pool: &ThreadPool,
+    range: Range<usize>,
+    sched: Schedule,
+    split: SplitPolicy,
+    site: &AdaptiveSite,
+    body: &F,
+) where
+    F: Fn(Range<usize>) + Sync,
+{
+    let n = range.len();
+    if n == 0 {
+        return;
+    }
+    let p = pool.num_workers();
+    let start = site.begin(n, p);
+    // Timestamps only on measured loops: in the settled steady state 15
+    // of 16 loops skip both `Instant::now` calls entirely.
+    let t0 = start.measure.then(Instant::now);
+    let (assist_joins, failed_claims, r_parts) = match sched {
+        Schedule::DynamicStealing { .. } => {
+            let assists =
+                pool.install(|| ws_for_chunks_policy_counted(range, start.grain, split, body));
+            (assists, 0, 1)
+        }
+        Schedule::Hybrid { .. } => {
+            let stats = pool.install(|| {
+                let token = WorkerToken::current().expect("install puts us on a worker");
+                hybrid_for_oversub_policy(token, range, start.grain, start.oversub, split, body)
+            });
+            (stats.assist_joins, stats.failed_claims, stats.partitions)
+        }
+        // The shared-cursor and static schemes take the grain as their
+        // chunk knob; they have no assist/claim machinery to observe, so
+        // only wall time drives their controller.
+        other => {
+            par_for_chunks_with_grain(pool, range, other, start.grain, body);
+            (0, 0, 1)
+        }
+    };
+    let Some(t0) = t0 else { return };
+    let wall_ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    // Chaos: perturb the *controller*, never the loop. `Fail` drops this
+    // sample on the floor (convergence must survive missing
+    // observations); `Delay` stalls the recording thread so concurrent
+    // loops race their CAS. Panic/Kill are already demoted to Fail by
+    // the external-decision path.
+    match pool.chaos_decide_external(Site::GrainAdjust) {
+        FaultAction::Fail | FaultAction::Panic | FaultAction::Kill => return,
+        FaultAction::Delay(spins) => chaos_spin(spins),
+        FaultAction::None => {}
+    }
+    let sig = LoopSignals { n, workers: p, wall_ns, assist_joins, failed_claims, r_parts };
+    if let Some(adj) = site.record(&start, &sig) {
+        pool.note_grain_adjustment();
+        pool.trace_external(TraceEvent::GrainAdjusted {
+            site: site.id(),
+            grain: u32::try_from(adj.grain).unwrap_or(u32::MAX),
+            r: u32::try_from(adj.oversub).unwrap_or(u32::MAX),
+        });
     }
 }
 

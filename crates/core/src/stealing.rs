@@ -24,8 +24,8 @@ use std::ops::Range;
 
 use parloop_runtime::{join, TraceEvent, WorkerToken};
 
-use crate::lazy::lazy_for_chunks;
 pub use crate::lazy::SplitPolicy;
+use crate::lazy::{lazy_for_chunks, lazy_for_chunks_counted};
 
 /// Run a leaf chunk of the eager splitter, bracketed with
 /// `ChunkStart`/`ChunkEnd` trace events when `tracing` is set. The flag is
@@ -72,6 +72,29 @@ where
     match policy {
         SplitPolicy::Lazy => lazy_for_chunks(range, grain, body),
         SplitPolicy::Eager => ws_for_chunks_eager(range, grain, body),
+    }
+}
+
+/// [`ws_for_chunks_policy`] that also reports how many assistants joined
+/// this loop — the contention signal the adaptive grain controller feeds
+/// on. Only the lazy engine has assist handles; the eager engine's splits
+/// are plain joins, so it reports 0 (its contention shows up in the
+/// pool-global steal counters instead, which are not per-loop).
+pub fn ws_for_chunks_policy_counted<F>(
+    range: Range<usize>,
+    grain: usize,
+    policy: SplitPolicy,
+    body: &F,
+) -> usize
+where
+    F: Fn(Range<usize>) + Sync,
+{
+    match policy {
+        SplitPolicy::Lazy => lazy_for_chunks_counted(range, grain, body),
+        SplitPolicy::Eager => {
+            ws_for_chunks_eager(range, grain, body);
+            0
+        }
     }
 }
 

@@ -127,6 +127,10 @@ pub struct PoolStats {
     pub failed_steal_sweeps: u64,
     /// Jobs injected from external threads.
     pub injected: u64,
+    /// Accepted adaptive grain/R adjustments across every registered
+    /// `AdaptiveSite` driving loops on this pool (the `controller_report`
+    /// aggregate; per-site breakdowns live on the sites themselves).
+    pub grain_adjustments: u64,
 }
 
 /// One worker slot's lifecycle fields, cache-padded so state transitions
@@ -1338,7 +1342,17 @@ impl ThreadPool {
             remote_steals: t.remote_steals,
             failed_steal_sweeps: t.failed_steal_sweeps,
             injected: self.registry.counters.injected(),
+            grain_adjustments: self.registry.counters.grain_adjustments(),
         }
+    }
+
+    /// Count one accepted adaptive grain/R adjustment against this pool
+    /// (feeds [`PoolStats::grain_adjustments`]). Called by the adaptive
+    /// controller's recording thread, which may be an external submitter —
+    /// pool-global, no worker slot involved.
+    #[inline]
+    pub fn note_grain_adjustment(&self) {
+        self.registry.counters.note_grain_adjustment();
     }
 
     /// The pool's worker → socket map (flat unless one was installed via

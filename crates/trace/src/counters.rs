@@ -73,6 +73,7 @@ pub struct WorkerStats {
 pub struct CounterBank {
     workers: Box<[PaddedCounters]>,
     injected: AtomicU64,
+    grain_adjustments: AtomicU64,
 }
 
 impl CounterBank {
@@ -81,6 +82,7 @@ impl CounterBank {
         CounterBank {
             workers: (0..num_workers).map(|_| PaddedCounters::default()).collect(),
             injected: AtomicU64::new(0),
+            grain_adjustments: AtomicU64::new(0),
         }
     }
 
@@ -169,6 +171,19 @@ impl CounterBank {
     /// Jobs injected from external threads (pool-global).
     pub fn injected(&self) -> u64 {
         self.injected.load(Ordering::Relaxed)
+    }
+
+    /// Count one accepted adaptive grain/R adjustment. Pool-global like
+    /// [`note_injected`](Self::note_injected): the recording thread may
+    /// be an external submitter, so there is no worker slot to charge.
+    #[inline]
+    pub fn note_grain_adjustment(&self) {
+        self.grain_adjustments.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Accepted adaptive grain/R adjustments (pool-global).
+    pub fn grain_adjustments(&self) -> u64 {
+        self.grain_adjustments.load(Ordering::Relaxed)
     }
 
     /// Snapshot of one worker's counters.
@@ -271,6 +286,9 @@ mod tests {
         assert_eq!(t.backstop_wakes, 2);
         assert_eq!(t.orphans_rescued, 3);
         assert_eq!(bank.injected(), 1);
+        bank.note_grain_adjustment();
+        bank.note_grain_adjustment();
+        assert_eq!(bank.grain_adjustments(), 2);
         assert_eq!(bank.all_workers().len(), 3);
     }
 

@@ -77,6 +77,10 @@ fn classify(event: &TraceEvent) -> Option<Record> {
         TraceEvent::BreakerOpen { tenant } => {
             Record::Instant("breaker_open", format!(r#"{{"tenant":{tenant}}}"#))
         }
+        TraceEvent::GrainAdjusted { site, grain, r } => Record::Instant(
+            "grain_adjusted",
+            format!(r#"{{"site":{site},"grain":{grain},"r":{r}}}"#),
+        ),
         // Push/pop are too fine for a timeline view; CSV keeps them.
         TraceEvent::JobPushed | TraceEvent::JobPopped => return None,
     })
@@ -210,6 +214,13 @@ pub fn csv(snap: &TraceSnapshot) -> String {
             TraceEvent::FaultInjected { site: s, action: a } => {
                 site = s.to_string();
                 action = a.to_string();
+            }
+            // Sparse-column reuse (like `victim` doubling as a worker id):
+            // `index` carries the new grain, `partition` the new R factor.
+            TraceEvent::GrainAdjusted { site: s, grain: g, r } => {
+                site = s.to_string();
+                index = g.to_string();
+                partition = r.to_string();
             }
             _ => {}
         }

@@ -75,6 +75,8 @@ pub struct EventCounts {
     pub tenant_retries: u64,
     /// Tenant circuit breakers tripped open.
     pub breaker_opens: u64,
+    /// Adaptive grain/R adjustments accepted by site controllers.
+    pub grain_adjustments: u64,
 }
 
 impl EventCounts {
@@ -141,6 +143,7 @@ pub fn event_counts(snap: &TraceSnapshot) -> EventCounts {
             TraceEvent::OrphanRescued { .. } => c.orphans_rescued += 1,
             TraceEvent::TenantRetry { .. } => c.tenant_retries += 1,
             TraceEvent::BreakerOpen { .. } => c.breaker_opens += 1,
+            TraceEvent::GrainAdjusted { .. } => c.grain_adjustments += 1,
         }
     }
     c

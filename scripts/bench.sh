@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
-# Perf-trajectory harness: run the split-policy and multi-tenant traffic
-# benchmarks in full mode and emit the stable top-level BENCH_parloop.json
-# (flat {name, value, unit} entries — ns/iter for the micro kernel under
-# lazy vs eager splitting, deque pushes per loop, the tenant/* QoS
-# latency series, and the resilience/* dip-and-recovery series) so
-# results are comparable across commits.
+# Perf-trajectory harness: run the split-policy, multi-tenant traffic,
+# resilience, locality and adaptive-grain benchmarks in full mode and
+# emit the stable top-level BENCH_parloop.json (flat {name, value, unit}
+# entries — ns/iter for the micro kernel under lazy vs eager splitting,
+# deque pushes per loop, the tenant/* QoS latency series, the
+# resilience/* dip-and-recovery series, and the adaptive/* controller
+# series) so results are comparable across commits.
 #
 #   --smoke   reduced sizes + relaxed wall-clock bars (CI boxes)
 set -euo pipefail
@@ -21,44 +22,36 @@ done
 echo "== cargo build --release (bench bins) =="
 cargo build --release --offline -p parloop-bench
 
-echo "== split_bench ${SMOKE[*]:-} =="
-# Preserve the benchmark's exit status (set -e would eat it after the
-# `||`), then validate the emitted file: a crashed bench can leave a
-# partial JSON behind that `test -s` happily accepts.
-rc=0
-./target/release/split_bench "${SMOKE[@]:-}" --bench-json BENCH_parloop.json || rc=$?
-if [ "$rc" -ne 0 ]; then
-  echo "bench.sh: split_bench failed (exit $rc); BENCH_parloop.json may be partial" >&2
-  exit "$rc"
-fi
+# Run one bench bin that merges its series into BENCH_parloop.json, then
+# insist every prefix it declares actually landed in the file. Preserve
+# the benchmark's exit status (set -e would eat it after the `||`) — a
+# crashed bench can leave a partial JSON behind that `test -s` happily
+# accepts — and fail loudly on a bin that exits 0 while emitting zero
+# series, which would silently hollow out the cross-commit trajectory.
+run_bench() {
+  local bin="$1"
+  shift
+  echo "== $bin ${SMOKE[*]:-} =="
+  local rc=0
+  "./target/release/$bin" "${SMOKE[@]:-}" --bench-json BENCH_parloop.json || rc=$?
+  if [ "$rc" -ne 0 ]; then
+    echo "bench.sh: $bin failed (exit $rc); BENCH_parloop.json may be partial" >&2
+    exit "$rc"
+  fi
+  local prefix
+  for prefix in "$@"; do
+    if ! grep -q "\"name\": \"$prefix" BENCH_parloop.json; then
+      echo "bench.sh: $bin exited 0 but emitted zero '${prefix}*' series into BENCH_parloop.json" >&2
+      exit 1
+    fi
+  done
+}
 
-echo "== traffic_bench ${SMOKE[*]:-} =="
-# Appends its tenant/* series into the same document split_bench wrote.
-rc=0
-./target/release/traffic_bench "${SMOKE[@]:-}" --bench-json BENCH_parloop.json || rc=$?
-if [ "$rc" -ne 0 ]; then
-  echo "bench.sh: traffic_bench failed (exit $rc); BENCH_parloop.json may be partial" >&2
-  exit "$rc"
-fi
-
-echo "== resilience_bench ${SMOKE[*]:-} =="
-# Appends its resilience/* series into the same document.
-rc=0
-./target/release/resilience_bench "${SMOKE[@]:-}" --bench-json BENCH_parloop.json || rc=$?
-if [ "$rc" -ne 0 ]; then
-  echo "bench.sh: resilience_bench failed (exit $rc); BENCH_parloop.json may be partial" >&2
-  exit "$rc"
-fi
-
-echo "== locality_bench ${SMOKE[*]:-} =="
-# Appends the locality/* series (scaled socket-first sim sweep + flat-map
-# real-pool sanity) into the same document.
-rc=0
-./target/release/locality_bench "${SMOKE[@]:-}" --bench-json BENCH_parloop.json || rc=$?
-if [ "$rc" -ne 0 ]; then
-  echo "bench.sh: locality_bench failed (exit $rc); BENCH_parloop.json may be partial" >&2
-  exit "$rc"
-fi
+run_bench split_bench split/lazy/ floor/
+run_bench traffic_bench tenant/
+run_bench resilience_bench resilience/
+run_bench locality_bench locality/
+run_bench adapt_bench adaptive/
 
 test -s BENCH_parloop.json \
   || { echo "bench.sh: BENCH_parloop.json missing or empty" >&2; exit 1; }
@@ -76,20 +69,20 @@ for e in results:
     assert isinstance(e.get("value"), (int, float)), f"bad value in {e}"
     assert isinstance(e.get("unit"), str) and e["unit"], f"bad unit in {e}"
 names = [e["name"] for e in results]
-assert any(n.startswith("split/lazy/") for n in names), "no split/lazy/* series"
-assert any(n.startswith("floor/") for n in names), "no floor/* series"
-assert any(n.startswith("tenant/") for n in names), "no tenant/* series"
-assert any(n.startswith("resilience/") for n in names), "no resilience/* series"
-assert any(n.startswith("locality/") for n in names), "no locality/* series"
-print(f"bench.sh: schema OK ({len(results)} entries)")
+# Every declared series prefix must be present — report ALL missing ones
+# at once (a partial merge should name every hole, not just the first).
+prefixes = ["split/lazy/", "floor/", "tenant/", "resilience/", "locality/", "adaptive/"]
+counts = {p: sum(n.startswith(p) for n in names) for p in prefixes}
+missing = [p for p, c in counts.items() if c == 0]
+assert not missing, f"zero series for declared prefixes: {missing} (counts: {counts})"
+summary = ", ".join(f"{p}*: {c}" for p, c in counts.items())
+print(f"bench.sh: schema OK ({len(results)} entries; {summary})")
 EOF
 else
   # Fallback without python3: the series markers must at least be present.
-  grep -q '"name": "split/lazy/' BENCH_parloop.json \
-    && grep -q '"name": "floor/' BENCH_parloop.json \
-    && grep -q '"name": "tenant/' BENCH_parloop.json \
-    && grep -q '"name": "resilience/' BENCH_parloop.json \
-    && grep -q '"name": "locality/' BENCH_parloop.json \
-    || { echo "bench.sh: BENCH_parloop.json lacks expected series" >&2; exit 1; }
+  for prefix in 'split/lazy/' 'floor/' 'tenant/' 'resilience/' 'locality/' 'adaptive/'; do
+    grep -q "\"name\": \"$prefix" BENCH_parloop.json \
+      || { echo "bench.sh: BENCH_parloop.json lacks ${prefix}* series" >&2; exit 1; }
+  done
 fi
 echo "bench.sh: wrote BENCH_parloop.json"

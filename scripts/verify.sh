@@ -128,6 +128,18 @@ if [ "$QUICK" -eq 0 ]; then
   test -s results/locality.json \
     || { echo "verify.sh: results/locality.json missing or empty" >&2; exit 1; }
 
+  # Adaptive-grain acceptance: controller convergence on the stable-shape
+  # workloads and zero lost iterations across grain regimes (checksum
+  # equality — exactly-once under changing operating points). The
+  # irregular-speedup and within-5%-of-best-static bars are full-mode
+  # only; smoke rep counts are too shallow for stable ratios on shared
+  # CI boxes. Exits non-zero when a gate is missed and writes
+  # results/adapt.json.
+  echo "== adapt_bench --smoke =="
+  ./target/release/adapt_bench --smoke
+  test -s results/adapt.json \
+    || { echo "verify.sh: results/adapt.json missing or empty" >&2; exit 1; }
+
   # Leaf vectorization gate: the stride-1 micro kernels must still compile
   # to packed SIMD in release (also runnable alone via `verify.sh --asm`).
   asm_check
@@ -138,6 +150,7 @@ else
   echo "== traffic_bench skipped (--quick) =="
   echo "== resilience_bench skipped (--quick) =="
   echo "== locality_bench skipped (--quick) =="
+  echo "== adapt_bench skipped (--quick) =="
 fi
 
 echo "verify.sh: all gates passed"
